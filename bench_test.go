@@ -1,0 +1,161 @@
+package sprout_test
+
+import (
+	"testing"
+
+	"sprout/internal/bench"
+)
+
+// The benchmark suite regenerates every table and figure of the paper at a
+// reduced scale (bench.Quick) so the whole suite completes in minutes; the
+// sproutbench CLI runs the same experiments at paper scale (-paper). Key
+// scalar outcomes are attached to each benchmark via ReportMetric so the
+// benchmark log doubles as a results table.
+
+func benchConfig() bench.Config {
+	cfg := bench.Quick()
+	cfg.Files = 100
+	cfg.SimHorizon = 3000
+	return cfg
+}
+
+// BenchmarkFig3Convergence regenerates Fig. 3 (convergence of Algorithm 1).
+func BenchmarkFig3Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Fig3Convergence(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		maxIter := 0
+		for _, s := range series {
+			if s.Iterations > maxIter {
+				maxIter = s.Iterations
+			}
+		}
+		b.ReportMetric(float64(maxIter), "max-iterations")
+		final := series[len(series)-1].Objectives
+		b.ReportMetric(final[len(final)-1], "latency-largest-cache-s")
+	}
+}
+
+// BenchmarkFig4CacheSize regenerates Fig. 4 (latency vs. cache size).
+func BenchmarkFig4CacheSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig4CacheSize(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(points[0].Latency, "latency-no-cache-s")
+		b.ReportMetric(points[len(points)-1].Latency, "latency-full-cache-s")
+	}
+}
+
+// BenchmarkFig5Evolution regenerates Table I + Fig. 5 (cache evolution).
+func BenchmarkFig5Evolution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig5Evolution(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Objectives[len(res.Objectives)-1], "final-bin-latency-s")
+	}
+}
+
+// BenchmarkFig6Placement regenerates Fig. 6 (placement/arrival interaction).
+func BenchmarkFig6Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.Fig6Placement(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(points[0].ChunksFirstTwo), "hot-file-chunks-low-rate")
+		b.ReportMetric(float64(points[len(points)-1].ChunksFirstTwo), "hot-file-chunks-high-rate")
+	}
+}
+
+// BenchmarkFig7RequestSplit regenerates Fig. 7 (cache vs. storage chunks).
+func BenchmarkFig7RequestSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Fig7RequestSplit(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(series[0].CacheFraction*100, "cache-chunk-pct")
+	}
+}
+
+// BenchmarkFig9ServiceCDF regenerates Fig. 9 / Table IV (service times).
+func BenchmarkFig9ServiceCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.Fig9ServiceCDF(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.ChunkSizeBytes == 16<<20 {
+				b.ReportMetric(r.MeanMillis, "16MB-mean-ms")
+			}
+		}
+	}
+}
+
+// BenchmarkTableVCacheLatency regenerates Table V (SSD cache latencies).
+func BenchmarkTableVCacheLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.TableVCacheLatency(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].MeasuredMillis, "16MB-cache-ms")
+	}
+}
+
+// BenchmarkFig10ObjectSize regenerates Fig. 10 (latency vs. object size,
+// optimal caching vs. the LRU cache-tier baseline).
+func BenchmarkFig10ObjectSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.Fig10ObjectSize(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var improvement float64
+		for _, r := range results {
+			improvement += r.ImprovementPct
+		}
+		b.ReportMetric(improvement/float64(len(results)), "mean-improvement-pct")
+	}
+}
+
+// BenchmarkFig11ArrivalRate regenerates Fig. 11 (latency vs. workload
+// intensity, optimal caching vs. the LRU cache-tier baseline).
+func BenchmarkFig11ArrivalRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.Fig11ArrivalRate(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var improvement float64
+		for _, r := range results {
+			improvement += r.ImprovementPct
+		}
+		b.ReportMetric(improvement/float64(len(results)), "mean-improvement-pct")
+	}
+}
+
+// BenchmarkPolicyAblation runs the caching-policy ablation at a fixed budget.
+func BenchmarkPolicyAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.PolicyAblation(benchConfig(), 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Policy == "functional (Algorithm 1)" {
+				b.ReportMetric(r.Objective, "functional-bound-s")
+			}
+			if r.Policy == "no cache" {
+				b.ReportMetric(r.Objective, "no-cache-bound-s")
+			}
+		}
+	}
+}

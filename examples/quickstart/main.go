@@ -1,0 +1,98 @@
+// Example quickstart shows the core Sprout workflow in a few dozen lines:
+// build a small cluster, encode files, compute a cache plan for the current
+// workload, and read files back through the functional cache.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sprout"
+)
+
+// memStore is a minimal in-memory ChunkFetcher used as the "storage nodes"
+// in this example.
+type memStore map[int]map[int][]byte
+
+func (m memStore) FetchChunk(_ context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+	chunk, ok := m[fileID][chunkIndex]
+	if !ok {
+		return nil, fmt.Errorf("missing chunk %d of file %d", chunkIndex, fileID)
+	}
+	return chunk, nil
+}
+
+func main() {
+	// 1. Describe a cluster: 6 storage nodes, 10 files, (5,3) erasure code.
+	cfg := sprout.ClusterConfig{
+		NumNodes:     6,
+		NumFiles:     10,
+		N:            5,
+		K:            3,
+		FileSize:     3 * 1024,
+		ServiceRates: []float64{1.0, 1.0, 0.8, 0.8, 0.5, 0.5},
+		ArrivalRates: []float64{0.12, 0.02},
+		Seed:         42,
+	}
+	clu, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a controller with a cache of 8 functional chunks.
+	ctrl, err := sprout.NewController(clu, 8, sprout.OptimizerOptions{}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Encode file contents onto the (in-memory) storage nodes.
+	store := memStore{}
+	originals := map[int][]byte{}
+	rng := rand.New(rand.NewSource(7))
+	for _, meta := range ctrl.Files() {
+		payload := make([]byte, meta.SizeBytes)
+		rng.Read(payload)
+		originals[meta.ID] = payload
+		dataChunks, err := meta.Code.Split(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		coded, err := meta.Code.Encode(dataChunks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store[meta.ID] = map[int][]byte{}
+		for i, ch := range coded {
+			store[meta.ID][i] = ch
+		}
+	}
+
+	// 4. Plan the cache for the current arrival rates (one "time bin").
+	plan, err := ctrl.PlanTimeBin(clu.Lambdas())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency bound: %.3f s, cache chunks used: %d / 8\n", plan.Objective, plan.CacheUsed())
+	fmt.Printf("cache allocation per file: %v\n", plan.D)
+
+	// 5. Read every file twice: the first read lazily fills the cache with
+	// functional chunks, the second read uses them.
+	ctx := context.Background()
+	for pass := 1; pass <= 2; pass++ {
+		for fileID, want := range originals {
+			got, err := ctrl.Read(ctx, fileID, store)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				log.Fatalf("file %d content mismatch", fileID)
+			}
+		}
+		stats := ctrl.Stats()
+		fmt.Printf("after pass %d: reads=%d chunks from cache=%d, from storage=%d\n",
+			pass, stats.Reads, stats.ChunksFromCache, stats.ChunksFromDisk)
+	}
+}

@@ -1,0 +1,116 @@
+// Package bench contains the experiment harness that regenerates every
+// table and figure of the paper's evaluation section. Each experiment is a
+// pure function from a Config to a structured result that both the
+// sproutbench CLI and the Go benchmark suite print or assert on.
+//
+// The experiment-to-figure mapping is documented in DESIGN.md; the measured
+// results are recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Config scales the experiments. The zero value selects the paper-scale
+// defaults; reduced scales are used by the Go benchmark suite so the whole
+// suite completes quickly.
+type Config struct {
+	// Files is the number of files/objects in the large simulations
+	// (paper: 1000).
+	Files int
+	// MaxOuterIter caps the optimizer's outer iterations.
+	MaxOuterIter int
+	// SimHorizon is the simulated duration (seconds) for discrete-event
+	// validation runs.
+	SimHorizon float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Paper returns the full paper-scale configuration.
+func Paper() Config {
+	return Config{Files: 1000, MaxOuterIter: 25, SimHorizon: 20000, Seed: 1}
+}
+
+// Quick returns a reduced configuration for fast benchmark runs.
+func Quick() Config {
+	return Config{Files: 150, MaxOuterIter: 10, SimHorizon: 5000, Seed: 1}
+}
+
+func (c Config) withDefaults() Config {
+	d := Paper()
+	if c.Files <= 0 {
+		c.Files = d.Files
+	}
+	if c.MaxOuterIter <= 0 {
+		c.MaxOuterIter = d.MaxOuterIter
+	}
+	if c.SimHorizon <= 0 {
+		c.SimHorizon = d.SimHorizon
+	}
+	if c.Seed == 0 {
+		c.Seed = d.Seed
+	}
+	return c
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Write renders the table with aligned columns.
+func (t *Table) Write(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, cell)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string   { return fmt.Sprintf("%.4f", v) }
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }
+func i64toa(v int64) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,195 @@
+// Package cache provides the cache-side data structures of Sprout: a
+// functional cache store holding coded chunks keyed by file and chunk index,
+// an exact-copy cache, and a byte-capacity LRU cache used to emulate the
+// Ceph cache-tier baseline. All caches are safe for concurrent use.
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Common errors.
+var (
+	ErrTooLarge = errors.New("cache: item larger than cache capacity")
+	ErrNotFound = errors.New("cache: item not found")
+)
+
+// ChunkKey identifies one coded chunk of one file.
+type ChunkKey struct {
+	FileID     int
+	ChunkIndex int // global index within the file's (n+k, k) code
+}
+
+func (k ChunkKey) String() string { return fmt.Sprintf("file%d/chunk%d", k.FileID, k.ChunkIndex) }
+
+// FunctionalCache stores functional (coded) chunks per file according to a
+// cache plan. Capacity is expressed in chunks, mirroring the optimizer's
+// allocation unit; chunk payloads may be of different sizes across files.
+type FunctionalCache struct {
+	mu       sync.RWMutex
+	capacity int
+	chunks   map[ChunkKey][]byte
+	perFile  map[int]int
+
+	hits   uint64
+	misses uint64
+}
+
+// NewFunctionalCache creates a functional cache holding at most capacity
+// chunks. A capacity of zero disables caching.
+func NewFunctionalCache(capacity int) *FunctionalCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &FunctionalCache{
+		capacity: capacity,
+		chunks:   make(map[ChunkKey][]byte),
+		perFile:  make(map[int]int),
+	}
+}
+
+// Capacity returns the configured capacity in chunks.
+func (c *FunctionalCache) Capacity() int { return c.capacity }
+
+// Len returns the number of chunks currently cached.
+func (c *FunctionalCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.chunks)
+}
+
+// ChunksForFile returns how many chunks of the given file are cached.
+func (c *FunctionalCache) ChunksForFile(fileID int) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.perFile[fileID]
+}
+
+// Put stores a coded chunk. It returns false without storing when the cache
+// is full.
+func (c *FunctionalCache) Put(key ChunkKey, data []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.chunks[key]; exists {
+		c.chunks[key] = data
+		return true
+	}
+	if len(c.chunks) >= c.capacity {
+		return false
+	}
+	c.chunks[key] = data
+	c.perFile[key.FileID]++
+	return true
+}
+
+// Get retrieves a cached chunk.
+func (c *FunctionalCache) Get(key ChunkKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, ok := c.chunks[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return data, ok
+}
+
+// GetFile returns all cached chunks of a file, keyed by chunk index.
+func (c *FunctionalCache) GetFile(fileID int) map[int][]byte {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[int][]byte)
+	for k, v := range c.chunks {
+		if k.FileID == fileID {
+			out[k.ChunkIndex] = v
+		}
+	}
+	return out
+}
+
+// Delete removes a chunk if present.
+func (c *FunctionalCache) Delete(key ChunkKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.chunks[key]; ok {
+		delete(c.chunks, key)
+		c.perFile[key.FileID]--
+		if c.perFile[key.FileID] == 0 {
+			delete(c.perFile, key.FileID)
+		}
+	}
+}
+
+// DeleteFile removes every cached chunk of the file and returns how many
+// chunks were evicted.
+func (c *FunctionalCache) DeleteFile(fileID int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var removed int
+	for k := range c.chunks {
+		if k.FileID == fileID {
+			delete(c.chunks, k)
+			removed++
+		}
+	}
+	delete(c.perFile, fileID)
+	return removed
+}
+
+// TrimFile removes chunks of the file until at most keep remain, evicting
+// the highest chunk indices first (the chunks generated last). It returns
+// the number of evicted chunks.
+func (c *FunctionalCache) TrimFile(fileID, keep int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if keep < 0 {
+		keep = 0
+	}
+	var indices []int
+	for k := range c.chunks {
+		if k.FileID == fileID {
+			indices = append(indices, k.ChunkIndex)
+		}
+	}
+	if len(indices) <= keep {
+		return 0
+	}
+	// Evict the largest indices first.
+	for i := 0; i < len(indices); i++ {
+		for j := i + 1; j < len(indices); j++ {
+			if indices[j] > indices[i] {
+				indices[i], indices[j] = indices[j], indices[i]
+			}
+		}
+	}
+	toEvict := indices[:len(indices)-keep]
+	for _, idx := range toEvict {
+		delete(c.chunks, ChunkKey{FileID: fileID, ChunkIndex: idx})
+	}
+	c.perFile[fileID] = keep
+	if keep == 0 {
+		delete(c.perFile, fileID)
+	}
+	return len(toEvict)
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *FunctionalCache) Stats() (hits, misses uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// Allocation returns the number of cached chunks per file.
+func (c *FunctionalCache) Allocation() map[int]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[int]int, len(c.perFile))
+	for k, v := range c.perFile {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestFunctionalCachePutGet(t *testing.T) {
+	c := NewFunctionalCache(3)
+	if c.Capacity() != 3 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+	k1 := ChunkKey{FileID: 1, ChunkIndex: 7}
+	if !c.Put(k1, []byte("abc")) {
+		t.Fatal("put failed on empty cache")
+	}
+	got, ok := c.Get(k1)
+	if !ok || string(got) != "abc" {
+		t.Fatalf("get = %q, %v", got, ok)
+	}
+	if _, ok := c.Get(ChunkKey{FileID: 2, ChunkIndex: 0}); ok {
+		t.Fatal("unexpected hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses", hits, misses)
+	}
+}
+
+func TestFunctionalCacheCapacityEnforced(t *testing.T) {
+	c := NewFunctionalCache(2)
+	ok1 := c.Put(ChunkKey{1, 0}, []byte("a"))
+	ok2 := c.Put(ChunkKey{1, 1}, []byte("b"))
+	ok3 := c.Put(ChunkKey{2, 0}, []byte("c"))
+	if !ok1 || !ok2 {
+		t.Fatal("first two puts should succeed")
+	}
+	if ok3 {
+		t.Fatal("third put should be rejected at capacity")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Updating an existing key does not count against capacity.
+	if !c.Put(ChunkKey{1, 0}, []byte("a2")) {
+		t.Fatal("update of existing key should succeed")
+	}
+}
+
+func TestFunctionalCacheNegativeCapacity(t *testing.T) {
+	c := NewFunctionalCache(-5)
+	if c.Capacity() != 0 {
+		t.Fatalf("capacity = %d, want 0", c.Capacity())
+	}
+	if c.Put(ChunkKey{1, 0}, []byte("x")) {
+		t.Fatal("put should fail with zero capacity")
+	}
+}
+
+func TestFunctionalCachePerFileAccounting(t *testing.T) {
+	c := NewFunctionalCache(10)
+	for i := 0; i < 3; i++ {
+		c.Put(ChunkKey{FileID: 5, ChunkIndex: i}, []byte{byte(i)})
+	}
+	c.Put(ChunkKey{FileID: 6, ChunkIndex: 0}, []byte("z"))
+	if c.ChunksForFile(5) != 3 || c.ChunksForFile(6) != 1 || c.ChunksForFile(7) != 0 {
+		t.Fatal("per-file accounting wrong")
+	}
+	alloc := c.Allocation()
+	if alloc[5] != 3 || alloc[6] != 1 {
+		t.Fatalf("allocation = %v", alloc)
+	}
+	file5 := c.GetFile(5)
+	if len(file5) != 3 || string(file5[2]) != string([]byte{2}) {
+		t.Fatalf("GetFile = %v", file5)
+	}
+
+	c.Delete(ChunkKey{FileID: 5, ChunkIndex: 1})
+	if c.ChunksForFile(5) != 2 {
+		t.Fatal("delete did not update per-file count")
+	}
+	removed := c.DeleteFile(5)
+	if removed != 2 || c.ChunksForFile(5) != 0 || c.Len() != 1 {
+		t.Fatalf("DeleteFile removed %d, len %d", removed, c.Len())
+	}
+}
+
+func TestFunctionalCacheTrimFile(t *testing.T) {
+	c := NewFunctionalCache(10)
+	for i := 0; i < 4; i++ {
+		c.Put(ChunkKey{FileID: 1, ChunkIndex: 10 + i}, []byte{byte(i)})
+	}
+	evicted := c.TrimFile(1, 2)
+	if evicted != 2 {
+		t.Fatalf("evicted %d, want 2", evicted)
+	}
+	if c.ChunksForFile(1) != 2 {
+		t.Fatalf("remaining %d, want 2", c.ChunksForFile(1))
+	}
+	// The lowest chunk indices are retained.
+	if _, ok := c.Get(ChunkKey{FileID: 1, ChunkIndex: 10}); !ok {
+		t.Fatal("lowest chunk index should be retained")
+	}
+	if _, ok := c.Get(ChunkKey{FileID: 1, ChunkIndex: 13}); ok {
+		t.Fatal("highest chunk index should be evicted")
+	}
+	// Trimming to a larger count is a no-op.
+	if c.TrimFile(1, 5) != 0 {
+		t.Fatal("trim to larger keep should evict nothing")
+	}
+	// Trim to zero removes the file entirely.
+	if c.TrimFile(1, 0) != 2 || c.ChunksForFile(1) != 0 {
+		t.Fatal("trim to zero should remove all chunks")
+	}
+	// Negative keep behaves like zero.
+	c.Put(ChunkKey{FileID: 2, ChunkIndex: 0}, []byte("x"))
+	if c.TrimFile(2, -3) != 1 {
+		t.Fatal("negative keep should evict everything")
+	}
+}
+
+func TestFunctionalCacheConcurrency(t *testing.T) {
+	c := NewFunctionalCache(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := ChunkKey{FileID: g, ChunkIndex: i}
+				c.Put(key, []byte{byte(i)})
+				c.Get(key)
+				c.ChunksForFile(g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Fatalf("len = %d, want 800", c.Len())
+	}
+}
+
+func TestLRUBasic(t *testing.T) {
+	c := NewLRU(10)
+	if err := c.Put("a", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("b", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Used() != 10 || c.Len() != 2 {
+		t.Fatalf("used=%d len=%d", c.Used(), c.Len())
+	}
+	v, ok := c.Get("a")
+	if !ok || string(v) != "12345" {
+		t.Fatal("get a failed")
+	}
+	// Inserting c (5 bytes) evicts the LRU entry, which is now "b".
+	if err := c.Put("c", []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains("b") {
+		t.Fatal("b should have been evicted")
+	}
+	if !c.Contains("a") || !c.Contains("c") {
+		t.Fatal("a and c should remain")
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 1 || misses != 0 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d", hits, misses, evictions)
+	}
+}
+
+func TestLRUTooLarge(t *testing.T) {
+	c := NewLRU(4)
+	if err := c.Put("big", []byte("12345")); err != ErrTooLarge {
+		t.Fatalf("expected ErrTooLarge, got %v", err)
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := NewLRU(10)
+	c.Put("a", []byte("123"))
+	c.Put("a", []byte("1234567"))
+	if c.Used() != 7 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d", c.Used(), c.Len())
+	}
+	c.Remove("a")
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatal("remove did not clear entry")
+	}
+	c.Remove("missing") // must not panic
+}
+
+func TestLRUKeysOrder(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Put("c", []byte("3"))
+	c.Get("a") // a becomes most recent
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "b" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestLRUMissCounting(t *testing.T) {
+	c := NewLRU(10)
+	c.Get("nope")
+	_, misses, _ := func() (uint64, uint64, uint64) { return c.Stats() }()
+	if misses != 1 {
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+func TestLRUNeverExceedsCapacity(t *testing.T) {
+	// Property: after any sequence of puts, used <= capacity.
+	f := func(sizes []uint8) bool {
+		c := NewLRU(64)
+		for i, s := range sizes {
+			val := make([]byte, int(s)%32)
+			_ = c.Put(fmt.Sprintf("k%d", i%10), val)
+			if c.Used() > c.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUConcurrency(t *testing.T) {
+	c := NewLRU(1 << 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d-%d", g, i%20)
+				_ = c.Put(key, make([]byte, 64))
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > c.Capacity() {
+		t.Fatal("capacity exceeded under concurrency")
+	}
+}
+
+func TestChunkKeyString(t *testing.T) {
+	k := ChunkKey{FileID: 3, ChunkIndex: 9}
+	if k.String() != "file3/chunk9" {
+		t.Fatalf("String = %q", k.String())
+	}
+}

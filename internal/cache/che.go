@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"errors"
+	"math"
+)
+
+// CheHitRatios estimates per-file steady-state LRU hit probabilities using
+// Che's approximation: the characteristic time T solves
+//
+//	sum_i (1 - exp(-lambda_i * T)) = capacityObjects
+//
+// and the hit probability of file i is 1 - exp(-lambda_i * T). It is the
+// standard analytical model of an LRU cache under independent Poisson
+// arrivals and is used to evaluate the Ceph LRU cache-tier baseline without
+// replaying a full trace.
+func CheHitRatios(lambdas []float64, capacityObjects float64) ([]float64, error) {
+	if capacityObjects < 0 {
+		return nil, errors.New("cache: negative capacity")
+	}
+	n := len(lambdas)
+	hits := make([]float64, n)
+	if n == 0 {
+		return hits, nil
+	}
+	active := 0
+	for _, l := range lambdas {
+		if l < 0 {
+			return nil, errors.New("cache: negative arrival rate")
+		}
+		if l > 0 {
+			active++
+		}
+	}
+	if capacityObjects >= float64(active) {
+		// Everything with a non-zero rate fits.
+		for i, l := range lambdas {
+			if l > 0 {
+				hits[i] = 1
+			}
+		}
+		return hits, nil
+	}
+	if capacityObjects == 0 || active == 0 {
+		return hits, nil
+	}
+	occupancy := func(t float64) float64 {
+		var s float64
+		for _, l := range lambdas {
+			if l > 0 {
+				s += 1 - math.Exp(-l*t)
+			}
+		}
+		return s
+	}
+	// Bisect on T: occupancy is increasing in T from 0 to the number of
+	// active files.
+	lo, hi := 0.0, 1.0
+	for occupancy(hi) < capacityObjects && hi < 1e18 {
+		hi *= 2
+	}
+	for iter := 0; iter < 200 && hi-lo > 1e-9*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if occupancy(mid) < capacityObjects {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	t := (lo + hi) / 2
+	for i, l := range lambdas {
+		if l > 0 {
+			hits[i] = 1 - math.Exp(-l*t)
+		}
+	}
+	return hits, nil
+}

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCheHitRatiosEqualRates(t *testing.T) {
+	lambdas := make([]float64, 100)
+	for i := range lambdas {
+		lambdas[i] = 0.01
+	}
+	hits, err := CheHitRatios(lambdas, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With equal rates every file has the same hit ratio and the occupancy
+	// constraint pins the sum to the capacity.
+	var sum float64
+	for i, h := range hits {
+		if math.Abs(h-hits[0]) > 1e-9 {
+			t.Fatalf("hit[%d]=%v differs from hit[0]=%v", i, h, hits[0])
+		}
+		sum += h
+	}
+	if math.Abs(sum-25) > 1e-3 {
+		t.Fatalf("total occupancy %v, want 25", sum)
+	}
+}
+
+func TestCheHitRatiosSkewedRates(t *testing.T) {
+	lambdas := []float64{1.0, 0.1, 0.01, 0.001}
+	hits, err := CheHitRatios(lambdas, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i] > hits[i-1]+1e-12 {
+			t.Fatalf("hit ratios should be non-increasing in popularity rank: %v", hits)
+		}
+	}
+	var sum float64
+	for _, h := range hits {
+		sum += h
+	}
+	if math.Abs(sum-2) > 1e-3 {
+		t.Fatalf("occupancy %v, want 2", sum)
+	}
+}
+
+func TestCheHitRatiosEdgeCases(t *testing.T) {
+	// Capacity larger than the catalogue: everything hits.
+	hits, err := CheHitRatios([]float64{1, 2, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0] != 1 || hits[1] != 1 || hits[2] != 0 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Zero capacity: nothing hits.
+	hits, err = CheHitRatios([]float64{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0] != 0 || hits[1] != 0 {
+		t.Fatalf("hits = %v", hits)
+	}
+	// Empty catalogue.
+	if hits, err := CheHitRatios(nil, 5); err != nil || len(hits) != 0 {
+		t.Fatalf("empty catalogue: %v %v", hits, err)
+	}
+	// Invalid inputs.
+	if _, err := CheHitRatios([]float64{-1}, 5); err == nil {
+		t.Fatal("expected error for negative rate")
+	}
+	if _, err := CheHitRatios([]float64{1}, -5); err == nil {
+		t.Fatal("expected error for negative capacity")
+	}
+}

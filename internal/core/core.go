@@ -1,0 +1,404 @@
+// Package core implements the Sprout controller — the paper's contribution
+// glued into a usable component. A Controller owns the description of an
+// erasure-coded storage cluster, a functional cache, and the per-time-bin
+// cache plan produced by the optimizer. It serves file reads by combining
+// cached functional chunks with chunks fetched from the least-loaded storage
+// nodes chosen by probabilistic scheduling, and it applies the cache
+// transition rule of Section III when the workload moves to a new time bin:
+// allocations that shrink are trimmed immediately, allocations that grow are
+// materialised lazily the first time the file is read.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"sprout/internal/cache"
+	"sprout/internal/cluster"
+	"sprout/internal/erasure"
+	"sprout/internal/optimizer"
+	"sprout/internal/scheduler"
+)
+
+// ChunkFetcher retrieves the payload of one coded chunk of a file from a
+// storage node. Implementations include the in-process object store and the
+// TCP client; tests use in-memory fakes.
+type ChunkFetcher interface {
+	FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error)
+}
+
+// FetcherFunc adapts a function to the ChunkFetcher interface.
+type FetcherFunc func(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error)
+
+// FetchChunk implements ChunkFetcher.
+func (f FetcherFunc) FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+	return f(ctx, fileID, chunkIndex, nodeID)
+}
+
+// FileMeta is the controller's view of one stored file.
+type FileMeta struct {
+	ID        int
+	SizeBytes int
+	K         int
+	N         int
+	Placement []int // Placement[c] is the node storing coded chunk c, len == N
+	Code      *erasure.Code
+}
+
+// Controller is the Sprout cache controller for one compute server.
+type Controller struct {
+	mu sync.Mutex
+
+	files    []FileMeta
+	clu      *cluster.Cluster
+	capacity int
+	cache    *cache.FunctionalCache
+	rng      *rand.Rand
+
+	plan       *optimizer.Plan
+	assignment *scheduler.Assignment
+	// pendingFill[fileID] is the target cache allocation for files whose
+	// allocation grew in the current time bin and has not been materialised
+	// yet (lazy fill on first access).
+	pendingFill map[int]int
+
+	opts optimizer.Options
+
+	stats Stats
+}
+
+// Stats exposes counters for observability and the evaluation harness.
+type Stats struct {
+	Reads           int64
+	ChunksFromCache int64
+	ChunksFromDisk  int64
+	LazyFills       int64
+	PlanUpdates     int64
+}
+
+// Common errors.
+var (
+	ErrUnknownFile = errors.New("core: unknown file")
+	ErrNoPlan      = errors.New("core: no cache plan computed yet")
+)
+
+// NewController builds a controller for the given cluster with a functional
+// cache of cacheCapacity chunks. Erasure coders are created per file.
+func NewController(clu *cluster.Cluster, cacheCapacity int, opts optimizer.Options, seed int64) (*Controller, error) {
+	if err := clu.Validate(); err != nil {
+		return nil, err
+	}
+	idx := clu.NodeIndex()
+	files := make([]FileMeta, len(clu.Files))
+	for i, f := range clu.Files {
+		code, err := erasure.New(f.N, f.K)
+		if err != nil {
+			return nil, fmt.Errorf("core: file %d: %w", f.ID, err)
+		}
+		placement := make([]int, len(f.Placement))
+		for c, nodeID := range f.Placement {
+			placement[c] = idx[nodeID]
+		}
+		files[i] = FileMeta{
+			ID:        i,
+			SizeBytes: int(f.SizeBytes),
+			K:         f.K,
+			N:         f.N,
+			Placement: placement,
+			Code:      code,
+		}
+	}
+	return &Controller{
+		files:       files,
+		clu:         clu,
+		capacity:    cacheCapacity,
+		cache:       cache.NewFunctionalCache(cacheCapacity),
+		rng:         rand.New(rand.NewSource(seed)),
+		pendingFill: make(map[int]int),
+		opts:        opts,
+	}, nil
+}
+
+// Files returns the controller's file metadata.
+func (c *Controller) Files() []FileMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FileMeta, len(c.files))
+	copy(out, c.files)
+	return out
+}
+
+// Cache exposes the underlying functional cache (read-mostly; used by the
+// evaluation harness).
+func (c *Controller) Cache() *cache.FunctionalCache { return c.cache }
+
+// Plan returns the current cache plan, or nil if none has been computed.
+func (c *Controller) Plan() *optimizer.Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plan
+}
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// PlanTimeBin runs the cache optimization for a time bin with the given
+// per-file arrival rates and applies the cache transition rule: shrinking
+// allocations are trimmed immediately; growing allocations are recorded and
+// materialised lazily on the file's next read. It returns the new plan.
+func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
+	clu, err := c.clu.WithArrivalRates(lambdas)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := optimizer.FromCluster(clu, c.capacity)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	var warm []int
+	if c.plan != nil {
+		warm = c.plan.D
+	}
+	opts := c.opts
+	opts.WarmStart = warm
+	c.mu.Unlock()
+
+	plan, err := optimizer.Optimize(prob, opts)
+	if err != nil {
+		return nil, err
+	}
+	assignment, err := scheduler.NewAssignment(plan.Pi)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clu = clu
+	c.plan = plan
+	c.assignment = assignment
+	c.stats.PlanUpdates++
+	// Apply the transition rule.
+	for fileID, target := range plan.D {
+		have := c.cache.ChunksForFile(fileID)
+		switch {
+		case target < have:
+			c.cache.TrimFile(fileID, target)
+			delete(c.pendingFill, fileID)
+		case target > have:
+			c.pendingFill[fileID] = target
+		default:
+			delete(c.pendingFill, fileID)
+		}
+	}
+	return plan, nil
+}
+
+// CacheAllocationTarget returns the planned cache allocation d_i for the
+// file in the current bin (0 when no plan exists).
+func (c *Controller) CacheAllocationTarget(fileID int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan == nil || fileID >= len(c.plan.D) {
+		return 0
+	}
+	return c.plan.D[fileID]
+}
+
+// Read serves a complete file: cached functional chunks are combined with
+// chunks fetched (via the fetcher) from storage nodes selected by the
+// probabilistic scheduler, and the file is decoded. If the file's cache
+// allocation grew in this time bin, the missing functional chunks are
+// generated from the decoded data and installed (lazy fill).
+func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
+	c.mu.Lock()
+	if fileID < 0 || fileID >= len(c.files) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
+	}
+	if c.plan == nil {
+		c.mu.Unlock()
+		return nil, ErrNoPlan
+	}
+	meta := c.files[fileID]
+	clu := c.clu
+	cachedChunks := c.cache.GetFile(fileID)
+	targets := c.assignment.Pick(fileID, c.rng)
+	pendingTarget, needsFill := c.pendingFill[fileID]
+	c.mu.Unlock()
+
+	// Gather chunks: first from cache, then from the selected storage nodes.
+	chunks := make([]erasure.Chunk, 0, meta.K)
+	for idx, data := range cachedChunks {
+		if len(chunks) >= meta.K {
+			break
+		}
+		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
+	}
+	fromCache := len(chunks)
+
+	// If we must lazily fill the cache for this file, fetch a full k chunks
+	// from storage so the data chunks can be reconstructed regardless of how
+	// many cache chunks exist right now.
+	need := meta.K - len(chunks)
+	if needsFill {
+		need = meta.K - 0
+		chunks = chunks[:0]
+		fromCache = 0
+	}
+	fetched := 0
+	for _, node := range targets {
+		if fetched >= need {
+			break
+		}
+		chunkIndex := chunkIndexOnNode(meta, node)
+		if chunkIndex < 0 {
+			continue
+		}
+		data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(clu, node))
+		if err != nil {
+			return nil, fmt.Errorf("core: fetching chunk %d of file %d: %w", chunkIndex, fileID, err)
+		}
+		chunks = append(chunks, erasure.Chunk{Index: chunkIndex, Data: data})
+		fetched++
+	}
+	// If the scheduler did not provide enough distinct nodes (e.g. lazy fill
+	// needs k chunks but the plan only reads k-d), top up from the remaining
+	// placement.
+	if len(chunks) < meta.K {
+		used := make(map[int]bool, len(chunks))
+		for _, ch := range chunks {
+			used[ch.Index] = true
+		}
+		for chunkIndex, node := range meta.Placement {
+			if len(chunks) >= meta.K {
+				break
+			}
+			if used[chunkIndex] {
+				continue
+			}
+			data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(clu, node))
+			if err != nil {
+				return nil, fmt.Errorf("core: fetching chunk %d of file %d: %w", chunkIndex, fileID, err)
+			}
+			chunks = append(chunks, erasure.Chunk{Index: chunkIndex, Data: data})
+			fetched++
+		}
+	}
+	if len(chunks) < meta.K {
+		return nil, fmt.Errorf("core: only %d of %d chunks available for file %d", len(chunks), meta.K, fileID)
+	}
+
+	dataChunks, err := meta.Code.Reconstruct(chunks)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := meta.Code.Join(dataChunks, meta.SizeBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.stats.Reads++
+	c.stats.ChunksFromCache += int64(fromCache)
+	c.stats.ChunksFromDisk += int64(fetched)
+	c.mu.Unlock()
+
+	if needsFill {
+		if err := c.materialiseCache(fileID, meta, dataChunks, pendingTarget); err != nil {
+			return nil, err
+		}
+	}
+	return payload, nil
+}
+
+// materialiseCache generates functional cache chunks for the file from its
+// reconstructed data chunks and installs them, completing a lazy fill.
+func (c *Controller) materialiseCache(fileID int, meta FileMeta, dataChunks [][]byte, target int) error {
+	if target > meta.K {
+		target = meta.K
+	}
+	cacheChunks, err := meta.Code.CacheChunks(dataChunks, target)
+	if err != nil {
+		return fmt.Errorf("core: generating cache chunks for file %d: %w", fileID, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, data := range cacheChunks {
+		key := cache.ChunkKey{FileID: fileID, ChunkIndex: meta.Code.CacheChunkIndex(i)}
+		c.cache.Put(key, data)
+	}
+	c.stats.LazyFills++
+	delete(c.pendingFill, fileID)
+	return nil
+}
+
+// PrefetchCache eagerly materialises the planned cache content for every
+// file using the fetcher (the offline placement phase described in the
+// paper, typically run during low-load hours).
+func (c *Controller) PrefetchCache(ctx context.Context, fetcher ChunkFetcher) error {
+	c.mu.Lock()
+	if c.plan == nil {
+		c.mu.Unlock()
+		return ErrNoPlan
+	}
+	plan := c.plan
+	clu := c.clu
+	files := make([]FileMeta, len(c.files))
+	copy(files, c.files)
+	c.mu.Unlock()
+
+	for fileID, target := range plan.D {
+		if target == 0 {
+			continue
+		}
+		meta := files[fileID]
+		chunks := make([]erasure.Chunk, 0, meta.K)
+		for chunkIndex, node := range meta.Placement {
+			if len(chunks) >= meta.K {
+				break
+			}
+			data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(clu, node))
+			if err != nil {
+				return fmt.Errorf("core: prefetch file %d: %w", fileID, err)
+			}
+			chunks = append(chunks, erasure.Chunk{Index: chunkIndex, Data: data})
+		}
+		dataChunks, err := meta.Code.Reconstruct(chunks)
+		if err != nil {
+			return err
+		}
+		if err := c.materialiseCache(fileID, meta, dataChunks, target); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chunkIndexOnNode returns the coded-chunk index stored on the given node
+// (position in the cluster's node list), or -1 if the node hosts no chunk of
+// this file.
+func chunkIndexOnNode(meta FileMeta, node int) int {
+	for c, n := range meta.Placement {
+		if n == node {
+			return c
+		}
+	}
+	return -1
+}
+
+// nodeIDAt converts a node position back to the cluster's node ID.
+func nodeIDAt(clu *cluster.Cluster, pos int) int {
+	if pos < 0 || pos >= len(clu.Nodes) {
+		return -1
+	}
+	return clu.Nodes[pos].ID
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sprout/internal/cluster"
+	"sprout/internal/erasure"
+	"sprout/internal/optimizer"
+	"sprout/internal/queue"
+)
+
+// fakeStore implements ChunkFetcher over in-memory encoded files and counts
+// per-node fetches.
+type fakeStore struct {
+	mu      sync.Mutex
+	data    map[int][]byte         // fileID -> original payload
+	chunks  map[int]map[int][]byte // fileID -> chunkIndex -> payload
+	fetches map[int]int            // nodeID -> count
+	fail    map[[2]int]error       // (fileID, chunkIndex) -> error to inject
+	byNode  map[[2]int]int         // (fileID, chunkIndex) -> nodeID actually asked for
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{
+		data:    make(map[int][]byte),
+		chunks:  make(map[int]map[int][]byte),
+		fetches: make(map[int]int),
+		fail:    make(map[[2]int]error),
+		byNode:  make(map[[2]int]int),
+	}
+}
+
+func (s *fakeStore) addFile(t *testing.T, meta FileMeta, payload []byte) {
+	t.Helper()
+	dataChunks, err := meta.Code.Split(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage, err := meta.Code.Encode(dataChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[meta.ID] = payload
+	s.chunks[meta.ID] = make(map[int][]byte)
+	for i, ch := range storage {
+		s.chunks[meta.ID][i] = ch
+	}
+}
+
+func (s *fakeStore) FetchChunk(_ context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err, ok := s.fail[[2]int{fileID, chunkIndex}]; ok {
+		return nil, err
+	}
+	s.fetches[nodeID]++
+	s.byNode[[2]int{fileID, chunkIndex}] = nodeID
+	file, ok := s.chunks[fileID]
+	if !ok {
+		return nil, fmt.Errorf("no such file %d", fileID)
+	}
+	ch, ok := file[chunkIndex]
+	if !ok {
+		return nil, fmt.Errorf("no such chunk %d", chunkIndex)
+	}
+	return ch, nil
+}
+
+// testCluster builds a small 4-node cluster with files of the given sizes
+// using a (3,2) code and moderate load.
+func testCluster(numFiles int, lambda float64) *cluster.Cluster {
+	nodes := make([]cluster.Node, 4)
+	rates := []float64{1.0, 0.9, 0.8, 0.7}
+	for i := range nodes {
+		nodes[i] = cluster.Node{ID: i, Name: fmt.Sprintf("osd-%d", i), Service: queue.NewExponential(rates[i])}
+	}
+	rng := rand.New(rand.NewSource(11))
+	files := make([]cluster.File, numFiles)
+	for i := range files {
+		placement, _ := cluster.RandomPlacement(rng, 4, 3)
+		files[i] = cluster.File{
+			ID: i, Name: fmt.Sprintf("f%d", i), SizeBytes: 300,
+			K: 2, N: 3, Placement: placement, Lambda: lambda,
+		}
+	}
+	return &cluster.Cluster{Nodes: nodes, Files: files}
+}
+
+func buildController(t *testing.T, numFiles, capacity int, lambda float64) (*Controller, *fakeStore) {
+	t.Helper()
+	clu := testCluster(numFiles, lambda)
+	ctrl, err := NewController(clu, capacity, optimizer.Options{MaxOuterIter: 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newFakeStore()
+	rng := rand.New(rand.NewSource(5))
+	for _, meta := range ctrl.Files() {
+		payload := make([]byte, meta.SizeBytes)
+		rng.Read(payload)
+		store.addFile(t, meta, payload)
+	}
+	return ctrl, store
+}
+
+func TestNewControllerValidation(t *testing.T) {
+	clu := testCluster(2, 0.01)
+	clu.Files[0].Placement = nil
+	if _, err := NewController(clu, 4, optimizer.Options{}, 1); err == nil {
+		t.Fatal("expected error for invalid cluster")
+	}
+}
+
+func TestReadWithoutPlan(t *testing.T) {
+	ctrl, store := buildController(t, 2, 4, 0.01)
+	if _, err := ctrl.Read(context.Background(), 0, store); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("expected ErrNoPlan, got %v", err)
+	}
+}
+
+func TestReadUnknownFile(t *testing.T) {
+	ctrl, store := buildController(t, 2, 4, 0.01)
+	if _, err := ctrl.PlanTimeBin(ctrlLambdas(ctrl)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl.Read(context.Background(), 99, store); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("expected ErrUnknownFile, got %v", err)
+	}
+	if _, err := ctrl.Read(context.Background(), -1, store); !errors.Is(err, ErrUnknownFile) {
+		t.Fatalf("expected ErrUnknownFile, got %v", err)
+	}
+}
+
+func ctrlLambdas(ctrl *Controller) []float64 {
+	files := ctrl.Files()
+	l := make([]float64, len(files))
+	for i := range l {
+		l[i] = 0.05
+	}
+	return l
+}
+
+func TestReadRoundTripNoCache(t *testing.T) {
+	ctrl, store := buildController(t, 3, 0, 0.05)
+	if _, err := ctrl.PlanTimeBin(ctrlLambdas(ctrl)); err != nil {
+		t.Fatal(err)
+	}
+	for fileID := 0; fileID < 3; fileID++ {
+		got, err := ctrl.Read(context.Background(), fileID, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, store.data[fileID]) {
+			t.Fatalf("file %d round-trip mismatch", fileID)
+		}
+	}
+	stats := ctrl.Stats()
+	if stats.Reads != 3 || stats.ChunksFromDisk == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.ChunksFromCache != 0 {
+		t.Fatal("no cache chunks should be used with zero capacity")
+	}
+}
+
+func TestLazyFillThenCachedReads(t *testing.T) {
+	// Give the cache enough room that the optimizer caches aggressively.
+	ctrl, store := buildController(t, 3, 6, 0.2)
+	plan, err := ctrl.PlanTimeBin([]float64{0.2, 0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CacheUsed() == 0 {
+		t.Skip("optimizer chose not to cache in this configuration")
+	}
+	var fileWithCache int
+	found := false
+	for i, d := range plan.D {
+		if d > 0 {
+			fileWithCache, found = i, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no file received cache allocation")
+	}
+	// First read triggers the lazy fill.
+	got, err := ctrl.Read(context.Background(), fileWithCache, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, store.data[fileWithCache]) {
+		t.Fatal("first read returned wrong data")
+	}
+	if ctrl.Cache().ChunksForFile(fileWithCache) != plan.D[fileWithCache] {
+		t.Fatalf("cache holds %d chunks, want %d",
+			ctrl.Cache().ChunksForFile(fileWithCache), plan.D[fileWithCache])
+	}
+	if ctrl.Stats().LazyFills != 1 {
+		t.Fatalf("lazy fills = %d, want 1", ctrl.Stats().LazyFills)
+	}
+	// Second read uses the cached chunks.
+	before := ctrl.Stats().ChunksFromCache
+	got, err = ctrl.Read(context.Background(), fileWithCache, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, store.data[fileWithCache]) {
+		t.Fatal("second read returned wrong data")
+	}
+	if ctrl.Stats().ChunksFromCache <= before {
+		t.Fatal("second read should consume cached chunks")
+	}
+}
+
+func TestPrefetchCache(t *testing.T) {
+	ctrl, store := buildController(t, 3, 6, 0.2)
+	plan, err := ctrl.PlanTimeBin([]float64{0.2, 0.2, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CacheUsed() == 0 {
+		t.Skip("optimizer chose not to cache")
+	}
+	if err := ctrl.PrefetchCache(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range plan.D {
+		if ctrl.Cache().ChunksForFile(i) != d {
+			t.Fatalf("file %d: cached %d, want %d", i, ctrl.Cache().ChunksForFile(i), d)
+		}
+	}
+	// Reads after prefetch must decode correctly from cache + storage.
+	for fileID := range plan.D {
+		got, err := ctrl.Read(context.Background(), fileID, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, store.data[fileID]) {
+			t.Fatalf("file %d decode mismatch after prefetch", fileID)
+		}
+	}
+}
+
+func TestPrefetchWithoutPlan(t *testing.T) {
+	ctrl, store := buildController(t, 2, 2, 0.01)
+	if err := ctrl.PrefetchCache(context.Background(), store); !errors.Is(err, ErrNoPlan) {
+		t.Fatalf("expected ErrNoPlan, got %v", err)
+	}
+}
+
+func TestTimeBinTransitionTrimsAndGrows(t *testing.T) {
+	ctrl, store := buildController(t, 4, 4, 0.2)
+	if _, err := ctrl.PlanTimeBin([]float64{0.4, 0.02, 0.02, 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.PrefetchCache(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	allocBin1 := make([]int, 4)
+	for i := range allocBin1 {
+		allocBin1[i] = ctrl.Cache().ChunksForFile(i)
+	}
+	// Second bin: file 0 goes cold, file 3 becomes hot.
+	plan2, err := ctrl.PlanTimeBin([]float64{0.02, 0.02, 0.02, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range plan2.D {
+		have := ctrl.Cache().ChunksForFile(i)
+		if d < allocBin1[i] && have > d {
+			t.Fatalf("file %d should have been trimmed to %d, still has %d", i, d, have)
+		}
+		if have > d {
+			t.Fatalf("file %d holds %d chunks above its new allocation %d", i, have, d)
+		}
+	}
+	// Reading a grown file materialises its new chunks.
+	for i, d := range plan2.D {
+		if d > ctrl.Cache().ChunksForFile(i) {
+			if _, err := ctrl.Read(context.Background(), i, store); err != nil {
+				t.Fatal(err)
+			}
+			if ctrl.Cache().ChunksForFile(i) != d {
+				t.Fatalf("file %d lazy fill incomplete: %d of %d", i, ctrl.Cache().ChunksForFile(i), d)
+			}
+		}
+	}
+	if ctrl.Stats().PlanUpdates != 2 {
+		t.Fatalf("plan updates = %d", ctrl.Stats().PlanUpdates)
+	}
+}
+
+func TestReadPropagatesFetchErrors(t *testing.T) {
+	ctrl, store := buildController(t, 1, 0, 0.05)
+	if _, err := ctrl.PlanTimeBin([]float64{0.05}); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := errors.New("disk on fire")
+	for c := 0; c < 3; c++ {
+		store.fail[[2]int{0, c}] = wantErr
+	}
+	if _, err := ctrl.Read(context.Background(), 0, store); !errors.Is(err, wantErr) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+}
+
+func TestFetcherFuncAdapter(t *testing.T) {
+	called := false
+	f := FetcherFunc(func(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+		called = true
+		return []byte{1}, nil
+	})
+	if _, err := f.FetchChunk(context.Background(), 0, 0, 0); err != nil || !called {
+		t.Fatal("FetcherFunc adapter broken")
+	}
+}
+
+func TestCacheAllocationTarget(t *testing.T) {
+	ctrl, _ := buildController(t, 2, 4, 0.2)
+	if ctrl.CacheAllocationTarget(0) != 0 {
+		t.Fatal("target should be 0 before planning")
+	}
+	plan, err := ctrl.PlanTimeBin([]float64{0.3, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plan.D {
+		if ctrl.CacheAllocationTarget(i) != plan.D[i] {
+			t.Fatal("target mismatch")
+		}
+	}
+	if ctrl.CacheAllocationTarget(99) != 0 {
+		t.Fatal("out-of-range file should report 0")
+	}
+}
+
+func TestFunctionalChunksAreValidErasureChunks(t *testing.T) {
+	// The cached chunks installed by the controller must verify against the
+	// file's code (i.e. they really are functional chunks, not copies).
+	ctrl, store := buildController(t, 1, 2, 0.3)
+	plan, err := ctrl.PlanTimeBin([]float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.D[0] == 0 {
+		t.Skip("no cache allocated")
+	}
+	if err := ctrl.PrefetchCache(context.Background(), store); err != nil {
+		t.Fatal(err)
+	}
+	meta := ctrl.Files()[0]
+	dataChunks, err := meta.Code.Split(store.data[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := ctrl.Cache().GetFile(0)
+	if len(cached) == 0 {
+		t.Fatal("no cached chunks found")
+	}
+	for idx, payload := range cached {
+		if idx < meta.N {
+			t.Fatalf("cached chunk %d is a storage chunk copy, not a functional chunk", idx)
+		}
+		if err := meta.Code.Verify(idx, payload, dataChunks); err != nil {
+			t.Fatalf("cached chunk %d fails verification: %v", idx, err)
+		}
+	}
+	// And decoding using only cache chunks + the first storage chunks works.
+	chunks := make([]erasure.Chunk, 0, meta.K)
+	for idx, payload := range cached {
+		chunks = append(chunks, erasure.Chunk{Index: idx, Data: payload})
+	}
+	for c := 0; len(chunks) < meta.K; c++ {
+		chunks = append(chunks, erasure.Chunk{Index: c, Data: mustChunk(t, store, 0, c)})
+	}
+	got, err := meta.Code.Decode(chunks, meta.SizeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, store.data[0]) {
+		t.Fatal("decode using cached functional chunks failed")
+	}
+}
+
+func mustChunk(t *testing.T, s *fakeStore, fileID, chunkIndex int) []byte {
+	t.Helper()
+	ch, err := s.FetchChunk(context.Background(), fileID, chunkIndex, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}

@@ -1,0 +1,289 @@
+// Package erasure implements systematic Reed-Solomon (MDS) erasure codes
+// over GF(2^8) together with the extended-code construction that Sprout's
+// functional caching relies on.
+//
+// For a file split into k data chunks, the coder materialises an
+// (n+k, k) MDS code: the first n coded chunks ("storage chunks") are placed
+// on storage nodes, while the remaining k chunks are reserved as functional
+// cache chunks. Any k chunks drawn from the union of storage and cache
+// chunks reconstruct the file, so caching d of the reserved chunks turns the
+// effective code seen by the scheduler into an (n+d, k) MDS code, exactly as
+// described in Section III of the paper.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"sprout/internal/gf256"
+)
+
+// Common errors returned by the coder.
+var (
+	ErrInvalidParams   = errors.New("erasure: invalid code parameters")
+	ErrShortData       = errors.New("erasure: not enough chunks to reconstruct")
+	ErrShapeMismatch   = errors.New("erasure: chunk size mismatch")
+	ErrUnknownChunk    = errors.New("erasure: chunk index out of range")
+	ErrVerifyFailed    = errors.New("erasure: chunk verification failed")
+	ErrEmptyData       = errors.New("erasure: empty data")
+	ErrTooManyRequests = errors.New("erasure: requested more chunks than the code provides")
+)
+
+// Code is a systematic (N+K, K) Reed-Solomon code where the first N coded
+// chunks are intended for storage nodes and the last K for the functional
+// cache. The zero value is not usable; construct with New.
+type Code struct {
+	k int // number of data chunks
+	n int // number of storage chunks (coded chunks placed on nodes)
+
+	// generator has n+k rows and k columns. Row i gives the coefficients of
+	// coded chunk i as a linear combination of the k data chunks. The first
+	// k rows form the identity, so coded chunks 0..k-1 are the data itself.
+	generator *gf256.Matrix
+}
+
+// New creates a coder for an (n, k) storage code with k reserved functional
+// cache chunks, i.e. an (n+k, k) MDS code overall. It requires
+// 1 <= k <= n and n+k small enough for GF(2^8) (n <= 128 in practice).
+func New(n, k int) (*Code, error) {
+	if k < 1 || n < k || n+k > gf256.Order {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrInvalidParams, n, k)
+	}
+	parityRows := n // n-k storage parities + k cache parities
+	gen := gf256.Identity(k)
+	cauchy := gf256.Cauchy(parityRows, k)
+	full := gf256.NewMatrix(n+k, k)
+	for r := 0; r < k; r++ {
+		copy(full.Data[r], gen.Data[r])
+	}
+	for r := 0; r < parityRows; r++ {
+		copy(full.Data[k+r], cauchy.Data[r])
+	}
+	return &Code{k: k, n: n, generator: full}, nil
+}
+
+// K returns the number of data chunks required to reconstruct a file.
+func (c *Code) K() int { return c.k }
+
+// N returns the number of storage chunks produced for the storage nodes.
+func (c *Code) N() int { return c.n }
+
+// TotalChunks returns the total number of distinct coded chunks the code can
+// produce (storage chunks plus reserved cache chunks).
+func (c *Code) TotalChunks() int { return c.n + c.k }
+
+// CacheChunkIndex returns the global chunk index of the i-th reserved cache
+// chunk (0 <= i < K).
+func (c *Code) CacheChunkIndex(i int) int { return c.n + i }
+
+// Split partitions data into k equally sized data chunks, padding the final
+// chunk with zeros. The returned chunk size is ceil(len(data)/k).
+func (c *Code) Split(data []byte) ([][]byte, error) {
+	if len(data) == 0 {
+		return nil, ErrEmptyData
+	}
+	chunkSize := (len(data) + c.k - 1) / c.k
+	chunks := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		chunks[i] = make([]byte, chunkSize)
+		start := i * chunkSize
+		if start < len(data) {
+			end := start + chunkSize
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(chunks[i], data[start:end])
+		}
+	}
+	return chunks, nil
+}
+
+// Join concatenates data chunks and trims the result to size bytes, the
+// inverse of Split.
+func (c *Code) Join(chunks [][]byte, size int) ([]byte, error) {
+	if len(chunks) != c.k {
+		return nil, fmt.Errorf("%w: want %d data chunks, got %d", ErrShapeMismatch, c.k, len(chunks))
+	}
+	out := make([]byte, 0, size)
+	for _, ch := range chunks {
+		out = append(out, ch...)
+	}
+	if size > len(out) {
+		return nil, fmt.Errorf("%w: joined %d bytes, need %d", ErrShortData, len(out), size)
+	}
+	return out[:size], nil
+}
+
+// Encode produces the n storage chunks for the given data chunks. The first
+// k of them are the data chunks themselves (systematic code).
+func (c *Code) Encode(dataChunks [][]byte) ([][]byte, error) {
+	if err := c.checkDataChunks(dataChunks); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.n)
+	for i := 0; i < c.n; i++ {
+		ch, err := c.ChunkAt(i, dataChunks)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ch
+	}
+	return out, nil
+}
+
+// CacheChunks produces d functional cache chunks (0 <= d <= k) from the data
+// chunks. Together with the n storage chunks they form an (n+d, k) MDS code.
+func (c *Code) CacheChunks(dataChunks [][]byte, d int) ([][]byte, error) {
+	if d < 0 || d > c.k {
+		return nil, fmt.Errorf("%w: d=%d must be in [0,%d]", ErrInvalidParams, d, c.k)
+	}
+	if err := c.checkDataChunks(dataChunks); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, d)
+	for i := 0; i < d; i++ {
+		ch, err := c.ChunkAt(c.CacheChunkIndex(i), dataChunks)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ch
+	}
+	return out, nil
+}
+
+// ChunkAt computes the coded chunk with global index idx (0 <= idx < n+k)
+// from the data chunks.
+func (c *Code) ChunkAt(idx int, dataChunks [][]byte) ([]byte, error) {
+	if idx < 0 || idx >= c.TotalChunks() {
+		return nil, fmt.Errorf("%w: index %d", ErrUnknownChunk, idx)
+	}
+	if err := c.checkDataChunks(dataChunks); err != nil {
+		return nil, err
+	}
+	size := len(dataChunks[0])
+	out := make([]byte, size)
+	row := c.generator.Data[idx]
+	for col, coef := range row {
+		gf256.MulSlice(coef, dataChunks[col], out)
+	}
+	return out, nil
+}
+
+// Chunk pairs a coded chunk's payload with its global index in the code.
+type Chunk struct {
+	Index int
+	Data  []byte
+}
+
+// Reconstruct recovers the k data chunks from any k distinct coded chunks
+// (storage or cache chunks in any combination). It returns ErrShortData if
+// fewer than k chunks are supplied and ErrShapeMismatch if chunk sizes
+// differ.
+func (c *Code) Reconstruct(chunks []Chunk) ([][]byte, error) {
+	if len(chunks) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrShortData, len(chunks), c.k)
+	}
+	use := chunks[:c.k]
+	size := -1
+	rows := make([]int, c.k)
+	seen := make(map[int]bool, c.k)
+	payloads := make([][]byte, c.k)
+	for i, ch := range use {
+		if ch.Index < 0 || ch.Index >= c.TotalChunks() {
+			return nil, fmt.Errorf("%w: index %d", ErrUnknownChunk, ch.Index)
+		}
+		if seen[ch.Index] {
+			return nil, fmt.Errorf("%w: duplicate chunk index %d", ErrInvalidParams, ch.Index)
+		}
+		seen[ch.Index] = true
+		if size == -1 {
+			size = len(ch.Data)
+		} else if len(ch.Data) != size {
+			return nil, ErrShapeMismatch
+		}
+		rows[i] = ch.Index
+		payloads[i] = ch.Data
+	}
+	sub := c.generator.SelectRows(rows)
+	inv, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: selected chunks not decodable: %w", err)
+	}
+	return inv.MulVec(payloads), nil
+}
+
+// Decode reconstructs the original file of the given byte size from any k
+// coded chunks.
+func (c *Code) Decode(chunks []Chunk, size int) ([]byte, error) {
+	data, err := c.Reconstruct(chunks)
+	if err != nil {
+		return nil, err
+	}
+	return c.Join(data, size)
+}
+
+// Verify checks that the supplied coded chunk matches what the code would
+// produce for the given data chunks.
+func (c *Code) Verify(idx int, chunk []byte, dataChunks [][]byte) error {
+	want, err := c.ChunkAt(idx, dataChunks)
+	if err != nil {
+		return err
+	}
+	if len(want) != len(chunk) {
+		return ErrShapeMismatch
+	}
+	for i := range want {
+		if want[i] != chunk[i] {
+			return ErrVerifyFailed
+		}
+	}
+	return nil
+}
+
+// GeneratorRow returns a copy of the generator-matrix row for chunk idx,
+// exposing the linear combination that produces it. Useful for callers that
+// need to materialise functional chunks incrementally (e.g. when a file is
+// first read in a new time bin).
+func (c *Code) GeneratorRow(idx int) ([]byte, error) {
+	if idx < 0 || idx >= c.TotalChunks() {
+		return nil, fmt.Errorf("%w: index %d", ErrUnknownChunk, idx)
+	}
+	row := make([]byte, c.k)
+	copy(row, c.generator.Data[idx])
+	return row, nil
+}
+
+func (c *Code) checkDataChunks(dataChunks [][]byte) error {
+	if len(dataChunks) != c.k {
+		return fmt.Errorf("%w: want %d data chunks, got %d", ErrShapeMismatch, c.k, len(dataChunks))
+	}
+	size := len(dataChunks[0])
+	if size == 0 {
+		return ErrEmptyData
+	}
+	for _, ch := range dataChunks {
+		if len(ch) != size {
+			return ErrShapeMismatch
+		}
+	}
+	return nil
+}
+
+// EncodeFile is a convenience helper that splits data, produces the n
+// storage chunks and returns them along with the original size needed for
+// decoding.
+func EncodeFile(n, k int, data []byte) (storage [][]byte, code *Code, err error) {
+	code, err = New(n, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	dataChunks, err := code.Split(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	storage, err = code.Encode(dataChunks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return storage, code, nil
+}

@@ -1,0 +1,345 @@
+// Package objstore is an in-process emulation of the Ceph object-store
+// deployment the paper prototypes on: OSDs with configurable service-time
+// behaviour, erasure-coded pools with CRUSH-like pseudo-random placement
+// over placement groups, a primary-OSD write path that encodes objects into
+// chunks, a read path that collects any k chunks, and an optional LRU
+// write-back cache tier (the paper's baseline). A set of "equivalent code"
+// pools, (n, k-d) for d = 0..k, implements the functional-caching evaluation
+// methodology of Section V-C.
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sprout/internal/erasure"
+	"sprout/internal/queue"
+)
+
+// Common errors.
+var (
+	ErrObjectNotFound = errors.New("objstore: object not found")
+	ErrPoolNotFound   = errors.New("objstore: pool not found")
+	ErrChunkMissing   = errors.New("objstore: chunk missing")
+	ErrNotEnoughOSDs  = errors.New("objstore: not enough OSDs for pool")
+	ErrBadPoolParams  = errors.New("objstore: invalid pool parameters")
+)
+
+// OSD is one object storage daemon. Chunk reads and writes are serialised
+// through a per-OSD queue (mutex) and take a simulated service time drawn
+// from the configured distribution, scaled by the chunk size, so queueing
+// behaviour resembles the paper's testbed.
+type OSD struct {
+	ID int
+
+	mu     sync.Mutex
+	chunks map[string][]byte // key: object/pool/chunk identifier
+
+	service queue.Dist // service time for a reference-sized chunk (seconds)
+	refSize int64      // reference chunk size in bytes for scaling
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+
+	served int64
+	busyNS int64
+}
+
+// NewOSD creates an OSD with the given per-chunk service-time distribution
+// calibrated for refSize-byte chunks.
+func NewOSD(id int, service queue.Dist, refSize int64, seed int64) *OSD {
+	return &OSD{
+		ID:      id,
+		chunks:  make(map[string][]byte),
+		service: service,
+		refSize: refSize,
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (o *OSD) sampleService(size int64) time.Duration {
+	o.rngMu.Lock()
+	s := o.service.Sample(o.rng)
+	o.rngMu.Unlock()
+	if o.refSize > 0 && size > 0 {
+		s *= float64(size) / float64(o.refSize)
+	}
+	return time.Duration(s * float64(time.Second))
+}
+
+// PutChunk stores a chunk, blocking for the simulated service time.
+func (o *OSD) PutChunk(ctx context.Context, key string, data []byte) error {
+	delay := o.sampleService(int64(len(data)))
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if err := sleepCtx(ctx, delay); err != nil {
+		return err
+	}
+	cp := append([]byte(nil), data...)
+	o.chunks[key] = cp
+	o.served++
+	o.busyNS += int64(delay)
+	return nil
+}
+
+// GetChunk retrieves a chunk, blocking for the simulated service time while
+// holding the OSD busy (FIFO service through the mutex).
+func (o *OSD) GetChunk(ctx context.Context, key string) ([]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	data, ok := o.chunks[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s on osd %d", ErrChunkMissing, key, o.ID)
+	}
+	delay := o.sampleService(int64(len(data)))
+	if err := sleepCtx(ctx, delay); err != nil {
+		return nil, err
+	}
+	o.served++
+	o.busyNS += int64(delay)
+	return append([]byte(nil), data...), nil
+}
+
+// HasChunk reports whether the OSD stores the chunk, without service delay.
+func (o *OSD) HasChunk(key string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, ok := o.chunks[key]
+	return ok
+}
+
+// Stats returns the number of chunk operations served and the cumulative
+// busy time.
+func (o *OSD) Stats() (served int64, busy time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.served, time.Duration(o.busyNS)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Pool is an erasure-coded pool: objects written to it are split into k data
+// chunks, encoded to n chunks and spread over the pool's OSDs using a
+// CRUSH-like placement over placement groups.
+type Pool struct {
+	Name            string
+	N, K            int
+	PlacementGroups int
+
+	osds []*OSD
+	code *erasure.Code
+
+	mu      sync.RWMutex
+	objects map[string]objectMeta
+}
+
+type objectMeta struct {
+	size int
+	pg   int
+}
+
+// NewPool creates an erasure-coded pool over the given OSDs. The number of
+// placement groups follows the paper's eq. (17): OSDs*100/m rounded to the
+// next power of two, unless overridden with pgs > 0.
+func NewPool(name string, n, k int, osds []*OSD, pgs int) (*Pool, error) {
+	if k < 1 || n < k {
+		return nil, fmt.Errorf("%w: (%d,%d)", ErrBadPoolParams, n, k)
+	}
+	if len(osds) < n {
+		return nil, fmt.Errorf("%w: need %d, have %d", ErrNotEnoughOSDs, n, len(osds))
+	}
+	code, err := erasure.New(n, k)
+	if err != nil {
+		return nil, err
+	}
+	if pgs <= 0 {
+		m := n - k
+		if m == 0 {
+			m = 1
+		}
+		pgs = nextPowerOfTwo(len(osds) * 100 / m)
+	}
+	return &Pool{
+		Name:            name,
+		N:               n,
+		K:               k,
+		PlacementGroups: pgs,
+		osds:            osds,
+		code:            code,
+		objects:         make(map[string]objectMeta),
+	}, nil
+}
+
+func nextPowerOfTwo(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Code exposes the pool's erasure coder (used by the functional cache to
+// generate coded cache chunks consistent with the stored chunks).
+func (p *Pool) Code() *erasure.Code { return p.code }
+
+// placementGroup hashes an object name onto a placement group.
+func (p *Pool) placementGroup(object string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(object))
+	_, _ = h.Write([]byte(p.Name))
+	return int(h.Sum32()) % p.PlacementGroups
+}
+
+// osdsForPG maps a placement group to an ordered list of n distinct OSDs
+// (the CRUSH-like pseudo-random but deterministic mapping).
+func (p *Pool) osdsForPG(pg int) []*OSD {
+	perm := rand.New(rand.NewSource(int64(pg)*2654435761 + int64(len(p.osds)))).Perm(len(p.osds))
+	out := make([]*OSD, p.N)
+	for i := 0; i < p.N; i++ {
+		out[i] = p.osds[perm[i]]
+	}
+	return out
+}
+
+// chunkKey names a chunk of an object inside the pool.
+func (p *Pool) chunkKey(object string, chunk int) string {
+	return fmt.Sprintf("%s/%s/%d", p.Name, object, chunk)
+}
+
+// Put writes an object: the primary OSD path encodes it into n chunks and
+// stores one chunk per OSD of the object's placement group.
+func (p *Pool) Put(ctx context.Context, object string, data []byte) error {
+	dataChunks, err := p.code.Split(data)
+	if err != nil {
+		return err
+	}
+	storage, err := p.code.Encode(dataChunks)
+	if err != nil {
+		return err
+	}
+	pg := p.placementGroup(object)
+	osds := p.osdsForPG(pg)
+	var wg sync.WaitGroup
+	errs := make([]error, len(osds))
+	for i, osd := range osds {
+		wg.Add(1)
+		go func(i int, osd *OSD) {
+			defer wg.Done()
+			errs[i] = osd.PutChunk(ctx, p.chunkKey(object, i), storage[i])
+		}(i, osd)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	p.objects[object] = objectMeta{size: len(data), pg: pg}
+	p.mu.Unlock()
+	return nil
+}
+
+// Get reads an object by collecting k chunks from the placement group's
+// OSDs (all n are contacted; the k fastest responses win, mirroring Ceph's
+// read path for erasure-coded pools) and decoding.
+func (p *Pool) Get(ctx context.Context, object string) ([]byte, error) {
+	p.mu.RLock()
+	meta, ok := p.objects[object]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, object)
+	}
+	osds := p.osdsForPG(meta.pg)
+
+	type resp struct {
+		idx  int
+		data []byte
+		err  error
+	}
+	ch := make(chan resp, len(osds))
+	readCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i, osd := range osds {
+		go func(i int, osd *OSD) {
+			data, err := osd.GetChunk(readCtx, p.chunkKey(object, i))
+			ch <- resp{idx: i, data: data, err: err}
+		}(i, osd)
+	}
+	chunks := make([]erasure.Chunk, 0, p.K)
+	var lastErr error
+	for received := 0; received < len(osds) && len(chunks) < p.K; received++ {
+		r := <-ch
+		if r.err != nil {
+			lastErr = r.err
+			continue
+		}
+		chunks = append(chunks, erasure.Chunk{Index: r.idx, Data: r.data})
+	}
+	if len(chunks) < p.K {
+		if lastErr != nil {
+			return nil, lastErr
+		}
+		return nil, fmt.Errorf("%w: object %s", ErrChunkMissing, object)
+	}
+	return p.code.Decode(chunks, meta.size)
+}
+
+// GetChunk reads one specific coded chunk of an object directly from its
+// hosting OSD (used by Sprout's functional-cache read path).
+func (p *Pool) GetChunk(ctx context.Context, object string, chunk int) ([]byte, error) {
+	p.mu.RLock()
+	meta, ok := p.objects[object]
+	p.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, object)
+	}
+	if chunk < 0 || chunk >= p.N {
+		return nil, fmt.Errorf("%w: chunk %d", ErrChunkMissing, chunk)
+	}
+	osds := p.osdsForPG(meta.pg)
+	return osds[chunk].GetChunk(ctx, p.chunkKey(object, chunk))
+}
+
+// ObjectSize returns the stored size of an object.
+func (p *Pool) ObjectSize(object string) (int, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	meta, ok := p.objects[object]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrObjectNotFound, object)
+	}
+	return meta.size, nil
+}
+
+// Objects returns the names of all objects in the pool, sorted.
+func (p *Pool) Objects() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	names := make([]string, 0, len(p.objects))
+	for name := range p.objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OSDs returns the pool's OSD set.
+func (p *Pool) OSDs() []*OSD { return p.osds }

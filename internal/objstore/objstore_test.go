@@ -1,0 +1,346 @@
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprout/internal/queue"
+)
+
+func fastServices() []queue.Dist {
+	return []queue.Dist{queue.Deterministic{Value: 0.0002}}
+}
+
+func testCluster(t *testing.T, cacheBytes int64) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterConfig{
+		NumOSDs:            6,
+		Services:           fastServices(),
+		RefChunkSize:       1 << 10,
+		CacheService:       queue.Deterministic{Value: 0.00001},
+		CacheCapacityBytes: cacheBytes,
+		Seed:               1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{NumOSDs: 0, Services: fastServices()}); err == nil {
+		t.Fatal("expected error for zero OSDs")
+	}
+	if _, err := NewCluster(ClusterConfig{NumOSDs: 3}); err == nil {
+		t.Fatal("expected error for missing services")
+	}
+}
+
+func TestPoolPutGetRoundTrip(t *testing.T) {
+	c := testCluster(t, 0)
+	pool, err := c.CreatePool("ec74", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]byte, 10*1024)
+	rng.Read(payload)
+	ctx := context.Background()
+	if err := pool.Put(ctx, "obj1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pool.Get(ctx, "obj1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round-trip mismatch")
+	}
+	size, err := pool.ObjectSize("obj1")
+	if err != nil || size != len(payload) {
+		t.Fatalf("ObjectSize = %d, %v", size, err)
+	}
+	if names := pool.Objects(); len(names) != 1 || names[0] != "obj1" {
+		t.Fatalf("Objects = %v", names)
+	}
+}
+
+func TestPoolGetMissing(t *testing.T) {
+	c := testCluster(t, 0)
+	pool, _ := c.CreatePool("p", 4, 2)
+	if _, err := pool.Get(context.Background(), "nope"); err == nil {
+		t.Fatal("expected error for missing object")
+	}
+	if _, err := pool.ObjectSize("nope"); err == nil {
+		t.Fatal("expected error for missing object size")
+	}
+	if _, err := pool.GetChunk(context.Background(), "nope", 0); err == nil {
+		t.Fatal("expected error for missing object chunk")
+	}
+}
+
+func TestPoolChunkDistribution(t *testing.T) {
+	// Chunks of an object land on N distinct OSDs; across many objects every
+	// OSD gets some load (CRUSH-like spreading).
+	c := testCluster(t, 0)
+	pool, _ := c.CreatePool("spread", 4, 2)
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		payload := make([]byte, 512)
+		rng.Read(payload)
+		if err := pool.Put(ctx, string(rune('a'+i%26))+string(rune('0'+i/26)), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loaded := 0
+	for _, osd := range c.OSDs() {
+		served, _ := osd.Stats()
+		if served > 0 {
+			loaded++
+		}
+	}
+	if loaded < 5 {
+		t.Fatalf("only %d of 6 OSDs received chunks; placement too skewed", loaded)
+	}
+}
+
+func TestPoolGetChunk(t *testing.T) {
+	c := testCluster(t, 0)
+	pool, _ := c.CreatePool("chunks", 5, 3)
+	ctx := context.Background()
+	payload := make([]byte, 3000)
+	rand.New(rand.NewSource(4)).Read(payload)
+	if err := pool.Put(ctx, "o", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Chunk 0 of a systematic code is the first data chunk.
+	ch0, err := pool.GetChunk(ctx, "o", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ch0, payload[:1000]) {
+		t.Fatal("systematic chunk 0 should equal the first data slice")
+	}
+	if _, err := pool.GetChunk(ctx, "o", 99); err == nil {
+		t.Fatal("expected error for out-of-range chunk")
+	}
+}
+
+func TestCreatePoolValidation(t *testing.T) {
+	c := testCluster(t, 0)
+	if _, err := c.CreatePool("bad", 2, 3); err == nil {
+		t.Fatal("expected error for n < k")
+	}
+	if _, err := c.CreatePool("bad2", 10, 2); err == nil {
+		t.Fatal("expected error for more chunks than OSDs")
+	}
+	if _, err := c.CreatePool("dup", 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreatePool("dup", 4, 2); err == nil {
+		t.Fatal("expected error for duplicate pool name")
+	}
+	if _, err := c.Pool("dup"); err != nil {
+		t.Fatal("existing pool lookup failed")
+	}
+	if _, err := c.Pool("missing"); err == nil {
+		t.Fatal("expected error for unknown pool")
+	}
+}
+
+func TestCreateEquivalentPools(t *testing.T) {
+	c := testCluster(t, 0)
+	pools, err := c.CreateEquivalentPools("eq", 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pools) != 4 {
+		t.Fatalf("expected pools for d=0..3, got %d", len(pools))
+	}
+	for d, p := range pools {
+		if p.K != 4-d || p.N != 6 {
+			t.Fatalf("pool d=%d has (%d,%d)", d, p.N, p.K)
+		}
+	}
+}
+
+func TestReadThroughLRUCachesObjects(t *testing.T) {
+	c := testCluster(t, 1<<20)
+	pool, _ := c.CreatePool("base", 5, 3)
+	ctx := context.Background()
+	payload := make([]byte, 6000)
+	rand.New(rand.NewSource(5)).Read(payload)
+	if err := pool.Put(ctx, "hot", payload); err != nil {
+		t.Fatal(err)
+	}
+	data, missLatency, err := c.ReadThroughLRU(ctx, pool, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("miss read returned wrong data")
+	}
+	if !c.CacheTier().Contains("hot") {
+		t.Fatal("object should be promoted into the cache tier after a miss")
+	}
+	data, hitLatency, err := c.ReadThroughLRU(ctx, pool, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, payload) {
+		t.Fatal("hit read returned wrong data")
+	}
+	if hitLatency >= missLatency {
+		t.Fatalf("cache hit latency %v should be below miss latency %v", hitLatency, missLatency)
+	}
+}
+
+func TestReadFunctionalUsesEquivalentPool(t *testing.T) {
+	c := testCluster(t, 1<<20)
+	pools, err := c.CreateEquivalentPools("eq", 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	payload := make([]byte, 4500)
+	rand.New(rand.NewSource(6)).Read(payload)
+	// Write the object into every equivalent pool (the evaluation
+	// methodology writes according to the object-pool map).
+	for _, p := range pools {
+		if err := p.Put(ctx, "obj", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for d := 0; d < 3; d++ {
+		data, lat, err := c.ReadFunctional(ctx, pools, "obj", d, 3, int64(len(payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, payload) {
+			t.Fatalf("d=%d read returned wrong data", d)
+		}
+		if lat <= 0 {
+			t.Fatalf("d=%d latency = %v", d, lat)
+		}
+	}
+	// d == k: served entirely from cache, no payload returned.
+	_, lat, err := c.ReadFunctional(ctx, pools, "obj", 3, 3, int64(len(payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 || lat > 100*time.Millisecond {
+		t.Fatalf("fully cached latency = %v", lat)
+	}
+	// Unknown d pool.
+	if _, _, err := c.ReadFunctional(ctx, pools, "obj", -1, 3, 0); err == nil {
+		t.Fatal("expected error for missing equivalent pool")
+	}
+}
+
+func TestOSDContextCancellation(t *testing.T) {
+	// Service time ~50ms for a 1 KiB chunk; the context expires first.
+	osd := NewOSD(0, queue.Deterministic{Value: 0.05}, 1024, 1)
+	if err := osd.PutChunk(context.Background(), "k", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := osd.GetChunk(ctx, "k")
+	if err == nil {
+		t.Fatal("expected context deadline error")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("context cancellation did not interrupt the simulated service time")
+	}
+}
+
+func TestOSDMissingChunk(t *testing.T) {
+	osd := NewOSD(0, queue.Deterministic{Value: 0}, 1024, 1)
+	if _, err := osd.GetChunk(context.Background(), "missing"); err == nil {
+		t.Fatal("expected error for missing chunk")
+	}
+	if osd.HasChunk("missing") {
+		t.Fatal("HasChunk should be false")
+	}
+}
+
+func TestTableIVAndVCalibration(t *testing.T) {
+	rows := TableIVStorage()
+	if len(rows) != 5 {
+		t.Fatalf("Table IV rows = %d", len(rows))
+	}
+	d, err := StorageDistFor(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibrated mean must match the published value (147.8462 ms).
+	if got := d.Mean(); got < 0.14 || got > 0.16 {
+		t.Fatalf("16MB mean service = %v s", got)
+	}
+	// Variance matches as well.
+	if v := queue.Variance(d); v < 380e-6 || v > 400e-6 {
+		t.Fatalf("16MB service variance = %v s^2", v)
+	}
+	cacheDist, err := CacheDistFor(16 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cacheDist.Mean(); got < 0.029 || got > 0.032 {
+		t.Fatalf("16MB cache latency = %v s", got)
+	}
+	// Cache reads are much faster than storage reads for every size.
+	for _, row := range TableVCacheLatencies() {
+		sd, err := StorageDistFor(row.ChunkSizeBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := CacheDistFor(row.ChunkSizeBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.Mean() >= sd.Mean() {
+			t.Fatalf("cache read slower than storage read for %d-byte chunks", row.ChunkSizeBytes)
+		}
+	}
+}
+
+func TestStorageDistInterpolatesNearestRow(t *testing.T) {
+	// A chunk size between rows scales the nearest row linearly.
+	d, err := StorageDistFor(32 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() <= 0 {
+		t.Fatal("interpolated distribution has non-positive mean")
+	}
+}
+
+func TestPaperTestbedConfig(t *testing.T) {
+	cfg, err := PaperTestbedConfig(16<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumOSDs != 12 || len(cfg.Services) != 12 {
+		t.Fatalf("testbed config = %+v", cfg)
+	}
+	if cfg.CacheCapacityBytes != 10<<30 {
+		t.Fatal("cache capacity should be 10 GB")
+	}
+	if _, err := NewCluster(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 100: 128, 400: 512}
+	for in, want := range cases {
+		if got := nextPowerOfTwo(in); got != want {
+			t.Fatalf("nextPowerOfTwo(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package scheduler implements probabilistic request scheduling: given a
+// file's per-node scheduling probabilities pi_{i,j} with sum_j pi_{i,j} equal
+// to the number of chunks that must be fetched from storage, it selects that
+// many distinct nodes per request such that the long-run fraction of requests
+// touching node j equals pi_{i,j} exactly.
+//
+// The selection uses Madow's systematic sampling, which realises arbitrary
+// inclusion probabilities summing to an integer with a single uniform draw.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Common errors.
+var (
+	ErrBadProbabilities = errors.New("scheduler: probabilities must lie in [0,1]")
+	ErrNonIntegralSum   = errors.New("scheduler: probabilities must sum to an integer")
+)
+
+const sumTolerance = 1e-6
+
+// Picker selects sets of distinct node indices according to fixed marginal
+// inclusion probabilities. It is safe for concurrent use only with external
+// synchronisation of the rand source.
+type Picker struct {
+	probs   []float64
+	nodes   []int // node indices with non-zero probability
+	cum     []float64
+	setSize int
+}
+
+// NewPicker builds a Picker from the probability vector pi over node indices
+// 0..len(pi)-1. The probabilities must lie in [0,1] and sum to an integer
+// (the number of distinct nodes selected per request). A zero-sum vector is
+// allowed and yields an empty selection.
+func NewPicker(pi []float64) (*Picker, error) {
+	var sum float64
+	nodes := make([]int, 0, len(pi))
+	probs := make([]float64, 0, len(pi))
+	for j, p := range pi {
+		if p < -1e-12 || p > 1+1e-9 {
+			return nil, fmt.Errorf("%w: pi[%d]=%v", ErrBadProbabilities, j, p)
+		}
+		if p <= 0 {
+			continue
+		}
+		if p > 1 {
+			p = 1
+		}
+		nodes = append(nodes, j)
+		probs = append(probs, p)
+		sum += p
+	}
+	rounded := math.Round(sum)
+	if math.Abs(sum-rounded) > sumTolerance {
+		return nil, fmt.Errorf("%w: sum=%v", ErrNonIntegralSum, sum)
+	}
+	setSize := int(rounded)
+	cum := make([]float64, len(probs)+1)
+	for i, p := range probs {
+		cum[i+1] = cum[i] + p
+	}
+	// Normalise accumulated rounding error so the final boundary is exact.
+	if setSize > 0 {
+		cum[len(cum)-1] = float64(setSize)
+	}
+	return &Picker{probs: probs, nodes: nodes, cum: cum, setSize: setSize}, nil
+}
+
+// SetSize returns the number of distinct nodes selected by each Pick call.
+func (p *Picker) SetSize() int { return p.setSize }
+
+// Pick selects SetSize distinct node indices with the configured marginal
+// probabilities using Madow's systematic sampling.
+func (p *Picker) Pick(rng *rand.Rand) []int {
+	if p.setSize == 0 {
+		return nil
+	}
+	u := rng.Float64()
+	out := make([]int, 0, p.setSize)
+	for t := 0; t < p.setSize; t++ {
+		target := u + float64(t)
+		// Find the interval (cum[i], cum[i+1]] containing target.
+		i := sort.SearchFloat64s(p.cum, target)
+		if i == 0 {
+			i = 1
+		}
+		if i > len(p.nodes) {
+			i = len(p.nodes)
+		}
+		out = append(out, p.nodes[i-1])
+	}
+	return out
+}
+
+// Marginals returns the effective inclusion probability of every node index
+// up to the given length, for verification and testing.
+func (p *Picker) Marginals(numNodes int) []float64 {
+	m := make([]float64, numNodes)
+	for i, node := range p.nodes {
+		if node < numNodes {
+			m[node] = p.probs[i]
+		}
+	}
+	return m
+}
+
+// Assignment is a full scheduling policy: one probability vector per file.
+type Assignment struct {
+	pickers []*Picker
+}
+
+// NewAssignment builds per-file pickers from the probability matrix
+// pi[file][node].
+func NewAssignment(pi [][]float64) (*Assignment, error) {
+	pickers := make([]*Picker, len(pi))
+	for i := range pi {
+		p, err := NewPicker(pi[i])
+		if err != nil {
+			return nil, fmt.Errorf("file %d: %w", i, err)
+		}
+		pickers[i] = p
+	}
+	return &Assignment{pickers: pickers}, nil
+}
+
+// Pick selects the storage nodes to contact for one request of the given
+// file.
+func (a *Assignment) Pick(file int, rng *rand.Rand) []int {
+	return a.pickers[file].Pick(rng)
+}
+
+// ChunksFromStorage returns how many chunks file i fetches from storage
+// nodes per request (k_i - d_i).
+func (a *Assignment) ChunksFromStorage(file int) int {
+	return a.pickers[file].SetSize()
+}
+
+// NumFiles returns the number of files covered by the assignment.
+func (a *Assignment) NumFiles() int { return len(a.pickers) }

@@ -1,0 +1,181 @@
+package scheduler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPickerValidation(t *testing.T) {
+	if _, err := NewPicker([]float64{0.5, 0.6, 1.1}); err == nil {
+		t.Fatal("expected error for probability > 1")
+	}
+	if _, err := NewPicker([]float64{-0.2, 0.5}); err == nil {
+		t.Fatal("expected error for negative probability")
+	}
+	if _, err := NewPicker([]float64{0.5, 0.4}); err == nil {
+		t.Fatal("expected error for non-integral sum")
+	}
+	p, err := NewPicker([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatalf("zero vector should be allowed: %v", err)
+	}
+	if p.SetSize() != 0 || p.Pick(rand.New(rand.NewSource(1))) != nil {
+		t.Fatal("zero vector picker should select nothing")
+	}
+}
+
+func TestPickSelectsDistinctNodesOfCorrectSize(t *testing.T) {
+	pi := []float64{0.9, 0.8, 0.7, 0.6, 0, 1.0}
+	// sum = 4.0
+	p, err := NewPicker(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SetSize() != 4 {
+		t.Fatalf("set size = %d, want 4", p.SetSize())
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 1000; trial++ {
+		sel := p.Pick(rng)
+		if len(sel) != 4 {
+			t.Fatalf("selected %d nodes, want 4", len(sel))
+		}
+		seen := make(map[int]bool)
+		for _, s := range sel {
+			if pi[s] == 0 {
+				t.Fatalf("selected node %d with zero probability", s)
+			}
+			if seen[s] {
+				t.Fatalf("duplicate node %d in selection %v", s, sel)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestPickMarginalsMatchProbabilities(t *testing.T) {
+	// The core guarantee of Madow sampling: empirical inclusion frequencies
+	// converge to the configured probabilities.
+	pi := []float64{0.25, 0.75, 0.5, 0.5, 1.0}
+	p, err := NewPicker(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]float64, len(pi))
+	const trials = 200000
+	for trial := 0; trial < trials; trial++ {
+		for _, s := range p.Pick(rng) {
+			counts[s]++
+		}
+	}
+	for j, want := range pi {
+		got := counts[j] / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("node %d inclusion frequency %v, want %v", j, got, want)
+		}
+	}
+}
+
+func TestPickMarginalsQuick(t *testing.T) {
+	// Property: for random probability vectors (rounded to an integral sum),
+	// Pick always returns SetSize distinct in-range nodes.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		pi := make([]float64, n)
+		remaining := float64(1 + rng.Intn(3))
+		for j := 0; j < n && remaining > 1e-9; j++ {
+			p := rng.Float64()
+			if p > remaining {
+				p = remaining
+			}
+			if p > 1 {
+				p = 1
+			}
+			pi[j] = p
+			remaining -= p
+		}
+		if remaining > 1e-9 {
+			// Could not place all mass within [0,1] caps; top up first slots.
+			for j := 0; j < n && remaining > 1e-9; j++ {
+				add := math.Min(1-pi[j], remaining)
+				pi[j] += add
+				remaining -= add
+			}
+		}
+		picker, err := NewPicker(pi)
+		if err != nil {
+			return false
+		}
+		sel := picker.Pick(rng)
+		if len(sel) != picker.SetSize() {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, s := range sel {
+			if s < 0 || s >= n || seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarginalsAccessor(t *testing.T) {
+	pi := []float64{0.3, 0, 0.7, 1.0}
+	p, err := NewPicker(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Marginals(4)
+	for j := range pi {
+		if math.Abs(m[j]-pi[j]) > 1e-12 {
+			t.Fatalf("marginal[%d] = %v, want %v", j, m[j], pi[j])
+		}
+	}
+}
+
+func TestAssignment(t *testing.T) {
+	pi := [][]float64{
+		{1, 1, 0, 0},     // file 0 reads nodes 0 and 1 always
+		{0, 0, 0.5, 0.5}, // file 1 reads one of nodes 2/3
+		{0, 0, 0, 0},     // file 2 fully cached
+	}
+	a, err := NewAssignment(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumFiles() != 3 {
+		t.Fatalf("NumFiles = %d", a.NumFiles())
+	}
+	if a.ChunksFromStorage(0) != 2 || a.ChunksFromStorage(1) != 1 || a.ChunksFromStorage(2) != 0 {
+		t.Fatal("ChunksFromStorage wrong")
+	}
+	rng := rand.New(rand.NewSource(11))
+	sel := a.Pick(0, rng)
+	if len(sel) != 2 || !((sel[0] == 0 && sel[1] == 1) || (sel[0] == 1 && sel[1] == 0)) {
+		t.Fatalf("file 0 selection %v", sel)
+	}
+	for i := 0; i < 100; i++ {
+		sel = a.Pick(1, rng)
+		if len(sel) != 1 || (sel[0] != 2 && sel[0] != 3) {
+			t.Fatalf("file 1 selection %v", sel)
+		}
+	}
+	if got := a.Pick(2, rng); got != nil {
+		t.Fatalf("fully cached file should pick nothing, got %v", got)
+	}
+}
+
+func TestNewAssignmentPropagatesErrors(t *testing.T) {
+	if _, err := NewAssignment([][]float64{{0.5}}); err == nil {
+		t.Fatal("expected error from invalid per-file vector")
+	}
+}

@@ -1,0 +1,255 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func TestProjectBox(t *testing.T) {
+	x := []float64{-1, 0.5, 2}
+	ProjectBox(x, 0, 1)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("ProjectBox = %v", x)
+		}
+	}
+}
+
+func TestProjectCappedSimplexAlreadyFeasible(t *testing.T) {
+	x := []float64{0.2, 0.3, 0.1}
+	orig := append([]float64(nil), x...)
+	if err := ProjectCappedSimplex(x, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if math.Abs(x[i]-orig[i]) > 1e-12 {
+			t.Fatalf("feasible point should be unchanged: %v", x)
+		}
+	}
+}
+
+func TestProjectCappedSimplexReducesSum(t *testing.T) {
+	x := []float64{0.9, 0.9, 0.9, 0.9}
+	if err := ProjectCappedSimplex(x, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum(x)-2) > 1e-6 {
+		t.Fatalf("sum = %v, want 2", sum(x))
+	}
+	for _, v := range x {
+		if v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("coordinate out of box: %v", x)
+		}
+	}
+}
+
+func TestProjectCappedSimplexIncreasesSum(t *testing.T) {
+	x := []float64{0.1, 0.0, 0.2}
+	if err := ProjectCappedSimplex(x, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum(x)-2) > 1e-6 {
+		t.Fatalf("sum = %v, want 2", sum(x))
+	}
+}
+
+func TestProjectCappedSimplexInfeasible(t *testing.T) {
+	x := []float64{0.5, 0.5}
+	if err := ProjectCappedSimplex(x, 3, 4); err == nil {
+		t.Fatal("expected infeasible error when L > len(x)")
+	}
+	if err := ProjectCappedSimplex(x, 2, 1); err == nil {
+		t.Fatal("expected infeasible error when L > U")
+	}
+	if err := ProjectCappedSimplex(x, -1, -0.5); err == nil {
+		t.Fatal("expected infeasible error when U < 0")
+	}
+}
+
+func TestProjectCappedSimplexIsProjection(t *testing.T) {
+	// Property: the projection is feasible and no feasible point sampled at
+	// random is closer to the original point.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.Float64()*4 - 2
+		}
+		l := rng.Float64() * float64(n) / 2
+		u := l + rng.Float64()*float64(n)/2
+		if u > float64(n) {
+			u = float64(n)
+		}
+		proj := append([]float64(nil), x...)
+		if err := ProjectCappedSimplex(proj, l, u); err != nil {
+			return false
+		}
+		s := sum(proj)
+		if s < l-1e-6 || s > u+1e-6 {
+			return false
+		}
+		for _, v := range proj {
+			if v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+		distProj := dist2(x, proj)
+		// Random feasible candidates must not beat the projection.
+		for trial := 0; trial < 30; trial++ {
+			cand := make([]float64, n)
+			for i := range cand {
+				cand[i] = rng.Float64()
+			}
+			// Rescale into the sum interval if possible.
+			cs := sum(cand)
+			if cs > u && cs > 0 {
+				for i := range cand {
+					cand[i] *= u / cs
+				}
+			}
+			if sum(cand) < l {
+				continue
+			}
+			if dist2(x, cand) < distProj-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func dist2(a, b []float64) float64 {
+	var d float64
+	for i := range a {
+		diff := a[i] - b[i]
+		d += diff * diff
+	}
+	return d
+}
+
+func TestProjectMinSum(t *testing.T) {
+	x := []float64{0.1, 0.2, 0.3}
+	ProjectMinSum(x, 0.3) // already satisfied
+	if math.Abs(sum(x)-0.6) > 1e-12 {
+		t.Fatalf("sum changed unnecessarily: %v", sum(x))
+	}
+	ProjectMinSum(x, 3)
+	if math.Abs(sum(x)-3) > 1e-9 {
+		t.Fatalf("sum = %v, want 3", sum(x))
+	}
+	ProjectMinSum(nil, 5) // must not panic
+}
+
+func TestDykstraIntersection(t *testing.T) {
+	// Project onto the intersection of the unit box-sum set and a min-sum
+	// half-space; the result must satisfy both constraints.
+	x := []float64{2, 2, -1, 0.1}
+	sets := []Projection{
+		func(y []float64) { _ = ProjectCappedSimplex(y, 0, 3) },
+		func(y []float64) { ProjectMinSum(y, 2) },
+	}
+	Dykstra(x, sets, 200, 1e-10)
+	s := sum(x)
+	if s < 2-1e-6 || s > 3+1e-6 {
+		t.Fatalf("sum = %v outside [2,3]", s)
+	}
+	for _, v := range x {
+		if v < -1e-6 || v > 1+1e-6 {
+			t.Fatalf("coordinate outside box: %v", x)
+		}
+	}
+}
+
+func TestDykstraNoSets(t *testing.T) {
+	x := []float64{1, 2}
+	Dykstra(x, nil, 10, 1e-9)
+	if x[0] != 1 || x[1] != 2 {
+		t.Fatal("Dykstra with no sets should be a no-op")
+	}
+}
+
+func TestProjectedGradientQuadratic(t *testing.T) {
+	// Minimise ||x - c||^2 over the box [0,1]^3: solution is clip(c).
+	c := []float64{0.5, 2, -1}
+	obj := func(x []float64) float64 {
+		var s float64
+		for i := range x {
+			d := x[i] - c[i]
+			s += d * d
+		}
+		return s
+	}
+	grad := func(x []float64, g []float64) {
+		for i := range x {
+			g[i] = 2 * (x[i] - c[i])
+		}
+	}
+	project := func(x []float64) { ProjectBox(x, 0, 1) }
+	res := ProjectedGradient(obj, grad, project, []float64{0.1, 0.1, 0.1}, PGOptions{MaxIter: 500})
+	want := []float64{0.5, 1, 0}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-4 {
+			t.Fatalf("solution %v, want %v", res.X, want)
+		}
+	}
+	if !res.Converged {
+		t.Fatal("expected convergence")
+	}
+}
+
+func TestProjectedGradientConstrainedQuadratic(t *testing.T) {
+	// Minimise sum (x_i - 1)^2 subject to sum x_i <= 1, x in [0,1]^4.
+	// Optimum puts 0.25 in every coordinate.
+	obj := func(x []float64) float64 {
+		var s float64
+		for _, v := range x {
+			s += (v - 1) * (v - 1)
+		}
+		return s
+	}
+	grad := func(x []float64, g []float64) {
+		for i := range x {
+			g[i] = 2 * (x[i] - 1)
+		}
+	}
+	project := func(x []float64) { _ = ProjectCappedSimplex(x, 0, 1) }
+	res := ProjectedGradient(obj, grad, project, []float64{0, 0, 0, 0}, PGOptions{MaxIter: 1000})
+	for _, v := range res.X {
+		if math.Abs(v-0.25) > 1e-3 {
+			t.Fatalf("solution %v, want 0.25 each", res.X)
+		}
+	}
+}
+
+func TestProjectedGradientInfeasibleStart(t *testing.T) {
+	obj := func(x []float64) float64 { return math.Inf(1) }
+	grad := func(x []float64, g []float64) {}
+	project := func(x []float64) {}
+	res := ProjectedGradient(obj, grad, project, []float64{0}, PGOptions{MaxIter: 5})
+	if !math.IsInf(res.Value, 1) || res.Iterations != 0 {
+		t.Fatalf("infeasible start should return immediately, got %+v", res)
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	f := func(x float64) float64 { return (x - 2.5) * (x - 2.5) }
+	x, fx := GoldenSection(f, 0, 10, 100)
+	if math.Abs(x-2.5) > 1e-6 || fx > 1e-10 {
+		t.Fatalf("golden section found x=%v f=%v", x, fx)
+	}
+}

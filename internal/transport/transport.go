@@ -1,0 +1,258 @@
+// Package transport exposes the emulated object store over TCP using
+// encoding/gob framing, so the examples and the sproutstore CLI can run a
+// client/server deployment that exercises a real network path. The protocol
+// is a simple request/response exchange per connection-scoped codec; the
+// server handles each connection on its own goroutine.
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sprout/internal/objstore"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Supported operations.
+const (
+	OpPut      Op = "put"
+	OpGet      Op = "get"
+	OpGetChunk Op = "get-chunk"
+	OpList     Op = "list"
+	OpPools    Op = "pools"
+)
+
+// Request is the wire format of one client request.
+type Request struct {
+	Op     Op
+	Pool   string
+	Object string
+	Chunk  int
+	Data   []byte
+}
+
+// Response is the wire format of one server reply.
+type Response struct {
+	OK      bool
+	Error   string
+	Data    []byte
+	Names   []string
+	Latency time.Duration
+}
+
+// Server serves an object-store cluster over TCP.
+type Server struct {
+	cluster *objstore.Cluster
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewServer wraps a cluster for serving.
+func NewServer(cluster *objstore.Cluster) *Server {
+	return &Server{cluster: cluster, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close is called.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Connection-level failures end the session silently; the
+				// client observes the closed connection.
+				return
+			}
+			return
+		}
+		resp := s.handle(context.Background(), req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(ctx context.Context, req Request) Response {
+	start := time.Now()
+	fail := func(err error) Response {
+		return Response{OK: false, Error: err.Error(), Latency: time.Since(start)}
+	}
+	switch req.Op {
+	case OpPut:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pool.Put(ctx, req.Object, req.Data); err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Latency: time.Since(start)}
+	case OpGet:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := pool.Get(ctx, req.Object)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: data, Latency: time.Since(start)}
+	case OpGetChunk:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := pool.GetChunk(ctx, req.Object, req.Chunk)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Data: data, Latency: time.Since(start)}
+	case OpList:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		return Response{OK: true, Names: pool.Objects(), Latency: time.Since(start)}
+	case OpPools:
+		return Response{OK: true, Names: nil, Latency: time.Since(start)}
+	default:
+		return fail(fmt.Errorf("transport: unknown op %q", req.Op))
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a TCP client for the object-store server. It is safe for
+// concurrent use; requests are serialised over one connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the client connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("transport: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("transport: receive: %w", err)
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Put writes an object into a pool.
+func (c *Client) Put(pool, object string, data []byte) (time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: OpPut, Pool: pool, Object: object, Data: data})
+	return resp.Latency, err
+}
+
+// Get reads a whole object from a pool.
+func (c *Client) Get(pool, object string) ([]byte, time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: OpGet, Pool: pool, Object: object})
+	return resp.Data, resp.Latency, err
+}
+
+// GetChunk reads a single coded chunk of an object.
+func (c *Client) GetChunk(pool, object string, chunk int) ([]byte, time.Duration, error) {
+	resp, err := c.roundTrip(Request{Op: OpGetChunk, Pool: pool, Object: object, Chunk: chunk})
+	return resp.Data, resp.Latency, err
+}
+
+// List returns the object names in a pool.
+func (c *Client) List(pool string) ([]string, error) {
+	resp, err := c.roundTrip(Request{Op: OpList, Pool: pool})
+	return resp.Names, err
+}

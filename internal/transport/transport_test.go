@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"sprout/internal/objstore"
+	"sprout/internal/queue"
+)
+
+func startServer(t *testing.T) (*Server, *Client, *objstore.Cluster) {
+	t.Helper()
+	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
+		NumOSDs:      6,
+		Services:     []queue.Dist{queue.Deterministic{Value: 0.0001}},
+		RefChunkSize: 1 << 10,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.CreatePool("data", 5, 3); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(cluster)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return srv, client, cluster
+}
+
+func TestPutGetOverTCP(t *testing.T) {
+	_, client, _ := startServer(t)
+	payload := make([]byte, 9000)
+	rand.New(rand.NewSource(2)).Read(payload)
+	if _, err := client.Put("data", "obj1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, latency, err := client.Get("data", "obj1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round-trip mismatch over TCP")
+	}
+	if latency <= 0 {
+		t.Fatalf("latency = %v", latency)
+	}
+	names, err := client.List("data")
+	if err != nil || len(names) != 1 || names[0] != "obj1" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+}
+
+func TestGetChunkOverTCP(t *testing.T) {
+	_, client, _ := startServer(t)
+	payload := make([]byte, 3000)
+	rand.New(rand.NewSource(3)).Read(payload)
+	if _, err := client.Put("data", "obj2", payload); err != nil {
+		t.Fatal(err)
+	}
+	chunk, _, err := client.GetChunk("data", "obj2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chunk, payload[:1000]) {
+		t.Fatal("chunk 0 should be the first systematic data chunk")
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	_, client, _ := startServer(t)
+	if _, _, err := client.Get("data", "missing"); err == nil {
+		t.Fatal("expected error for missing object")
+	}
+	if _, _, err := client.Get("nopool", "x"); err == nil {
+		t.Fatal("expected error for missing pool")
+	}
+	if _, err := client.List("nopool"); err == nil {
+		t.Fatal("expected error for missing pool in list")
+	}
+	// The connection must remain usable after an error response.
+	if _, err := client.Put("data", "after-error", []byte("hello world")); err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	_, client, _ := startServer(t)
+	if _, err := client.roundTrip(Request{Op: Op("bogus")}); err == nil {
+		t.Fatal("expected error for unknown op")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, first, _ := startServer(t)
+	addr := srv.listener.Addr().String()
+	payload := make([]byte, 2000)
+	rand.New(rand.NewSource(4)).Read(payload)
+	if _, err := first.Put("data", "shared", payload); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := Dial(addr, time.Second)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer client.Close()
+			for j := 0; j < 5; j++ {
+				got, _, err := client.Get("data", "shared")
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if !bytes.Equal(got, payload) {
+					errCh <- bytes.ErrTooLarge
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	srv, client, _ := startServer(t)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Put("data", "x", []byte("1234")); err == nil {
+		t.Fatal("expected error after server close")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("expected dial error for closed port")
+	}
+}

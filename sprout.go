@@ -1,0 +1,104 @@
+// Package sprout is the public facade of the Sprout functional-caching
+// library — a Go reproduction of "Sprout: A Functional Caching Approach to
+// Minimize Service Latency in Erasure-Coded Storage" (ICDCS 2016).
+//
+// The facade re-exports the pieces a downstream user needs to embed Sprout:
+// the erasure coder with functional cache-chunk generation, the latency
+// model and cache optimizer, the per-compute-server controller, and the
+// workload/cluster description types. The heavy machinery lives in the
+// internal packages; this package keeps the surface small and stable.
+//
+// Basic usage:
+//
+//	clu, _ := sprout.ClusterConfig{NumNodes: 12, NumFiles: 100, N: 7, K: 4,
+//	    FileSize: 100 << 20, ServiceRates: sprout.PaperServiceRates()}.Build()
+//	ctrl, _ := sprout.NewController(clu, 500, sprout.OptimizerOptions{}, 1)
+//	plan, _ := ctrl.PlanTimeBin(clu.Lambdas())
+//	data, _ := ctrl.Read(ctx, fileID, fetcher)
+package sprout
+
+import (
+	"sprout/internal/cluster"
+	"sprout/internal/core"
+	"sprout/internal/erasure"
+	"sprout/internal/optimizer"
+	"sprout/internal/queue"
+)
+
+// Re-exported core types. Aliases keep the internal implementations and the
+// public names identical, so the documented behaviour lives in one place.
+type (
+	// Controller is the per-compute-server Sprout cache controller.
+	Controller = core.Controller
+	// ChunkFetcher retrieves coded chunks from storage nodes.
+	ChunkFetcher = core.ChunkFetcher
+	// FetcherFunc adapts a function to the ChunkFetcher interface.
+	FetcherFunc = core.FetcherFunc
+	// FileMeta describes one erasure-coded file.
+	FileMeta = core.FileMeta
+	// ControllerStats are the controller's observability counters.
+	ControllerStats = core.Stats
+
+	// Cluster describes storage nodes, files and placement.
+	Cluster = cluster.Cluster
+	// ClusterConfig builds synthetic clusters.
+	ClusterConfig = cluster.Config
+	// Node is one storage server.
+	Node = cluster.Node
+	// File is one erasure-coded file in a cluster.
+	File = cluster.File
+
+	// Code is a systematic Reed-Solomon code with reserved functional cache
+	// chunks.
+	Code = erasure.Code
+	// Chunk pairs a coded chunk with its index.
+	Chunk = erasure.Chunk
+
+	// OptimizerOptions tunes Algorithm 1.
+	OptimizerOptions = optimizer.Options
+	// Plan is the optimizer's per-time-bin output.
+	Plan = optimizer.Plan
+	// Problem is a cache-optimization instance.
+	Problem = optimizer.Problem
+	// FileSpec describes a file inside a Problem.
+	FileSpec = optimizer.FileSpec
+
+	// ServiceDist is a service-time distribution (mean, second and third
+	// moments plus a sampler).
+	ServiceDist = queue.Dist
+)
+
+// NewController builds a Sprout controller for a cluster with a functional
+// cache of cacheCapacity chunks.
+func NewController(clu *Cluster, cacheCapacity int, opts OptimizerOptions, seed int64) (*Controller, error) {
+	return core.NewController(clu, cacheCapacity, opts, seed)
+}
+
+// NewCode creates an (n, k) storage code with k reserved functional cache
+// chunks — an (n+k, k) MDS code overall.
+func NewCode(n, k int) (*Code, error) { return erasure.New(n, k) }
+
+// Optimize solves the cache-content optimization (Algorithm 1).
+func Optimize(p *Problem, opts OptimizerOptions) (*Plan, error) {
+	return optimizer.Optimize(p, opts)
+}
+
+// ProblemFromCluster converts a cluster description into an optimization
+// problem with the given cache capacity (in chunks).
+func ProblemFromCluster(clu *Cluster, cacheCapacity int) (*Problem, error) {
+	return optimizer.FromCluster(clu, cacheCapacity)
+}
+
+// PaperConfig returns the cluster configuration used throughout the paper's
+// simulations: 12 heterogeneous servers, 1000 files, (7,4) code, 100 MB
+// files.
+func PaperConfig() ClusterConfig { return cluster.PaperConfig() }
+
+// PaperServiceRates returns the 12 per-server service rates used in the
+// paper's numerical section.
+func PaperServiceRates() []float64 {
+	return append([]float64(nil), cluster.PaperServiceRates...)
+}
+
+// Exponential returns an exponential service-time distribution with rate mu.
+func Exponential(mu float64) ServiceDist { return queue.NewExponential(mu) }

@@ -1,0 +1,148 @@
+package sprout_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"sprout"
+)
+
+// memFetcher serves chunks from an in-memory encoding of each file.
+type memFetcher map[int]map[int][]byte
+
+func (m memFetcher) FetchChunk(_ context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+	return m[fileID][chunkIndex], nil
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	cfg := sprout.ClusterConfig{
+		NumNodes:     4,
+		NumFiles:     4,
+		N:            3,
+		K:            2,
+		FileSize:     1 << 10,
+		ServiceRates: []float64{1, 0.9, 0.8, 0.7},
+		ArrivalRates: []float64{0.1},
+		Seed:         1,
+	}
+	clu, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := sprout.NewController(clu, 4, sprout.OptimizerOptions{MaxOuterIter: 5}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Encode each file into an in-memory store with the controller's coders.
+	store := memFetcher{}
+	originals := map[int][]byte{}
+	for _, meta := range ctrl.Files() {
+		payload := bytes.Repeat([]byte{byte(meta.ID + 1)}, meta.SizeBytes)
+		originals[meta.ID] = payload
+		dataChunks, err := meta.Code.Split(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encoded, err := meta.Code.Encode(dataChunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store[meta.ID] = map[int][]byte{}
+		for i, ch := range encoded {
+			store[meta.ID][i] = ch
+		}
+	}
+
+	plan, err := ctrl.PlanTimeBin(clu.Lambdas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CacheUsed() > 4 {
+		t.Fatalf("plan exceeds the cache capacity: %d", plan.CacheUsed())
+	}
+	for fileID := range originals {
+		got, err := ctrl.Read(context.Background(), fileID, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, originals[fileID]) {
+			t.Fatalf("file %d round-trip mismatch", fileID)
+		}
+	}
+	if ctrl.Stats().Reads != int64(len(originals)) {
+		t.Fatalf("stats reads = %d", ctrl.Stats().Reads)
+	}
+}
+
+func TestPublicCodeAPI(t *testing.T) {
+	code, err := sprout.NewCode(6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("sprout"), 100)
+	dataChunks, err := code.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage, err := code.Encode(dataChunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := code.CacheChunks(dataChunks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode from 2 cache chunks + 3 storage chunks (the paper's example).
+	chunks := []sprout.Chunk{
+		{Index: code.CacheChunkIndex(0), Data: cached[0]},
+		{Index: code.CacheChunkIndex(1), Data: cached[1]},
+		{Index: 0, Data: storage[0]},
+		{Index: 3, Data: storage[3]},
+		{Index: 5, Data: storage[5]},
+	}
+	got, err := code.Decode(chunks, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("decode through the public API failed")
+	}
+}
+
+func TestPaperConfigExport(t *testing.T) {
+	cfg := sprout.PaperConfig()
+	if cfg.NumNodes != 12 || cfg.NumFiles != 1000 {
+		t.Fatalf("paper config = %+v", cfg)
+	}
+	rates := sprout.PaperServiceRates()
+	if len(rates) != 12 {
+		t.Fatalf("service rates = %v", rates)
+	}
+	rates[0] = 99 // must not alias the internal slice
+	if sprout.PaperServiceRates()[0] == 99 {
+		t.Fatal("PaperServiceRates leaks internal state")
+	}
+	if sprout.Exponential(2).Mean() != 0.5 {
+		t.Fatal("Exponential helper wrong")
+	}
+	p, err := sprout.ProblemFromCluster(mustBuild(t), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sprout.Optimize(p, sprout.OptimizerOptions{MaxOuterIter: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustBuild(t *testing.T) *sprout.Cluster {
+	t.Helper()
+	cfg := sprout.PaperConfig()
+	cfg.NumFiles = 20
+	clu, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clu
+}
