@@ -97,6 +97,13 @@ func experiments() []experiment {
 			}
 			return bench.AblationTable(r), nil
 		}},
+		{"coder", "erasure data-plane throughput and decode-plan cache", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.CoderThroughput(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.CoderTable(r), nil
+		}},
 	}
 }
 

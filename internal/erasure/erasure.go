@@ -14,6 +14,8 @@ package erasure
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync/atomic"
 
 	"sprout/internal/gf256"
 )
@@ -40,6 +42,14 @@ type Code struct {
 	// coded chunk i as a linear combination of the k data chunks. The first
 	// k rows form the identity, so coded chunks 0..k-1 are the data itself.
 	generator *gf256.Matrix
+
+	// plans caches inverted k x k generator submatrices per erasure
+	// pattern so steady-state decodes skip Gauss-Jordan entirely. Held
+	// through an atomic pointer so SetPlanCacheSize can swap the cache
+	// under concurrent decoders.
+	plans atomic.Pointer[planCache]
+
+	counters coderCounters
 }
 
 // New creates a coder for an (n, k) storage code with k reserved functional
@@ -59,7 +69,17 @@ func New(n, k int) (*Code, error) {
 	for r := 0; r < parityRows; r++ {
 		copy(full.Data[k+r], cauchy.Data[r])
 	}
-	return &Code{k: k, n: n, generator: full}, nil
+	code := &Code{k: k, n: n, generator: full}
+	code.plans.Store(newPlanCache(DefaultPlanCacheSize))
+	return code, nil
+}
+
+// SetPlanCacheSize re-bounds the decode-plan cache, dropping all cached
+// plans and counters. Safe to call on a live coder; in-flight decodes may
+// finish against the old cache. Intended for tuning and tests; the default
+// bound suits steady-state serving.
+func (c *Code) SetPlanCacheSize(bound int) {
+	c.plans.Store(newPlanCache(bound))
 }
 
 // K returns the number of data chunks required to reconstruct a file.
@@ -115,20 +135,39 @@ func (c *Code) Join(chunks [][]byte, size int) ([]byte, error) {
 }
 
 // Encode produces the n storage chunks for the given data chunks. The first
-// k of them are the data chunks themselves (systematic code).
+// k of them are the data chunks themselves (systematic code), copied so the
+// result does not alias the input. Parity chunks are computed with the
+// striped row kernels, in parallel for large chunks.
 func (c *Code) Encode(dataChunks [][]byte) ([][]byte, error) {
 	if err := c.checkDataChunks(dataChunks); err != nil {
 		return nil, err
 	}
-	out := make([][]byte, c.n)
-	for i := 0; i < c.n; i++ {
-		ch, err := c.ChunkAt(i, dataChunks)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = ch
+	size := len(dataChunks[0])
+	out := allocChunks(c.n, size)
+	for i := 0; i < c.k; i++ {
+		copy(out[i], dataChunks[i])
 	}
+	if c.n > c.k {
+		parallel := codeRows(c.generator.Data[c.k:c.n], dataChunks, out[c.k:])
+		c.counters.countOp(parallel)
+	}
+	c.counters.encodes.Add(1)
+	c.counters.bytesEncoded.Add(int64(size) * int64(c.k))
 	return out, nil
+}
+
+// allocChunks allocates count zeroed chunks of the given size backed by a
+// single contiguous buffer (one allocation, cache-friendly layout). Each
+// chunk starts on a cache-line-multiple offset so stripe workers writing
+// adjacent chunks never share a line even when size is not 64-aligned.
+func allocChunks(count, size int) [][]byte {
+	stride := (size + stripeAlign - 1) &^ (stripeAlign - 1)
+	out := make([][]byte, count)
+	backing := make([]byte, count*stride)
+	for i := range out {
+		out[i] = backing[i*stride:][:size:size]
+	}
+	return out
 }
 
 // CacheChunks produces d functional cache chunks (0 <= d <= k) from the data
@@ -162,10 +201,12 @@ func (c *Code) ChunkAt(idx int, dataChunks [][]byte) ([]byte, error) {
 	}
 	size := len(dataChunks[0])
 	out := make([]byte, size)
-	row := c.generator.Data[idx]
-	for col, coef := range row {
-		gf256.MulSlice(coef, dataChunks[col], out)
+	if idx < c.k {
+		copy(out, dataChunks[idx])
+		return out, nil
 	}
+	parallel := codeRows([][]byte{c.generator.Data[idx]}, dataChunks, [][]byte{out})
+	c.counters.countOp(parallel)
 	return out, nil
 }
 
@@ -179,37 +220,89 @@ type Chunk struct {
 // (storage or cache chunks in any combination). It returns ErrShortData if
 // fewer than k chunks are supplied and ErrShapeMismatch if chunk sizes
 // differ.
+//
+// The inverted k x k generator submatrix for the chunk-index subset is
+// looked up in (or inserted into) the decode-plan cache, so repeated
+// decodes with the same erasure pattern — the overwhelmingly common case
+// in steady state — skip matrix inversion entirely. Inverse rows that are
+// unit vectors (systematic chunks present in the input) become plain
+// copies, and the remaining rows run through the striped parallel kernels.
 func (c *Code) Reconstruct(chunks []Chunk) ([][]byte, error) {
 	if len(chunks) < c.k {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrShortData, len(chunks), c.k)
 	}
-	use := chunks[:c.k]
-	size := -1
+	// Sort the first k chunks by index: the decode output is order-invariant
+	// and a canonical order lets every permutation of the same erasure
+	// pattern share one cached plan.
+	use := append(make([]Chunk, 0, c.k), chunks[:c.k]...)
+	sort.Slice(use, func(i, j int) bool { return use[i].Index < use[j].Index })
+	size := len(use[0].Data)
 	rows := make([]int, c.k)
-	seen := make(map[int]bool, c.k)
+	key := make([]byte, c.k)
 	payloads := make([][]byte, c.k)
 	for i, ch := range use {
 		if ch.Index < 0 || ch.Index >= c.TotalChunks() {
 			return nil, fmt.Errorf("%w: index %d", ErrUnknownChunk, ch.Index)
 		}
-		if seen[ch.Index] {
+		if i > 0 && ch.Index == use[i-1].Index {
 			return nil, fmt.Errorf("%w: duplicate chunk index %d", ErrInvalidParams, ch.Index)
 		}
-		seen[ch.Index] = true
-		if size == -1 {
-			size = len(ch.Data)
-		} else if len(ch.Data) != size {
+		if len(ch.Data) != size {
 			return nil, ErrShapeMismatch
 		}
 		rows[i] = ch.Index
+		key[i] = byte(ch.Index)
 		payloads[i] = ch.Data
 	}
-	sub := c.generator.SelectRows(rows)
-	inv, err := sub.Invert()
-	if err != nil {
-		return nil, fmt.Errorf("erasure: selected chunks not decodable: %w", err)
+	plans := c.plans.Load()
+	inv := plans.get(planKey(key))
+	if inv == nil {
+		sub := c.generator.SelectRows(rows)
+		var err error
+		inv, err = sub.Invert()
+		if err != nil {
+			return nil, fmt.Errorf("erasure: selected chunks not decodable: %w", err)
+		}
+		plans.put(planKey(key), inv)
 	}
-	return inv.MulVec(payloads), nil
+	out := allocChunks(c.k, size)
+	// Split inverse rows into unit-vector rows (plain copies: the data
+	// chunk was supplied directly) and dense rows for the striped kernels.
+	denseRows := make([][]byte, 0, c.k)
+	denseOuts := make([][]byte, 0, c.k)
+	for r := 0; r < c.k; r++ {
+		if j := unitColumn(inv.Data[r]); j >= 0 {
+			copy(out[r], payloads[j])
+			continue
+		}
+		denseRows = append(denseRows, inv.Data[r])
+		denseOuts = append(denseOuts, out[r])
+	}
+	if len(denseRows) > 0 {
+		parallel := codeRows(denseRows, payloads, denseOuts)
+		c.counters.countOp(parallel)
+	}
+	c.counters.reconstructs.Add(1)
+	c.counters.bytesReconstructed.Add(int64(size) * int64(c.k))
+	return out, nil
+}
+
+// unitColumn returns j if row is the unit vector e_j, and -1 otherwise.
+func unitColumn(row []byte) int {
+	unit := -1
+	for j, v := range row {
+		switch v {
+		case 0:
+		case 1:
+			if unit >= 0 {
+				return -1
+			}
+			unit = j
+		default:
+			return -1
+		}
+	}
+	return unit
 }
 
 // Decode reconstructs the original file of the given byte size from any k

@@ -1,0 +1,106 @@
+package erasure
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sprout/internal/gf256"
+)
+
+// DefaultPlanCacheSize bounds how many decode plans a Code retains. In
+// steady state a pool sees a handful of erasure patterns (the common case
+// being "the k fastest of the same n OSDs"), so a small LRU captures
+// virtually all decodes while bounding memory at cap * k*k bytes.
+const DefaultPlanCacheSize = 128
+
+// planKey identifies a decode plan: the sorted k-subset of chunk indices,
+// packed one byte per index (chunk indices never exceed 255 because
+// n+k <= gf256.Order).
+type planKey string
+
+// decodePlan is a cached inverted generator submatrix for one erasure
+// pattern. Plans are immutable once published, so readers may use them
+// after eviction without synchronisation.
+type decodePlan struct {
+	key planKey
+	inv *gf256.Matrix
+}
+
+// planCache is an LRU-bounded map from erasure pattern to decode plan,
+// guarded by an RWMutex: lookups take the read lock; recency bumps,
+// inserts and evictions take the write lock.
+type planCache struct {
+	mu    sync.RWMutex
+	bound int
+	items map[planKey]*list.Element
+	order *list.List // front = most recently used
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache(bound int) *planCache {
+	if bound < 1 {
+		bound = 1
+	}
+	return &planCache{
+		bound: bound,
+		items: make(map[planKey]*list.Element, bound),
+		order: list.New(),
+	}
+}
+
+// get returns the cached inverse for the pattern, or nil on a miss.
+func (pc *planCache) get(key planKey) *gf256.Matrix {
+	pc.mu.RLock()
+	el, ok := pc.items[key]
+	var inv *gf256.Matrix
+	var atFront bool
+	if ok {
+		inv = el.Value.(*decodePlan).inv
+		atFront = pc.order.Front() == el
+	}
+	pc.mu.RUnlock()
+	if !ok {
+		pc.misses.Add(1)
+		return nil
+	}
+	pc.hits.Add(1)
+	// Bump recency under the write lock, but only when the entry is not
+	// already most recent — in steady state one pattern dominates, so hits
+	// stay on the read lock and concurrent decoders do not serialize.
+	// Re-check membership: the entry may have been evicted between locks.
+	if !atFront {
+		pc.mu.Lock()
+		if el, ok := pc.items[key]; ok {
+			pc.order.MoveToFront(el)
+		}
+		pc.mu.Unlock()
+	}
+	return inv
+}
+
+// put inserts a plan, evicting the least recently used entries past the
+// bound. Concurrent puts of the same key keep the first inserted plan.
+func (pc *planCache) put(key planKey, inv *gf256.Matrix) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.items[key]; ok {
+		pc.order.MoveToFront(el)
+		return
+	}
+	pc.items[key] = pc.order.PushFront(&decodePlan{key: key, inv: inv})
+	for pc.order.Len() > pc.bound {
+		last := pc.order.Back()
+		pc.order.Remove(last)
+		delete(pc.items, last.Value.(*decodePlan).key)
+	}
+}
+
+// len returns the number of cached plans.
+func (pc *planCache) len() int {
+	pc.mu.RLock()
+	defer pc.mu.RUnlock()
+	return pc.order.Len()
+}

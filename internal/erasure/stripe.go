@@ -1,0 +1,111 @@
+package erasure
+
+import (
+	"runtime"
+	"sync"
+
+	"sprout/internal/gf256"
+)
+
+const (
+	// stripeAlign keeps stripe boundaries on cache-line multiples so two
+	// workers never write the same line of an output chunk.
+	stripeAlign = 64
+
+	// parallelThreshold is the chunk size below which striping is not worth
+	// the synchronisation cost and coding stays on the calling goroutine.
+	parallelThreshold = 128 << 10
+)
+
+// codeTasks feeds a lazily started, GOMAXPROCS-sized worker pool shared by
+// every Code in the process. Stripe tasks are short and never submit
+// nested tasks, so a bounded pool cannot deadlock; if all workers are busy
+// the submitting goroutine runs the stripe inline instead of queueing.
+var (
+	codePoolOnce sync.Once
+	codeTasks    chan func()
+)
+
+func startCodePool() {
+	workers := runtime.GOMAXPROCS(0)
+	codeTasks = make(chan func(), workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			for fn := range codeTasks {
+				fn()
+			}
+		}()
+	}
+}
+
+// submitStripe hands a stripe to the pool, or runs it inline when every
+// worker is busy (keeping the caller productive under saturation).
+func submitStripe(fn func()) {
+	select {
+	case codeTasks <- fn:
+	default:
+		fn()
+	}
+}
+
+// stripeScratch recycles the per-stripe slice-header buffers so the hot
+// path performs no allocations beyond the output chunks themselves.
+type stripeScratch struct {
+	srcs [][]byte
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(stripeScratch) }}
+
+// putScratch zeroes the retained views before pooling so a parked scratch
+// does not pin the caller's chunk buffers until the next reuse.
+func putScratch(sc *stripeScratch) {
+	clear(sc.srcs)
+	sc.srcs = sc.srcs[:0]
+	scratchPool.Put(sc)
+}
+
+// codeRows computes outs[r] ^= rows[r] · srcs for every row, striping the
+// byte range over the worker pool when the chunks are large enough. outs
+// must be zeroed (or hold values to accumulate onto). It reports whether
+// the operation ran striped.
+func codeRows(rows [][]byte, srcs [][]byte, outs [][]byte) bool {
+	size := len(srcs[0])
+	if size < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
+		sc := scratchPool.Get().(*stripeScratch)
+		applyRows(rows, srcs, outs, 0, size, sc)
+		putScratch(sc)
+		return false
+	}
+	codePoolOnce.Do(startCodePool)
+	stripes := runtime.GOMAXPROCS(0)
+	stripeSize := (size + stripes - 1) / stripes
+	stripeSize = (stripeSize + stripeAlign - 1) &^ (stripeAlign - 1)
+	var wg sync.WaitGroup
+	for lo := 0; lo < size; lo += stripeSize {
+		hi := lo + stripeSize
+		if hi > size {
+			hi = size
+		}
+		wg.Add(1)
+		submitStripe(func() {
+			defer wg.Done()
+			sc := scratchPool.Get().(*stripeScratch)
+			applyRows(rows, srcs, outs, lo, hi, sc)
+			putScratch(sc)
+		})
+	}
+	wg.Wait()
+	return true
+}
+
+// applyRows runs the row kernels over one byte range of every chunk.
+func applyRows(rows [][]byte, srcs [][]byte, outs [][]byte, lo, hi int, sc *stripeScratch) {
+	views := sc.srcs[:0]
+	for _, s := range srcs {
+		views = append(views, s[lo:hi])
+	}
+	sc.srcs = views
+	for r, row := range rows {
+		gf256.MulAccumulateRows(row, views, outs[r][lo:hi])
+	}
+}

@@ -35,9 +35,11 @@ func init() {
 	for i := Order - 1; i < 2*Order; i++ {
 		expTable[i] = expTable[i-(Order-1)]
 	}
+	// g^(Order-1) = 1, so the inverse of x = g^log(x) is g^(Order-1-log(x)).
 	for i := 1; i < Order; i++ {
-		invTable[i] = Exp(expTable[(Order-1)-logTable[i]], 1)
+		invTable[i] = expTable[(Order-1)-logTable[i]]
 	}
+	initMulTables()
 }
 
 // Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse.
@@ -94,24 +96,18 @@ func Generator() byte { return 2 }
 
 // MulSlice computes dst[i] ^= c * src[i] for all i, i.e. it accumulates a
 // scalar multiple of src into dst. Both slices must have equal length.
+// The inner loop is branch-free: two nibble-table lookups and an XOR per
+// byte (a pure word-wide XOR when c == 1).
 func MulSlice(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: slice length mismatch %d != %d", len(src), len(dst)))
 	}
-	if c == 0 {
-		return
-	}
-	if c == 1 {
-		for i, s := range src {
-			dst[i] ^= s
-		}
-		return
-	}
-	logC := logTable[c]
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= expTable[logC+logTable[s]]
-		}
+	switch c {
+	case 0:
+	case 1:
+		xorSlice(src, dst)
+	default:
+		mulAddSlice(c, src, dst)
 	}
 }
 
@@ -120,18 +116,12 @@ func MulSliceAssign(c byte, src, dst []byte) {
 	if len(src) != len(dst) {
 		panic(fmt.Sprintf("gf256: slice length mismatch %d != %d", len(src), len(dst)))
 	}
-	if c == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	}
-	logC := logTable[c]
-	for i, s := range src {
-		if s == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = expTable[logC+logTable[s]]
-		}
+	switch c {
+	case 0:
+		clear(dst)
+	case 1:
+		copy(dst, src)
+	default:
+		mulAssignSlice(c, src, dst)
 	}
 }

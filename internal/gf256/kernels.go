@@ -1,0 +1,156 @@
+package gf256
+
+import "encoding/binary"
+
+// Nibble-split multiply tables. For a fixed coefficient c the product c*x
+// decomposes over the low and high nibble of x:
+//
+//	c*x = c*(x & 0x0f) ^ c*(x & 0xf0)
+//	    = mulTableLow[c][x&0x0f] ^ mulTableHigh[c][x>>4]
+//
+// so a slice multiply becomes two 16-entry table lookups and an XOR per
+// byte, with no branch and no log/exp indirection in the inner loop. The
+// full table set is 256 coefficients x 32 bytes = 8 KiB and is built once
+// at init, which keeps every kernel below allocation- and branch-free.
+var (
+	mulTableLow  [Order][16]byte
+	mulTableHigh [Order][16]byte
+)
+
+// initMulTables fills the nibble tables; called from init after the
+// log/exp tables exist.
+func initMulTables() {
+	for c := 0; c < Order; c++ {
+		for n := 0; n < 16; n++ {
+			mulTableLow[c][n] = Mul(byte(c), byte(n))
+			mulTableHigh[c][n] = Mul(byte(c), byte(n<<4))
+		}
+	}
+}
+
+// xorSlice computes dst[i] ^= src[i] using 8-byte words for the bulk of the
+// slice. binary.LittleEndian.Uint64 compiles to a single unaligned load on
+// little-endian targets, so the main loop is one load/xor/store per word.
+func xorSlice(src, dst []byte) {
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		v := binary.LittleEndian.Uint64(src[i:]) ^ binary.LittleEndian.Uint64(dst[i:])
+		binary.LittleEndian.PutUint64(dst[i:], v)
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// mulAddSlice computes dst[i] ^= c*src[i]. On amd64 with AVX2 the bulk of
+// the slice goes through a 32-bytes-per-iteration PSHUFB kernel driven by
+// the same nibble tables; the unrolled generic kernel handles the tail and
+// non-AVX2 targets. The caller guarantees equal lengths and c not in {0, 1}.
+func mulAddSlice(c byte, src, dst []byte) {
+	if asmEnabled {
+		n := mulAddAsm(c, src, dst)
+		if n == len(src) {
+			return
+		}
+		src, dst = src[n:], dst[n:]
+	}
+	mulAddGeneric(c, src, dst)
+}
+
+// mulAddGeneric is the portable kernel: two nibble-table lookups and an
+// XOR per byte, unrolled eight bytes per iteration.
+func mulAddGeneric(c byte, src, dst []byte) {
+	low := &mulTableLow[c]
+	high := &mulTableHigh[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] ^= low[s[0]&0x0f] ^ high[s[0]>>4]
+		d[1] ^= low[s[1]&0x0f] ^ high[s[1]>>4]
+		d[2] ^= low[s[2]&0x0f] ^ high[s[2]>>4]
+		d[3] ^= low[s[3]&0x0f] ^ high[s[3]>>4]
+		d[4] ^= low[s[4]&0x0f] ^ high[s[4]>>4]
+		d[5] ^= low[s[5]&0x0f] ^ high[s[5]>>4]
+		d[6] ^= low[s[6]&0x0f] ^ high[s[6]>>4]
+		d[7] ^= low[s[7]&0x0f] ^ high[s[7]>>4]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] ^= low[src[i]&0x0f] ^ high[src[i]>>4]
+	}
+}
+
+// mulAssignSlice computes dst[i] = c*src[i], dispatching like mulAddSlice.
+// The caller guarantees equal lengths and c not in {0, 1}.
+func mulAssignSlice(c byte, src, dst []byte) {
+	if asmEnabled {
+		n := mulAssignAsm(c, src, dst)
+		if n == len(src) {
+			return
+		}
+		src, dst = src[n:], dst[n:]
+	}
+	mulAssignGeneric(c, src, dst)
+}
+
+func mulAssignGeneric(c byte, src, dst []byte) {
+	low := &mulTableLow[c]
+	high := &mulTableHigh[c]
+	n := len(src) &^ 7
+	for i := 0; i < n; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		d[0] = low[s[0]&0x0f] ^ high[s[0]>>4]
+		d[1] = low[s[1]&0x0f] ^ high[s[1]>>4]
+		d[2] = low[s[2]&0x0f] ^ high[s[2]>>4]
+		d[3] = low[s[3]&0x0f] ^ high[s[3]>>4]
+		d[4] = low[s[4]&0x0f] ^ high[s[4]>>4]
+		d[5] = low[s[5]&0x0f] ^ high[s[5]>>4]
+		d[6] = low[s[6]&0x0f] ^ high[s[6]>>4]
+		d[7] = low[s[7]&0x0f] ^ high[s[7]>>4]
+	}
+	for i := n; i < len(src); i++ {
+		dst[i] = low[src[i]&0x0f] ^ high[src[i]>>4]
+	}
+}
+
+// accBlockBytes bounds how much of dst each MulAccumulateRows pass streams
+// before moving to the next source row, so the dst block stays resident in
+// L1 across all k accumulations instead of being re-fetched per row.
+const accBlockBytes = 16 << 10
+
+// MulAccumulateRows applies a whole generator row at once:
+//
+//	dst[i] ^= sum_j row[j] * srcs[j][i]
+//
+// It is the workhorse of Reed-Solomon encode/decode: one call per output
+// chunk instead of len(row) MulSlice calls, with dst processed in
+// L1-sized blocks so it is read and written from cache across all source
+// rows. All srcs and dst must have equal length.
+func MulAccumulateRows(row []byte, srcs [][]byte, dst []byte) {
+	if len(row) != len(srcs) {
+		panic("gf256: coefficient count does not match source count")
+	}
+	size := len(dst)
+	for _, s := range srcs {
+		if len(s) != size {
+			panic("gf256: slice length mismatch in MulAccumulateRows")
+		}
+	}
+	for off := 0; off < size; off += accBlockBytes {
+		end := off + accBlockBytes
+		if end > size {
+			end = size
+		}
+		d := dst[off:end]
+		for j, c := range row {
+			switch c {
+			case 0:
+			case 1:
+				xorSlice(srcs[j][off:end], d)
+			default:
+				mulAddSlice(c, srcs[j][off:end], d)
+			}
+		}
+	}
+}

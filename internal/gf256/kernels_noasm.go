@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package gf256
+
+// asmEnabled is false on targets without an assembly kernel; all slice
+// multiplies go through the generic nibble-table loops.
+var asmEnabled = false
+
+func mulAddAsm(c byte, src, dst []byte) int    { return 0 }
+func mulAssignAsm(c byte, src, dst []byte) int { return 0 }

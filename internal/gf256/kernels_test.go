@@ -1,0 +1,196 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// mulSliceRef is the seed scalar kernel, kept as the reference the
+// nibble-table kernels must match (and the baseline the benchmarks
+// compare against).
+func mulSliceRef(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i, s := range src {
+			dst[i] ^= s
+		}
+		return
+	}
+	logC := logTable[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[logC+logTable[s]]
+		}
+	}
+}
+
+// TestNibbleTablesExhaustive checks all 256x256 products of the nibble
+// decomposition against the scalar log/exp Mul.
+func TestNibbleTablesExhaustive(t *testing.T) {
+	for c := 0; c < Order; c++ {
+		for x := 0; x < Order; x++ {
+			want := Mul(byte(c), byte(x))
+			got := mulTableLow[c][x&0x0f] ^ mulTableHigh[c][x>>4]
+			if got != want {
+				t.Fatalf("nibble tables: %d*%d = %d, want %d", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMulInvIdentity(t *testing.T) {
+	for x := 1; x < Order; x++ {
+		if got := Mul(byte(x), Inv(byte(x))); got != 1 {
+			t.Fatalf("Mul(%d, Inv(%d)) = %d, want 1", x, x, got)
+		}
+	}
+}
+
+// TestMulSliceMatchesReference exercises the unrolled kernels, including
+// odd tail lengths, against the scalar reference for every coefficient.
+func TestMulSliceMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 7, 8, 9, 63, 64, 65, 1024, 4097} {
+		src := make([]byte, size)
+		base := make([]byte, size)
+		rng.Read(src)
+		rng.Read(base)
+		for c := 0; c < Order; c++ {
+			want := append([]byte(nil), base...)
+			got := append([]byte(nil), base...)
+			mulSliceRef(byte(c), src, want)
+			MulSlice(byte(c), src, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulSlice(c=%d, size=%d) diverges from reference", c, size)
+			}
+
+			wantA := make([]byte, size)
+			gotA := append([]byte(nil), base...)
+			copy(wantA, base)
+			for i := range wantA {
+				wantA[i] = Mul(byte(c), src[i])
+			}
+			MulSliceAssign(byte(c), src, gotA)
+			if !bytes.Equal(gotA, wantA) {
+				t.Fatalf("MulSliceAssign(c=%d, size=%d) diverges from reference", c, size)
+			}
+		}
+	}
+}
+
+// TestMulSliceGenericPath re-runs the equivalence check with the assembly
+// kernels disabled so the portable loops are covered on amd64 too.
+func TestMulSliceGenericPath(t *testing.T) {
+	saved := asmEnabled
+	asmEnabled = false
+	defer func() { asmEnabled = saved }()
+	TestMulSliceMatchesReference(t)
+}
+
+func TestMulAccumulateRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, size := range []int{1, 8, 129, 4096, accBlockBytes + 13} {
+		for _, k := range []int{1, 4, 8} {
+			row := make([]byte, k)
+			srcs := make([][]byte, k)
+			for j := range srcs {
+				row[j] = byte(rng.Intn(Order))
+				srcs[j] = make([]byte, size)
+				rng.Read(srcs[j])
+			}
+			row[0] = 0 // cover the skip path
+			if k > 1 {
+				row[1] = 1 // cover the XOR fast path
+			}
+			want := make([]byte, size)
+			for j := range srcs {
+				mulSliceRef(row[j], srcs[j], want)
+			}
+			got := make([]byte, size)
+			MulAccumulateRows(row, srcs, got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAccumulateRows(k=%d, size=%d) diverges from per-row reference", k, size)
+			}
+		}
+	}
+}
+
+func TestMulAccumulateRowsPanics(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("row/src mismatch", func() {
+		MulAccumulateRows([]byte{1, 2}, [][]byte{make([]byte, 4)}, make([]byte, 4))
+	})
+	assertPanics("length mismatch", func() {
+		MulAccumulateRows([]byte{1}, [][]byte{make([]byte, 3)}, make([]byte, 4))
+	})
+}
+
+func benchmarkMulSlice(b *testing.B, kernel func(c byte, src, dst []byte), size int) {
+	src := make([]byte, size)
+	dst := make([]byte, size)
+	for i := range src {
+		src[i] = byte(i*7 + 3)
+	}
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kernel(0x9c, src, dst)
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		size int
+	}{
+		{"4KiB", 4 << 10},
+		{"64KiB", 64 << 10},
+		{"1MiB", 1 << 20},
+		{"4MiB", 4 << 20},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchmarkMulSlice(b, MulSlice, bc.size) })
+	}
+}
+
+// BenchmarkMulSliceSeed measures the retired scalar kernel on the same
+// workload, so one run shows the nibble-table speedup directly.
+func BenchmarkMulSliceSeed(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		size int
+	}{
+		{"1MiB", 1 << 20},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchmarkMulSlice(b, mulSliceRef, bc.size) })
+	}
+}
+
+func BenchmarkMulAccumulateRows(b *testing.B) {
+	const k, size = 6, 1 << 20
+	row := make([]byte, k)
+	srcs := make([][]byte, k)
+	for j := range srcs {
+		row[j] = byte(j*37 + 2)
+		srcs[j] = make([]byte, size)
+		for i := range srcs[j] {
+			srcs[j][i] = byte(i + j)
+		}
+	}
+	dst := make([]byte, size)
+	b.SetBytes(int64(k * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAccumulateRows(row, srcs, dst)
+	}
+}

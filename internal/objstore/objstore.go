@@ -343,3 +343,8 @@ func (p *Pool) Objects() []string {
 
 // OSDs returns the pool's OSD set.
 func (p *Pool) OSDs() []*OSD { return p.osds }
+
+// CoderStats returns a snapshot of the pool's erasure-coding data-plane
+// counters (operations, payload bytes, decode-plan cache hits/misses,
+// striped vs serial operations).
+func (p *Pool) CoderStats() erasure.CoderStats { return p.code.Stats() }
