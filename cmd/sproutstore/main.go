@@ -1,21 +1,27 @@
 // Command sproutstore runs the emulated Ceph-like object store, either as a
-// TCP server or as a self-contained demo that starts a server, writes
-// objects through erasure-coded pools and reads them back through both the
-// LRU cache tier and the functional-caching equivalent pools.
+// TCP server speaking the multiplexed binary protocol, as a load-generating
+// client against such a server, or as a self-contained demo that starts a
+// server, writes objects through erasure-coded pools and reads them back
+// through both the LRU cache tier and the functional-caching equivalent
+// pools.
 //
 // Usage:
 //
-//	sproutstore -mode serve -addr 127.0.0.1:7440
+//	sproutstore -mode serve -addr 127.0.0.1:7440 -workers 16 -inflight 512
+//	sproutstore -mode load -target 127.0.0.1:7440 -clients 64 -conns 4
 //	sproutstore -mode demo
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"os/signal"
+	"sort"
+	"sync"
 	"syscall"
 	"time"
 
@@ -26,13 +32,31 @@ import (
 
 func main() {
 	var (
-		mode    = flag.String("mode", "demo", "serve or demo")
+		mode    = flag.String("mode", "demo", "serve, load, or demo")
 		addr    = flag.String("addr", "127.0.0.1:0", "listen address in serve mode")
 		osds    = flag.Int("osds", 12, "number of OSDs")
 		objects = flag.Int("objects", 20, "objects written in demo mode")
 		objSize = flag.Int("size", 1<<20, "object size in bytes for the demo")
+
+		// Server admission control.
+		workers  = flag.Int("workers", 0, "serve: handler pool size (0 = default)")
+		inflight = flag.Int("inflight", 0, "serve: max queued requests before overload responses (0 = default)")
+
+		// Client pool and load generation.
+		target   = flag.String("target", "", "load: server address to connect to")
+		clients  = flag.Int("clients", 16, "load: concurrent client goroutines")
+		conns    = flag.Int("conns", 4, "load: pooled TCP connections")
+		duration = flag.Duration("duration", 3*time.Second, "load: how long to drive requests")
 	)
 	flag.Parse()
+
+	if *mode == "load" {
+		if *target == "" {
+			fail(fmt.Errorf("load mode needs -target host:port"))
+		}
+		runLoad(*target, *clients, *conns, *duration)
+		return
+	}
 
 	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
 		NumOSDs:            *osds,
@@ -55,7 +79,13 @@ func main() {
 
 	switch *mode {
 	case "serve":
-		srv := transport.NewServer(cluster)
+		srv := transport.NewServerWithConfig(cluster, transport.ServerConfig{
+			Workers:     *workers,
+			MaxInFlight: *inflight,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
 		bound, err := srv.Listen(*addr)
 		if err != nil {
 			fail(err)
@@ -65,11 +95,88 @@ func main() {
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
 		_ = srv.Close()
+		s := srv.Stats()
+		fmt.Printf("sproutstore: served %d requests, %d frames in / %d out, %d KiB in / %d out, %d overload rejections, %d decode errors\n",
+			s.Requests, s.FramesReceived, s.FramesSent, s.BytesReceived>>10, s.BytesSent>>10,
+			s.OverloadRejections, s.DecodeErrors)
 	case "demo":
 		runDemo(cluster, pools, *objects, *objSize)
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// runLoad drives GetChunk traffic at a remote server and reports throughput
+// and latency percentiles, writing a small working set first.
+func runLoad(target string, clients, conns int, duration time.Duration) {
+	client, err := transport.DialConfig(target, transport.ClientConfig{Conns: conns})
+	if err != nil {
+		fail(err)
+	}
+	defer client.Close()
+	ctx := context.Background()
+	pools, err := client.Pools(ctx)
+	if err != nil {
+		fail(err)
+	}
+	if len(pools) == 0 {
+		fail(fmt.Errorf("server exposes no pools"))
+	}
+	pool := pools[0]
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	const loadObjects = 8
+	payload := make([]byte, 256<<10)
+	for i := 0; i < loadObjects; i++ {
+		rng.Read(payload)
+		if _, err := client.Put(ctx, pool, fmt.Sprintf("load-%02d", i), payload); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Printf("sproutstore: driving %d clients over %d conns at %s (pool %q) for %v\n",
+		clients, conns, target, pool, duration)
+
+	deadline := time.Now().Add(duration)
+	latencies := make([][]time.Duration, clients)
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []time.Duration
+			for i := 0; time.Now().Before(deadline); i++ {
+				obj := fmt.Sprintf("load-%02d", (w+i)%loadObjects)
+				start := time.Now()
+				_, _, err := client.GetChunk(ctx, pool, obj, i%3)
+				if err != nil {
+					if errors.Is(err, transport.ErrOverloaded) {
+						// Shed requests are the backpressure working; the
+						// client already counts them in its stats.
+						continue
+					}
+					fail(err)
+				}
+				lats = append(lats, time.Since(start))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+
+	var merged []time.Duration
+	for _, l := range latencies {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	if len(merged) == 0 {
+		fail(fmt.Errorf("no requests completed"))
+	}
+	pct := func(p float64) time.Duration { return merged[int(p*float64(len(merged)-1))] }
+	s := client.Stats()
+	fmt.Printf("completed %d chunk reads: %.0f ops/s, p50 %v, p99 %v\n",
+		len(merged), float64(len(merged))/duration.Seconds(),
+		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Printf("client stats: %d frames / %d KiB sent, %d frames / %d KiB received, %d retries, %d overload rejections\n",
+		s.FramesSent, s.BytesSent>>10, s.FramesReceived, s.BytesReceived>>10, s.Retries, s.OverloadRejections)
 }
 
 func runDemo(cluster *objstore.Cluster, pools map[int]*objstore.Pool, objects, objSize int) {

@@ -50,19 +50,24 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
-	client, err := transport.Dial(addr, 2*time.Second)
+	// The pooled client multiplexes concurrent writes over two connections.
+	client, err := transport.DialConfig(addr, transport.ClientConfig{
+		Conns:       2,
+		DialTimeout: 2 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 	fmt.Printf("object store serving on %s\n", addr)
 
+	ctx := context.Background()
 	rng := rand.New(rand.NewSource(4))
 	payload := make([]byte, objectSize)
 	for i := 0; i < numObjects; i++ {
 		rng.Read(payload)
 		name := fmt.Sprintf("video-%02d", i)
-		if _, err := client.Put("ec-7-4", name, payload); err != nil {
+		if _, err := client.Put(ctx, "ec-7-4", name, payload); err != nil {
 			log.Fatal(err)
 		}
 		// Equivalent-code methodology (Section V-C of the paper): with d
@@ -71,7 +76,7 @@ func main() {
 		// chunk size, so each eq-d pool stores that prefix of the object.
 		for d := 0; d < 4; d++ {
 			portion := payload[:objectSize*(4-d)/4]
-			if _, err := client.Put(fmt.Sprintf("eq-%d", d), name, portion); err != nil {
+			if _, err := client.Put(ctx, fmt.Sprintf("eq-%d", d), name, portion); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -79,7 +84,6 @@ func main() {
 	fmt.Printf("wrote %d objects of %d KiB through the TCP client\n", numObjects, objectSize>>10)
 
 	// Read latency through the LRU cache tier (first cold, then warm).
-	ctx := context.Background()
 	meanLRU := func() time.Duration {
 		var total time.Duration
 		for i := 0; i < numObjects; i++ {
@@ -109,4 +113,10 @@ func main() {
 	fmt.Printf("LRU cache tier:         cold %v, warm %v\n", cold, warm)
 	hits, misses, evictions := cluster.CacheTier().Stats()
 	fmt.Printf("LRU tier stats: %d hits, %d misses, %d evictions\n", hits, misses, evictions)
+	cs, ss := client.Stats(), srv.Stats()
+	fmt.Printf("client transport stats: %d frames / %d KiB sent, %d frames / %d KiB received, %d conns, %d retries\n",
+		cs.FramesSent, cs.BytesSent>>10, cs.FramesReceived, cs.BytesReceived>>10,
+		cs.ConnsOpened, cs.Retries)
+	fmt.Printf("server transport stats: %d requests, %d overload rejections, %d decode errors\n",
+		ss.Requests, ss.OverloadRejections, ss.DecodeErrors)
 }

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sprout/internal/objstore"
+	"sprout/internal/queue"
+	"sprout/internal/transport"
+)
+
+// TransportResult measures one transport at one offered concurrency: chunk
+// reads per second and client-observed latency percentiles.
+type TransportResult struct {
+	Transport string // "gob" (seed baseline) or "binary" (multiplexed)
+	Clients   int    // concurrent client goroutines
+	Conns     int    // TCP connections used
+	Ops       int
+	OpsPerSec float64
+	P50us     float64
+	P99us     float64
+	Overloads int64 // server-side overload rejections during the point
+	Retries   int64 // client retries (binary only)
+}
+
+// transportBenchChunk is the chunk size of the measured GetChunk op; small
+// enough that framing and syscalls dominate, matching the paper's many-
+// small-requests serving regime.
+const transportBenchChunk = 4 << 10
+
+// TransportThroughput compares the seed gob-over-TCP transport (one
+// blocking request per connection) against the multiplexed binary transport
+// (pooled connections, pipelining, bounded server worker pool) on a
+// zero-service-time store, so the numbers isolate the network data plane.
+// Each point performs a fixed number of 4 KiB chunk reads split across the
+// client goroutines.
+func TransportThroughput(cfg Config) ([]TransportResult, error) {
+	cfg = cfg.withDefaults()
+	clientCounts := []int{1, 8, 64}
+	opsPerPoint := 4000
+	if cfg.Files >= 1000 { // paper scale: longer points, steadier numbers
+		opsPerPoint = 16000
+	}
+
+	var out []TransportResult
+	for _, clients := range clientCounts {
+		res, err := gobPoint(cfg, clients, opsPerPoint)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	for _, clients := range clientCounts {
+		res, err := binaryPoint(cfg, clients, opsPerPoint)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// transportStore builds the zero-service-time store with one hot object in
+// a (5,3) pool, so GetChunk serves 4 KiB chunks with no emulated disk wait.
+func transportStore(cfg Config) (*objstore.Cluster, error) {
+	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
+		NumOSDs:      8,
+		Services:     []queue.Dist{queue.Deterministic{Value: 0}},
+		RefChunkSize: transportBenchChunk,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	pool, err := cluster.CreatePool("data", 5, 3)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 3*transportBenchChunk)
+	rand.New(rand.NewSource(cfg.Seed)).Read(payload)
+	if err := pool.Put(context.Background(), "hot", payload); err != nil {
+		return nil, err
+	}
+	return cluster, nil
+}
+
+func gobPoint(cfg Config, clients, totalOps int) (TransportResult, error) {
+	cluster, err := transportStore(cfg)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	srv := transport.NewGobServer(cluster)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return TransportResult{}, err
+	}
+	defer srv.Close()
+
+	// The seed client serialises requests over its single connection, so
+	// the only way it scales is one connection per client goroutine.
+	conns := make([]*transport.GobClient, clients)
+	for i := range conns {
+		if conns[i], err = transport.DialGob(addr, 5*time.Second); err != nil {
+			return TransportResult{}, err
+		}
+		defer conns[i].Close()
+	}
+	latencies, elapsed, err := runPoint(clients, totalOps, func(worker, op int) error {
+		_, _, err := conns[worker].GetChunk("data", "hot", op%5)
+		return err
+	})
+	if err != nil {
+		return TransportResult{}, err
+	}
+	res := summarise("gob", clients, clients, latencies, elapsed)
+	return res, nil
+}
+
+func binaryPoint(cfg Config, clients, totalOps int) (TransportResult, error) {
+	cluster, err := transportStore(cfg)
+	if err != nil {
+		return TransportResult{}, err
+	}
+	srv := transport.NewServer(cluster)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return TransportResult{}, err
+	}
+	defer srv.Close()
+
+	// One multiplexed connection per two cores batches best: each extra
+	// connection adds reader/writer goroutines that fragment the write
+	// batches without adding parallelism the CPUs don't have.
+	poolConns := runtime.GOMAXPROCS(0) / 2
+	if poolConns < 1 {
+		poolConns = 1
+	}
+	if poolConns > 4 {
+		poolConns = 4
+	}
+	if poolConns > clients {
+		poolConns = clients
+	}
+	client, err := transport.DialConfig(addr, transport.ClientConfig{Conns: poolConns})
+	if err != nil {
+		return TransportResult{}, err
+	}
+	defer client.Close()
+
+	ctx := context.Background()
+	latencies, elapsed, err := runPoint(clients, totalOps, func(worker, op int) error {
+		_, _, err := client.GetChunk(ctx, "data", "hot", op%5)
+		return err
+	})
+	if err != nil {
+		return TransportResult{}, err
+	}
+	res := summarise("binary", clients, poolConns, latencies, elapsed)
+	res.Overloads = srv.Stats().OverloadRejections
+	res.Retries = client.Stats().Retries
+	return res, nil
+}
+
+// runPoint splits totalOps across clients goroutines, timing every op.
+func runPoint(clients, totalOps int, op func(worker, op int) error) ([]time.Duration, time.Duration, error) {
+	perClient := totalOps / clients
+	if perClient == 0 {
+		perClient = 1
+	}
+	latencies := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, perClient)
+			for i := 0; i < perClient; i++ {
+				opStart := time.Now()
+				if err := op(w, w*perClient+i); err != nil {
+					errs[w] = err
+					return
+				}
+				lats = append(lats, time.Since(opStart))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	var merged []time.Duration
+	for _, l := range latencies {
+		merged = append(merged, l...)
+	}
+	return merged, elapsed, nil
+}
+
+func summarise(name string, clients, conns int, latencies []time.Duration, elapsed time.Duration) TransportResult {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Microsecond)
+	}
+	return TransportResult{
+		Transport: name,
+		Clients:   clients,
+		Conns:     conns,
+		Ops:       len(latencies),
+		OpsPerSec: float64(len(latencies)) / elapsed.Seconds(),
+		P50us:     pct(0.50),
+		P99us:     pct(0.99),
+	}
+}
+
+// TransportTable renders TransportThroughput results, including the
+// binary-vs-gob speedup at matching concurrency.
+func TransportTable(results []TransportResult) *Table {
+	t := &Table{
+		Title:   "transport data plane: 4KiB chunk reads, gob baseline vs multiplexed binary",
+		Headers: []string{"transport", "clients", "conns", "ops", "ops/s", "p50 us", "p99 us", "speedup", "overloads", "retries"},
+		Notes: []string{
+			"zero-service-time store: numbers isolate framing, syscalls, and scheduling",
+			"gob opens one connection per client (the seed client blocks per request)",
+			"binary multiplexes every client over a small pooled connection set",
+		},
+	}
+	gobOps := make(map[int]float64)
+	for _, r := range results {
+		if r.Transport == "gob" {
+			gobOps[r.Clients] = r.OpsPerSec
+		}
+	}
+	for _, r := range results {
+		speedup := "1.00x"
+		if base := gobOps[r.Clients]; base > 0 && r.Transport != "gob" {
+			speedup = fmt.Sprintf("%.2fx", r.OpsPerSec/base)
+		}
+		t.AddRow(
+			r.Transport,
+			itoa(r.Clients),
+			itoa(r.Conns),
+			itoa(r.Ops),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.0f", r.P50us),
+			fmt.Sprintf("%.0f", r.P99us),
+			speedup,
+			i64toa(r.Overloads),
+			i64toa(r.Retries),
+		)
+	}
+	return t
+}

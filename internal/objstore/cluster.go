@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sprout/internal/cache"
@@ -92,6 +93,16 @@ func (c *Cluster) Pool(name string) (*Pool, error) {
 		return nil, fmt.Errorf("%w: %q", ErrPoolNotFound, name)
 	}
 	return p, nil
+}
+
+// PoolNames returns the names of all pools, sorted.
+func (c *Cluster) PoolNames() []string {
+	names := make([]string, 0, len(c.pools))
+	for name := range c.pools {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // CreateEquivalentPools creates the pools (n, k-d) for d = 0..k used to

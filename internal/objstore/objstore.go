@@ -15,6 +15,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -145,6 +146,10 @@ type Pool struct {
 
 	osds []*OSD
 	code *erasure.Code
+	// pgOSDs is the precomputed CRUSH-like placement, indexed by placement
+	// group: recomputing the seeded permutation per request would dominate
+	// the serving path. Entries are read-only after construction.
+	pgOSDs [][]*OSD
 
 	mu      sync.RWMutex
 	objects map[string]objectMeta
@@ -176,15 +181,25 @@ func NewPool(name string, n, k int, osds []*OSD, pgs int) (*Pool, error) {
 		}
 		pgs = nextPowerOfTwo(len(osds) * 100 / m)
 	}
-	return &Pool{
+	p := &Pool{
 		Name:            name,
 		N:               n,
 		K:               k,
 		PlacementGroups: pgs,
 		osds:            osds,
 		code:            code,
+		pgOSDs:          make([][]*OSD, pgs),
 		objects:         make(map[string]objectMeta),
-	}, nil
+	}
+	for pg := range p.pgOSDs {
+		perm := rand.New(rand.NewSource(int64(pg)*2654435761 + int64(len(osds)))).Perm(len(osds))
+		mapped := make([]*OSD, n)
+		for i := 0; i < n; i++ {
+			mapped[i] = osds[perm[i]]
+		}
+		p.pgOSDs[pg] = mapped
+	}
+	return p, nil
 }
 
 func nextPowerOfTwo(v int) int {
@@ -207,20 +222,16 @@ func (p *Pool) placementGroup(object string) int {
 	return int(h.Sum32()) % p.PlacementGroups
 }
 
-// osdsForPG maps a placement group to an ordered list of n distinct OSDs
-// (the CRUSH-like pseudo-random but deterministic mapping).
+// osdsForPG maps a placement group to its ordered list of n distinct OSDs
+// (the CRUSH-like pseudo-random but deterministic mapping, precomputed at
+// pool creation). The returned slice is shared and must not be mutated.
 func (p *Pool) osdsForPG(pg int) []*OSD {
-	perm := rand.New(rand.NewSource(int64(pg)*2654435761 + int64(len(p.osds)))).Perm(len(p.osds))
-	out := make([]*OSD, p.N)
-	for i := 0; i < p.N; i++ {
-		out[i] = p.osds[perm[i]]
-	}
-	return out
+	return p.pgOSDs[pg]
 }
 
 // chunkKey names a chunk of an object inside the pool.
 func (p *Pool) chunkKey(object string, chunk int) string {
-	return fmt.Sprintf("%s/%s/%d", p.Name, object, chunk)
+	return p.Name + "/" + object + "/" + strconv.Itoa(chunk)
 }
 
 // Put writes an object: the primary OSD path encodes it into n chunks and

@@ -1,0 +1,410 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClientConfig tunes the client's connection pool and retry behaviour.
+type ClientConfig struct {
+	// Conns is the connection-pool size; concurrent requests multiplex over
+	// these connections round-robin. Default: 2.
+	Conns int
+	// DialTimeout bounds each TCP dial. Default: 5s.
+	DialTimeout time.Duration
+	// RequestTimeout applies to round trips whose context carries no
+	// deadline of its own. Default: 30s. Set negative to disable.
+	RequestTimeout time.Duration
+	// Retries is the number of times a round trip is replayed on a fresh
+	// connection after the previous one broke before delivering a response.
+	// All protocol operations are idempotent, so replay is safe. Overload
+	// responses are never retried. Default: 2.
+	Retries int
+	// MaxFrameSize bounds accepted response frames. Default:
+	// DefaultMaxFrameSize.
+	MaxFrameSize int
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.MaxFrameSize <= 0 {
+		c.MaxFrameSize = DefaultMaxFrameSize
+	}
+	return c
+}
+
+// Client is a pooled, multiplexing client for the object-store server. It
+// is safe for concurrent use: requests pipeline over pooled connections and
+// responses are demultiplexed by request ID.
+type Client struct {
+	addr string
+	cfg  ClientConfig
+
+	counters transportCounters
+	nextID   atomic.Uint64
+	rr       atomic.Uint64
+	closed   atomic.Bool
+
+	slots []connSlot
+}
+
+// connSlot guards one pooled connection; dialing holds only the slot's
+// mutex, so a slow dial on one slot never blocks requests using the others.
+type connSlot struct {
+	mu sync.Mutex
+	cc *clientConn
+}
+
+// NewClient creates a client for addr. Connections are dialed lazily.
+func NewClient(addr string, cfg ClientConfig) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{addr: addr, cfg: cfg, slots: make([]connSlot, cfg.Conns)}
+}
+
+// Dial creates a client with default configuration (dial timeout set to
+// timeout) and verifies the server is reachable by establishing the first
+// pooled connection eagerly.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	return DialConfig(addr, ClientConfig{DialTimeout: timeout})
+}
+
+// DialConfig creates a client with the given configuration and establishes
+// the first pooled connection eagerly.
+func DialConfig(addr string, cfg ClientConfig) (*Client, error) {
+	c := NewClient(addr, cfg)
+	if _, err := c.conn(0); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of the client's transport counters.
+func (c *Client) Stats() TransportStats { return c.counters.snapshot() }
+
+// Close closes every pooled connection; in-flight round trips fail with a
+// broken-connection error.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for i := range c.slots {
+		s := &c.slots[i]
+		s.mu.Lock()
+		if s.cc != nil {
+			s.cc.fail(net.ErrClosed)
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// conn returns the pooled connection at slot, dialing it if absent or
+// broken. Only the slot's own mutex is held across the dial.
+func (c *Client) conn(slot int) (*clientConn, error) {
+	if c.closed.Load() {
+		return nil, net.ErrClosed
+	}
+	s := &c.slots[slot]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cc != nil && !s.cc.broken() {
+		return s.cc, nil
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", c.addr, err)
+	}
+	if c.closed.Load() {
+		_ = conn.Close()
+		return nil, net.ErrClosed
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(true)
+	}
+	c.counters.connsOpened.Add(1)
+	cc := &clientConn{
+		client:  c,
+		conn:    conn,
+		out:     make(chan *Request, 128),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]chan Response),
+	}
+	s.cc = cc
+	go cc.readLoop()
+	go cc.writeLoop()
+	return cc, nil
+}
+
+// call performs one round trip, retrying on broken connections.
+func (c *Client) call(ctx context.Context, req Request) (Response, error) {
+	if err := validateRequest(&req, c.cfg.MaxFrameSize); err != nil {
+		return Response{}, err
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline && c.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
+		defer cancel()
+	}
+	c.counters.requests.Add(1)
+	slot := int(c.rr.Add(1)) % c.cfg.Conns
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			c.counters.retries.Add(1)
+			slot = (slot + 1) % c.cfg.Conns
+		}
+		cc, err := c.conn(slot)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, net.ErrClosed) {
+				return Response{}, err
+			}
+			continue
+		}
+		resp, err := cc.roundTrip(ctx, req)
+		if err == nil {
+			if resp.OK() {
+				return resp, nil
+			}
+			if resp.Code == codeOverloaded {
+				c.counters.overloadRejections.Add(1)
+			}
+			return resp, errorFromResponse(&resp)
+		}
+		if !errors.Is(err, errConnBroken) {
+			return Response{}, err
+		}
+		lastErr = err
+	}
+	return Response{}, fmt.Errorf("transport: request failed after %d attempts: %w", c.cfg.Retries+1, lastErr)
+}
+
+// Put writes an object into a pool and returns the server-side latency.
+func (c *Client) Put(ctx context.Context, pool, object string, data []byte) (time.Duration, error) {
+	resp, err := c.call(ctx, Request{Op: OpPut, Pool: pool, Object: object, Data: data})
+	return resp.Latency, err
+}
+
+// Get reads a whole object from a pool.
+func (c *Client) Get(ctx context.Context, pool, object string) ([]byte, time.Duration, error) {
+	resp, err := c.call(ctx, Request{Op: OpGet, Pool: pool, Object: object})
+	return resp.Data, resp.Latency, err
+}
+
+// GetChunk reads a single coded chunk of an object.
+func (c *Client) GetChunk(ctx context.Context, pool, object string, chunk int) ([]byte, time.Duration, error) {
+	resp, err := c.call(ctx, Request{Op: OpGetChunk, Pool: pool, Object: object, Chunk: chunk})
+	return resp.Data, resp.Latency, err
+}
+
+// List returns the object names in a pool.
+func (c *Client) List(ctx context.Context, pool string) ([]string, error) {
+	resp, err := c.call(ctx, Request{Op: OpList, Pool: pool})
+	return resp.Names, err
+}
+
+// Pools returns the pool names served by the cluster.
+func (c *Client) Pools(ctx context.Context) ([]string, error) {
+	resp, err := c.call(ctx, Request{Op: OpPools})
+	return resp.Names, err
+}
+
+// clientConn is one pooled connection: a write loop that encodes and
+// batches request frames and a read loop that demultiplexes responses to
+// waiters by ID.
+type clientConn struct {
+	client *Client
+	conn   net.Conn
+	out    chan *Request
+	done   chan struct{}
+
+	mu       sync.Mutex
+	pending  map[uint64]chan Response
+	err      error
+	failOnce sync.Once
+}
+
+func (cc *clientConn) broken() bool {
+	select {
+	case <-cc.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// fail marks the connection broken and wakes every pending round trip.
+func (cc *clientConn) fail(err error) {
+	cc.failOnce.Do(func() {
+		cc.mu.Lock()
+		cc.err = err
+		cc.pending = nil
+		cc.mu.Unlock()
+		close(cc.done)
+		_ = cc.conn.Close()
+	})
+}
+
+// register installs a response channel for id; it fails if the connection
+// is already broken.
+func (cc *clientConn) register(id uint64) (chan Response, error) {
+	ch := make(chan Response, 1)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.pending == nil {
+		return nil, errConnBroken
+	}
+	cc.pending[id] = ch
+	return ch, nil
+}
+
+func (cc *clientConn) unregister(id uint64) {
+	cc.mu.Lock()
+	if cc.pending != nil {
+		delete(cc.pending, id)
+	}
+	cc.mu.Unlock()
+}
+
+func (cc *clientConn) roundTrip(ctx context.Context, req Request) (Response, error) {
+	req.ID = cc.client.nextID.Add(1)
+	ch, err := cc.register(req.ID)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case cc.out <- &req:
+	case <-cc.done:
+		cc.unregister(req.ID)
+		return Response{}, cc.brokenErr()
+	case <-ctx.Done():
+		cc.unregister(req.ID)
+		return Response{}, ctx.Err()
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-cc.done:
+		// The response may have been delivered in the same instant the
+		// connection died; prefer it over the connection error.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+			return Response{}, cc.brokenErr()
+		}
+	case <-ctx.Done():
+		cc.unregister(req.ID)
+		return Response{}, ctx.Err()
+	}
+}
+
+// brokenErr returns the recorded connection-failure cause (which wraps
+// errConnBroken), falling back to the bare sentinel.
+func (cc *clientConn) brokenErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return errConnBroken
+}
+
+func (cc *clientConn) readLoop() {
+	br := bufio.NewReaderSize(cc.conn, 64<<10)
+	for {
+		payload, err := readFrame(br, cc.client.cfg.MaxFrameSize)
+		if err != nil {
+			if !isDisconnect(err) {
+				cc.client.counters.decodeErrors.Add(1)
+			}
+			cc.fail(fmt.Errorf("%w: %v", errConnBroken, err))
+			return
+		}
+		cc.client.counters.countFrameIn(len(payload) + 4)
+		resp, err := decodeResponse(payload)
+		if err != nil {
+			cc.client.counters.decodeErrors.Add(1)
+			cc.fail(fmt.Errorf("%w: %v", errConnBroken, err))
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.pending[resp.ID]
+		if ch != nil {
+			delete(cc.pending, resp.ID)
+		}
+		cc.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+		// A response for an unknown ID belongs to a round trip that was
+		// cancelled; it is dropped.
+	}
+}
+
+func (cc *clientConn) writeLoop() {
+	bw := bufio.NewWriterSize(cc.conn, 64<<10)
+	var buf []byte
+	for {
+		select {
+		case req := <-cc.out:
+			ok := false
+			buf, ok = cc.writeBatch(bw, buf, req)
+			if !ok {
+				cc.fail(errConnBroken)
+				return
+			}
+		case <-cc.done:
+			return
+		}
+	}
+}
+
+// writeBatch encodes req into the reusable buffer and writes it, then keeps
+// draining queued requests — yielding once when the queue looks empty so
+// concurrent callers coalesce — and flushes once per batch, amortising
+// syscalls under load.
+func (cc *clientConn) writeBatch(bw *bufio.Writer, buf []byte, req *Request) ([]byte, bool) {
+	yielded := false
+	for {
+		buf = appendRequest(buf[:0], req)
+		if _, err := bw.Write(buf); err != nil {
+			return buf, false
+		}
+		cc.client.counters.countFrameOut(len(buf))
+		select {
+		case req = <-cc.out:
+			yielded = false
+			continue
+		default:
+		}
+		if !yielded {
+			yielded = true
+			runtime.Gosched()
+			select {
+			case req = <-cc.out:
+				continue
+			default:
+			}
+		}
+		return buf, bw.Flush() == nil
+	}
+}

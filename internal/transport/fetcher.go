@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"sprout/internal/core"
+)
+
+// RemoteFetcher implements core.ChunkFetcher over the multiplexed binary
+// client, so a core.Controller can serve reads whose storage chunks live
+// behind the network: degraded reads fetch whichever coded chunks the
+// scheduler picks from the remote pool.
+type RemoteFetcher struct {
+	// Client is the pooled transport client to fetch through.
+	Client *Client
+	// Pool is the remote erasure-coded pool holding the controller's files.
+	Pool string
+	// ObjectName maps a controller file ID to the remote object name.
+	// Defaults to "file-%04d", matching cluster.Config.Build naming.
+	ObjectName func(fileID int) string
+}
+
+var _ core.ChunkFetcher = (*RemoteFetcher)(nil)
+
+// FetchChunk retrieves one coded chunk of a file from the remote pool. The
+// node ID is ignored: placement is resolved server-side by the pool's
+// CRUSH-like mapping.
+func (f *RemoteFetcher) FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+	name := f.objectName(fileID)
+	data, _, err := f.Client.GetChunk(ctx, f.Pool, name, chunkIndex)
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetch chunk %d of %s/%s: %w", chunkIndex, f.Pool, name, err)
+	}
+	return data, nil
+}
+
+func (f *RemoteFetcher) objectName(fileID int) string {
+	if f.ObjectName != nil {
+		return f.ObjectName(fileID)
+	}
+	return fmt.Sprintf("file-%04d", fileID)
+}

@@ -1,0 +1,223 @@
+package transport
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sprout/internal/objstore"
+)
+
+// This file retains the seed gob-over-TCP transport as the measured
+// baseline for the multiplexed binary protocol: one blocking request per
+// connection, reflection-based encoding, an unbounded goroutine per
+// connection, and no admission control. It exists only so the transport
+// benchmark and sproutbench's transport experiment can report before/after
+// numbers against the exact seed behaviour; new code should use Server and
+// Client.
+
+// gobRequest is the seed wire format of one request.
+type gobRequest struct {
+	Op     string
+	Pool   string
+	Object string
+	Chunk  int
+	Data   []byte
+}
+
+// gobResponse is the seed wire format of one reply.
+type gobResponse struct {
+	OK      bool
+	Error   string
+	Data    []byte
+	Names   []string
+	Latency time.Duration
+}
+
+// GobServer serves the object store with the seed gob protocol.
+type GobServer struct {
+	inner *Server // reused only for request handling
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+// NewGobServer wraps a cluster for serving with the seed gob protocol.
+func NewGobServer(cluster *objstore.Cluster) *GobServer {
+	return &GobServer{inner: NewServer(cluster), conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts accepting connections and returns the bound address.
+func (s *GobServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: gob listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *GobServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *GobServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req gobRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.inner.handle(context.Background(), &Request{
+			Op:     gobOp(req.Op),
+			Pool:   req.Pool,
+			Object: req.Object,
+			Chunk:  req.Chunk,
+			Data:   req.Data,
+		})
+		out := gobResponse{
+			OK:      resp.OK(),
+			Error:   resp.Err,
+			Data:    resp.Data,
+			Names:   resp.Names,
+			Latency: resp.Latency,
+		}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+	}
+}
+
+func gobOp(op string) Op {
+	switch op {
+	case "put":
+		return OpPut
+	case "get":
+		return OpGet
+	case "get-chunk":
+		return OpGetChunk
+	case "list":
+		return OpList
+	case "pools":
+		return OpPools
+	default:
+		return Op(0)
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *GobServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// GobClient is the seed client: safe for concurrent use, but requests are
+// serialised one at a time over its single connection.
+type GobClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// DialGob connects to a gob server.
+func DialGob(addr string, timeout time.Duration) (*GobClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: gob dial %s: %w", addr, err)
+	}
+	return &GobClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close closes the client connection.
+func (c *GobClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *GobClient) roundTrip(req gobRequest) (gobResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return gobResponse{}, fmt.Errorf("transport: gob send: %w", err)
+	}
+	var resp gobResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return gobResponse{}, fmt.Errorf("transport: gob receive: %w", err)
+	}
+	if !resp.OK {
+		return resp, errors.New(resp.Error)
+	}
+	return resp, nil
+}
+
+// Put writes an object into a pool.
+func (c *GobClient) Put(pool, object string, data []byte) (time.Duration, error) {
+	resp, err := c.roundTrip(gobRequest{Op: "put", Pool: pool, Object: object, Data: data})
+	return resp.Latency, err
+}
+
+// Get reads a whole object from a pool.
+func (c *GobClient) Get(pool, object string) ([]byte, time.Duration, error) {
+	resp, err := c.roundTrip(gobRequest{Op: "get", Pool: pool, Object: object})
+	return resp.Data, resp.Latency, err
+}
+
+// GetChunk reads a single coded chunk of an object.
+func (c *GobClient) GetChunk(pool, object string, chunk int) ([]byte, time.Duration, error) {
+	resp, err := c.roundTrip(gobRequest{Op: "get-chunk", Pool: pool, Object: object, Chunk: chunk})
+	return resp.Data, resp.Latency, err
+}
+
+// List returns the object names in a pool.
+func (c *GobClient) List(pool string) ([]string, error) {
+	resp, err := c.roundTrip(gobRequest{Op: "list", Pool: pool})
+	return resp.Names, err
+}

@@ -1,0 +1,422 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"sprout/internal/objstore"
+)
+
+// ServerConfig tunes the server's admission control and framing.
+type ServerConfig struct {
+	// Workers is the size of the handler pool; every request executes on one
+	// of these goroutines, never on an unbounded per-request goroutine.
+	// Default: 4 × GOMAXPROCS, at least 8.
+	Workers int
+	// MaxInFlight bounds the request queue feeding the worker pool. A frame
+	// arriving while the queue is full is answered immediately with an
+	// overload response instead of being buffered. Default: 256.
+	MaxInFlight int
+	// MaxFrameSize bounds accepted frame payloads. Default:
+	// DefaultMaxFrameSize.
+	MaxFrameSize int
+	// Logf, when set, receives connection-level protocol errors (malformed
+	// frames, unexpected disconnects) that would otherwise only show up in
+	// the DecodeErrors counter.
+	Logf func(format string, args ...any)
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+		if c.Workers < 8 {
+			c.Workers = 8
+		}
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxFrameSize <= 0 {
+		c.MaxFrameSize = DefaultMaxFrameSize
+	}
+	return c
+}
+
+// Server serves an object-store cluster over the multiplexed binary
+// protocol.
+type Server struct {
+	cluster *objstore.Cluster
+	cfg     ServerConfig
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	work   chan task
+
+	counters transportCounters
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[*serverConn]struct{}
+	closed   bool
+	started  bool
+
+	connWG   sync.WaitGroup // accept loop + per-connection reader/writer
+	workerWG sync.WaitGroup
+}
+
+type task struct {
+	sc  *serverConn
+	req Request
+}
+
+// NewServer wraps a cluster for serving with default admission control.
+func NewServer(cluster *objstore.Cluster) *Server {
+	return NewServerWithConfig(cluster, ServerConfig{})
+}
+
+// NewServerWithConfig wraps a cluster for serving with explicit limits.
+func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cluster: cluster,
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		work:    make(chan task, cfg.MaxInFlight),
+		conns:   make(map[*serverConn]struct{}),
+	}
+}
+
+// Stats returns a snapshot of the server's transport counters.
+func (s *Server) Stats() TransportStats { return s.counters.snapshot() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serving happens on background goroutines until
+// Close is called.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = ln.Close()
+		return "", errors.New("transport: server closed")
+	}
+	s.listener = ln
+	if !s.started {
+		s.started = true
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.workerWG.Add(1)
+			go s.worker()
+		}
+	}
+	s.mu.Unlock()
+	s.connWG.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.connWG.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// The response queue gets a floor above MaxInFlight so small
+		// admission limits don't make transient full-queue blips look like
+		// stalled consumers.
+		outCap := s.cfg.MaxInFlight
+		if outCap < 64 {
+			outCap = 64
+		}
+		sc := &serverConn{
+			srv:  s,
+			conn: conn,
+			out:  make(chan *Response, outCap),
+			done: make(chan struct{}),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.counters.connsOpened.Add(1)
+		s.connWG.Add(2)
+		go sc.readLoop()
+		go sc.writeLoop()
+	}
+}
+
+// worker executes requests from the bounded queue.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.work {
+		resp := s.handle(s.ctx, &t.req)
+		if !responseFits(&resp, s.cfg.MaxFrameSize) {
+			// Sending a frame the client would reject kills the session;
+			// degrade to an in-band error instead.
+			resp = Response{
+				ID:      resp.ID,
+				Code:    codeError,
+				Err:     fmt.Sprintf("transport: response exceeds %d-byte frame limit", s.cfg.MaxFrameSize),
+				Latency: resp.Latency,
+			}
+		}
+		t.sc.send(&resp)
+	}
+}
+
+func (s *Server) handle(ctx context.Context, req *Request) Response {
+	start := time.Now()
+	fail := func(err error) Response {
+		return Response{ID: req.ID, Code: codeForError(err), Err: err.Error(), Latency: time.Since(start)}
+	}
+	ok := func(resp Response) Response {
+		resp.ID = req.ID
+		resp.Latency = time.Since(start)
+		return resp
+	}
+	switch req.Op {
+	case OpPut:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pool.Put(ctx, req.Object, req.Data); err != nil {
+			return fail(err)
+		}
+		return ok(Response{})
+	case OpGet:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := pool.Get(ctx, req.Object)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(Response{Data: data})
+	case OpGetChunk:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := pool.GetChunk(ctx, req.Object, req.Chunk)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(Response{Data: data})
+	case OpList:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(Response{Names: pool.Objects()})
+	case OpPools:
+		return ok(Response{Names: s.cluster.PoolNames()})
+	default:
+		return Response{
+			ID:      req.ID,
+			Code:    codeUnknownOp,
+			Err:     fmt.Sprintf("transport: unknown op %q", req.Op),
+			Latency: time.Since(start),
+		}
+	}
+}
+
+// Close stops the listener, closes active connections, cancels in-flight
+// handlers, and waits for all server goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		s.workerWG.Wait()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	conns := make([]*serverConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	started := s.started
+	s.mu.Unlock()
+
+	s.cancel()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, sc := range conns {
+		sc.teardown()
+	}
+	s.connWG.Wait()
+	// All readers have exited, so nothing can enqueue work anymore.
+	if started {
+		close(s.work)
+	}
+	s.workerWG.Wait()
+	return err
+}
+
+// serverConn is one accepted connection: a read loop decoding request
+// frames and a write loop that encodes responses into a reusable buffer and
+// batches them into flushes.
+type serverConn struct {
+	srv       *Server
+	conn      net.Conn
+	out       chan *Response
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (sc *serverConn) teardown() {
+	sc.closeOnce.Do(func() {
+		close(sc.done)
+		_ = sc.conn.Close()
+	})
+	sc.srv.mu.Lock()
+	delete(sc.srv.conns, sc)
+	sc.srv.mu.Unlock()
+}
+
+// writeStallTimeout bounds how long a worker will wait on a connection
+// whose response queue is full; a peer that stalls its reads this long is
+// disconnected rather than allowed to wedge the worker pool.
+const writeStallTimeout = 10 * time.Second
+
+// send queues a response, dropping it if the connection is already gone.
+// If the queue stays full for writeStallTimeout — the peer has stopped
+// draining its socket — the connection is torn down so one slow consumer
+// cannot block the shared workers indefinitely.
+func (sc *serverConn) send(resp *Response) {
+	select {
+	case sc.out <- resp:
+		return
+	case <-sc.done:
+		return
+	default:
+	}
+	t := time.NewTimer(writeStallTimeout)
+	defer t.Stop()
+	select {
+	case sc.out <- resp:
+	case <-sc.done:
+	case <-t.C:
+		sc.srv.logf("transport: %s: slow consumer, dropping connection", sc.conn.RemoteAddr())
+		sc.teardown()
+	}
+}
+
+func (sc *serverConn) readLoop() {
+	defer sc.srv.connWG.Done()
+	defer sc.teardown()
+	br := bufio.NewReaderSize(sc.conn, 64<<10)
+	for {
+		payload, err := readFrame(br, sc.srv.cfg.MaxFrameSize)
+		if err != nil {
+			if !isDisconnect(err) {
+				sc.srv.counters.decodeErrors.Add(1)
+				sc.srv.logf("transport: %s: reading frame: %v", sc.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		sc.srv.counters.countFrameIn(len(payload) + 4)
+		req, err := decodeRequest(payload)
+		if err != nil {
+			// A malformed frame means the stream can no longer be trusted;
+			// account for it, surface it, and end the session.
+			sc.srv.counters.decodeErrors.Add(1)
+			sc.srv.logf("transport: %s: malformed request: %v", sc.conn.RemoteAddr(), err)
+			return
+		}
+		select {
+		case sc.srv.work <- task{sc: sc, req: req}:
+			sc.srv.counters.requests.Add(1)
+		default:
+			// Queue full: shed load with an explicit overload response
+			// instead of buffering unboundedly.
+			sc.srv.counters.overloadRejections.Add(1)
+			sc.send(&Response{ID: req.ID, Code: codeOverloaded, Err: ErrOverloaded.Error()})
+		}
+	}
+}
+
+func (sc *serverConn) writeLoop() {
+	defer sc.srv.connWG.Done()
+	bw := bufio.NewWriterSize(sc.conn, 64<<10)
+	var buf []byte
+	for {
+		select {
+		case resp := <-sc.out:
+			ok := false
+			buf, ok = sc.writeBatch(bw, buf, resp)
+			if !ok {
+				sc.teardown()
+				return
+			}
+		case <-sc.done:
+			return
+		}
+	}
+}
+
+// writeBatch encodes resp into the reusable buffer and writes it, then
+// keeps draining queued responses — yielding once when the queue looks
+// empty so responses finishing close together coalesce — and flushes once
+// per batch, amortising syscalls under load.
+func (sc *serverConn) writeBatch(bw *bufio.Writer, buf []byte, resp *Response) ([]byte, bool) {
+	yielded := false
+	for {
+		buf = appendResponse(buf[:0], resp)
+		if _, err := bw.Write(buf); err != nil {
+			return buf, false
+		}
+		sc.srv.counters.countFrameOut(len(buf))
+		select {
+		case resp = <-sc.out:
+			yielded = false
+			continue
+		default:
+		}
+		if !yielded {
+			yielded = true
+			runtime.Gosched()
+			select {
+			case resp = <-sc.out:
+				continue
+			default:
+			}
+		}
+		return buf, bw.Flush() == nil
+	}
+}
+
+// isDisconnect reports whether err is an ordinary connection end rather
+// than a protocol violation.
+func isDisconnect(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET)
+}

@@ -1,0 +1,83 @@
+package transport
+
+import "sync/atomic"
+
+// TransportStats is a snapshot of a client's or server's data-plane
+// counters, surfaced the same way erasure.CoderStats is: cheap atomics on
+// the hot path, a consistent-enough snapshot on demand, and Add for
+// aggregating across components.
+type TransportStats struct {
+	// FramesSent and FramesReceived count wire frames written and read.
+	FramesSent     int64
+	FramesReceived int64
+	// BytesSent and BytesReceived are cumulative frame bytes including the
+	// 4-byte length prefix.
+	BytesSent     int64
+	BytesReceived int64
+	// Requests counts round trips started (client) or frames dispatched to
+	// the worker pool (server).
+	Requests int64
+	// Retries counts client round trips replayed after a broken connection.
+	Retries int64
+	// OverloadRejections counts requests shed by the server's max-in-flight
+	// limit (server) or overload responses observed (client).
+	OverloadRejections int64
+	// DecodeErrors counts malformed or truncated frames; on the server these
+	// are connection-level decode failures that end the session.
+	DecodeErrors int64
+	// ConnsOpened counts TCP connections accepted (server) or dialed
+	// (client).
+	ConnsOpened int64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s TransportStats) Add(o TransportStats) TransportStats {
+	return TransportStats{
+		FramesSent:         s.FramesSent + o.FramesSent,
+		FramesReceived:     s.FramesReceived + o.FramesReceived,
+		BytesSent:          s.BytesSent + o.BytesSent,
+		BytesReceived:      s.BytesReceived + o.BytesReceived,
+		Requests:           s.Requests + o.Requests,
+		Retries:            s.Retries + o.Retries,
+		OverloadRejections: s.OverloadRejections + o.OverloadRejections,
+		DecodeErrors:       s.DecodeErrors + o.DecodeErrors,
+		ConnsOpened:        s.ConnsOpened + o.ConnsOpened,
+	}
+}
+
+// transportCounters holds the live atomics behind a TransportStats snapshot.
+type transportCounters struct {
+	framesSent         atomic.Int64
+	framesReceived     atomic.Int64
+	bytesSent          atomic.Int64
+	bytesReceived      atomic.Int64
+	requests           atomic.Int64
+	retries            atomic.Int64
+	overloadRejections atomic.Int64
+	decodeErrors       atomic.Int64
+	connsOpened        atomic.Int64
+}
+
+func (c *transportCounters) snapshot() TransportStats {
+	return TransportStats{
+		FramesSent:         c.framesSent.Load(),
+		FramesReceived:     c.framesReceived.Load(),
+		BytesSent:          c.bytesSent.Load(),
+		BytesReceived:      c.bytesReceived.Load(),
+		Requests:           c.requests.Load(),
+		Retries:            c.retries.Load(),
+		OverloadRejections: c.overloadRejections.Load(),
+		DecodeErrors:       c.decodeErrors.Load(),
+		ConnsOpened:        c.connsOpened.Load(),
+	}
+}
+
+func (c *transportCounters) countFrameOut(n int) {
+	c.framesSent.Add(1)
+	c.bytesSent.Add(int64(n))
+}
+
+func (c *transportCounters) countFrameIn(n int) {
+	c.framesReceived.Add(1)
+	c.bytesReceived.Add(int64(n))
+}

@@ -2,6 +2,9 @@ package transport
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -11,11 +14,13 @@ import (
 	"sprout/internal/queue"
 )
 
-func startServer(t *testing.T) (*Server, *Client, *objstore.Cluster) {
+// testCluster builds an emulated cluster with a "data" (5,3) pool whose
+// OSDs respond with the given fixed service time.
+func testClusterWithService(t *testing.T, service float64) *objstore.Cluster {
 	t.Helper()
 	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
 		NumOSDs:      6,
-		Services:     []queue.Dist{queue.Deterministic{Value: 0.0001}},
+		Services:     []queue.Dist{queue.Deterministic{Value: service}},
 		RefChunkSize: 1 << 10,
 		Seed:         1,
 	})
@@ -25,28 +30,41 @@ func startServer(t *testing.T) (*Server, *Client, *objstore.Cluster) {
 	if _, err := cluster.CreatePool("data", 5, 3); err != nil {
 		t.Fatal(err)
 	}
-	srv := NewServer(cluster)
+	return cluster
+}
+
+func startServerWithConfig(t *testing.T, cluster *objstore.Cluster, scfg ServerConfig, ccfg ClientConfig) (*Server, *Client) {
+	t.Helper()
+	srv := NewServerWithConfig(cluster, scfg)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv.Close() })
-	client, err := Dial(addr, time.Second)
+	client, err := DialConfig(addr, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = client.Close() })
+	return srv, client
+}
+
+func startServer(t *testing.T) (*Server, *Client, *objstore.Cluster) {
+	t.Helper()
+	cluster := testClusterWithService(t, 0.0001)
+	srv, client := startServerWithConfig(t, cluster, ServerConfig{}, ClientConfig{})
 	return srv, client, cluster
 }
 
 func TestPutGetOverTCP(t *testing.T) {
 	_, client, _ := startServer(t)
+	ctx := context.Background()
 	payload := make([]byte, 9000)
 	rand.New(rand.NewSource(2)).Read(payload)
-	if _, err := client.Put("data", "obj1", payload); err != nil {
+	if _, err := client.Put(ctx, "data", "obj1", payload); err != nil {
 		t.Fatal(err)
 	}
-	got, latency, err := client.Get("data", "obj1")
+	got, latency, err := client.Get(ctx, "data", "obj1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,20 +74,25 @@ func TestPutGetOverTCP(t *testing.T) {
 	if latency <= 0 {
 		t.Fatalf("latency = %v", latency)
 	}
-	names, err := client.List("data")
+	names, err := client.List(ctx, "data")
 	if err != nil || len(names) != 1 || names[0] != "obj1" {
 		t.Fatalf("List = %v, %v", names, err)
+	}
+	pools, err := client.Pools(ctx)
+	if err != nil || len(pools) != 1 || pools[0] != "data" {
+		t.Fatalf("Pools = %v, %v", pools, err)
 	}
 }
 
 func TestGetChunkOverTCP(t *testing.T) {
 	_, client, _ := startServer(t)
+	ctx := context.Background()
 	payload := make([]byte, 3000)
 	rand.New(rand.NewSource(3)).Read(payload)
-	if _, err := client.Put("data", "obj2", payload); err != nil {
+	if _, err := client.Put(ctx, "data", "obj2", payload); err != nil {
 		t.Fatal(err)
 	}
-	chunk, _, err := client.GetChunk("data", "obj2", 0)
+	chunk, _, err := client.GetChunk(ctx, "data", "obj2", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,82 +101,399 @@ func TestGetChunkOverTCP(t *testing.T) {
 	}
 }
 
-func TestErrorsPropagate(t *testing.T) {
+func TestErrorsMapToSentinels(t *testing.T) {
 	_, client, _ := startServer(t)
-	if _, _, err := client.Get("data", "missing"); err == nil {
-		t.Fatal("expected error for missing object")
+	ctx := context.Background()
+	if _, _, err := client.Get(ctx, "data", "missing"); !errors.Is(err, objstore.ErrObjectNotFound) {
+		t.Fatalf("Get missing object: want ErrObjectNotFound, got %v", err)
 	}
-	if _, _, err := client.Get("nopool", "x"); err == nil {
-		t.Fatal("expected error for missing pool")
+	if _, _, err := client.Get(ctx, "nopool", "x"); !errors.Is(err, objstore.ErrPoolNotFound) {
+		t.Fatalf("Get missing pool: want ErrPoolNotFound, got %v", err)
 	}
-	if _, err := client.List("nopool"); err == nil {
-		t.Fatal("expected error for missing pool in list")
+	if _, err := client.List(ctx, "nopool"); !errors.Is(err, objstore.ErrPoolNotFound) {
+		t.Fatalf("List missing pool: want ErrPoolNotFound, got %v", err)
 	}
-	// The connection must remain usable after an error response.
-	if _, err := client.Put("data", "after-error", []byte("hello world")); err != nil {
+	if _, _, err := client.GetChunk(ctx, "data", "obj", 99); !errors.Is(err, objstore.ErrObjectNotFound) {
+		t.Fatalf("GetChunk missing object: want ErrObjectNotFound, got %v", err)
+	}
+	if _, err := client.Put(ctx, "data", "present", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.GetChunk(ctx, "data", "present", 99); !errors.Is(err, objstore.ErrChunkMissing) {
+		t.Fatalf("GetChunk out of range: want ErrChunkMissing, got %v", err)
+	}
+	// The server message must survive the wire alongside the sentinel.
+	_, _, err := client.Get(ctx, "data", "missing")
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("missing")) {
+		t.Fatalf("error message lost: %v", err)
+	}
+	// The connection must remain usable after error responses.
+	if _, err := client.Put(ctx, "data", "after-error", []byte("hello world")); err != nil {
 		t.Fatalf("connection unusable after error: %v", err)
 	}
 }
 
 func TestUnknownOp(t *testing.T) {
 	_, client, _ := startServer(t)
-	if _, err := client.roundTrip(Request{Op: Op("bogus")}); err == nil {
+	if _, err := client.call(context.Background(), Request{Op: Op(99)}); err == nil {
 		t.Fatal("expected error for unknown op")
 	}
 }
 
-func TestConcurrentClients(t *testing.T) {
-	srv, first, _ := startServer(t)
-	addr := srv.listener.Addr().String()
-	payload := make([]byte, 2000)
-	rand.New(rand.NewSource(4)).Read(payload)
-	if _, err := first.Put("data", "shared", payload); err != nil {
-		t.Fatal(err)
+// TestConcurrentPipelinedClients hammers one pooled client from many
+// goroutines so requests pipeline and interleave over shared connections.
+func TestConcurrentPipelinedClients(t *testing.T) {
+	_, client, _ := startServer(t)
+	ctx := context.Background()
+	const objects = 4
+	payloads := make([][]byte, objects)
+	rng := rand.New(rand.NewSource(4))
+	for i := range payloads {
+		payloads[i] = make([]byte, 1500+300*i)
+		rng.Read(payloads[i])
+		if _, err := client.Put(ctx, "data", fmt.Sprintf("obj-%d", i), payloads[i]); err != nil {
+			t.Fatal(err)
+		}
 	}
+	const goroutines = 16
+	const opsPer = 25
+	errCh := make(chan error, goroutines)
 	var wg sync.WaitGroup
-	errCh := make(chan error, 8)
-	for i := 0; i < 8; i++ {
+	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
-		go func() {
+		go func(g int) {
 			defer wg.Done()
-			client, err := Dial(addr, time.Second)
-			if err != nil {
-				errCh <- err
-				return
-			}
-			defer client.Close()
-			for j := 0; j < 5; j++ {
-				got, _, err := client.Get("data", "shared")
-				if err != nil {
-					errCh <- err
-					return
+			for j := 0; j < opsPer; j++ {
+				obj := (g + j) % objects
+				switch j % 3 {
+				case 0:
+					got, _, err := client.Get(ctx, "data", fmt.Sprintf("obj-%d", obj))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !bytes.Equal(got, payloads[obj]) {
+						errCh <- fmt.Errorf("goroutine %d: object %d mismatch", g, obj)
+						return
+					}
+				case 1:
+					if _, _, err := client.GetChunk(ctx, "data", fmt.Sprintf("obj-%d", obj), j%5); err != nil {
+						errCh <- err
+						return
+					}
+				case 2:
+					if _, err := client.List(ctx, "data"); err != nil {
+						errCh <- err
+						return
+					}
 				}
-				if !bytes.Equal(got, payload) {
-					errCh <- bytes.ErrTooLarge
-					return
-				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)
 	}
+	stats := client.Stats()
+	if stats.Requests < goroutines*opsPer {
+		t.Fatalf("client requests = %d, want >= %d", stats.Requests, goroutines*opsPer)
+	}
+	if stats.ConnsOpened > int64(client.cfg.Conns) {
+		t.Fatalf("opened %d conns for a pool of %d", stats.ConnsOpened, client.cfg.Conns)
+	}
 }
 
-func TestServerCloseUnblocksClients(t *testing.T) {
-	srv, client, _ := startServer(t)
+func TestContextCancellationMidFlight(t *testing.T) {
+	cluster := testClusterWithService(t, 0.2) // 200ms per chunk read
+	_, client := startServerWithConfig(t, cluster, ServerConfig{}, ClientConfig{})
+	bg := context.Background()
+	if _, err := client.Put(bg, "data", "slow", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := client.Get(ctx, "data", "slow")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Get did not return")
+	}
+	// The connection must stay healthy for later requests.
+	if _, _, err := client.Get(bg, "data", "slow"); err != nil {
+		t.Fatalf("connection unusable after cancellation: %v", err)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	cluster := testClusterWithService(t, 0.5)
+	_, client := startServerWithConfig(t, cluster, ServerConfig{},
+		ClientConfig{RequestTimeout: 20 * time.Millisecond})
+	bg := context.Background()
+	ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+	defer cancel()
+	if _, err := client.Put(ctx, "data", "slow", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, _, err := client.Get(bg, "data", "slow"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded from default request timeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestOverloadRejection(t *testing.T) {
+	cluster := testClusterWithService(t, 0.05)
+	srv, client := startServerWithConfig(t, cluster,
+		ServerConfig{Workers: 1, MaxInFlight: 1}, ClientConfig{Conns: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := client.Put(ctx, "data", "hot", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 12
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := client.Get(ctx, "data", "hot")
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	var ok, overloaded int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			overloaded++
+		default:
+			t.Fatalf("unexpected error under overload: %v", err)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded under overload")
+	}
+	if overloaded == 0 {
+		t.Fatal("expected at least one overload rejection")
+	}
+	if srv.Stats().OverloadRejections == 0 {
+		t.Fatal("server did not count overload rejections")
+	}
+	if client.Stats().OverloadRejections == 0 {
+		t.Fatal("client did not count observed overload rejections")
+	}
+	// After the burst drains, service resumes normally.
+	if _, _, err := client.Get(ctx, "data", "hot"); err != nil {
+		t.Fatalf("server unusable after overload burst: %v", err)
+	}
+}
+
+func TestServerCloseMidFlight(t *testing.T) {
+	cluster := testClusterWithService(t, 0.2)
+	srv, client := startServerWithConfig(t, cluster, ServerConfig{},
+		ClientConfig{Retries: -1, RequestTimeout: 5 * time.Second})
+	ctx := context.Background()
+	if _, err := client.Put(ctx, "data", "obj", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 6
+	done := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			_, _, err := client.Get(ctx, "data", "obj")
+			done <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
 	if err := srv.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Put("data", "x", []byte("1234")); err == nil {
-		t.Fatal("expected error after server close")
+	for g := 0; g < goroutines; g++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("in-flight request reported success after server close")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("in-flight request did not return after server close")
+		}
+	}
+}
+
+// TestRetryAcrossServerRestart verifies the client survives its pooled
+// connections breaking: after the server restarts on the same address, the
+// next calls redial and succeed.
+func TestRetryAcrossServerRestart(t *testing.T) {
+	cluster := testClusterWithService(t, 0.0001)
+	srv := NewServer(cluster)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	ctx := context.Background()
+	payload := make([]byte, 2000)
+	rand.New(rand.NewSource(7)).Read(payload)
+	if _, err := client.Put(ctx, "data", "persist", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(cluster)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv2.Close() })
+	got, _, err := client.Get(ctx, "data", "persist")
+	if err != nil {
+		t.Fatalf("Get after server restart: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after restart")
+	}
+}
+
+func TestClientCloseUnblocksWaiters(t *testing.T) {
+	cluster := testClusterWithService(t, 0.5)
+	_, client := startServerWithConfig(t, cluster, ServerConfig{}, ClientConfig{})
+	ctx := context.Background()
+	if _, err := client.Put(ctx, "data", "obj", make([]byte, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := client.Get(ctx, "data", "obj")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = client.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("request succeeded after client close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not unblocked by client close")
+	}
+}
+
+func TestRequestTooLargeRejectedLocally(t *testing.T) {
+	cluster := testClusterWithService(t, 0.0001)
+	_, client := startServerWithConfig(t, cluster, ServerConfig{},
+		ClientConfig{MaxFrameSize: 1024})
+	ctx := context.Background()
+	_, err := client.Put(ctx, "data", "big", make([]byte, 2048))
+	if !errors.Is(err, ErrRequestTooLarge) {
+		t.Fatalf("want ErrRequestTooLarge, got %v", err)
+	}
+	if client.Stats().Retries != 0 {
+		t.Fatal("oversized request must not burn retries on healthy connections")
+	}
+	// The pooled connections stay healthy for well-sized requests.
+	if _, err := client.Put(ctx, "data", "small", make([]byte, 128)); err != nil {
+		t.Fatalf("connection poisoned by rejected oversized request: %v", err)
+	}
+}
+
+func TestOversizedResponseDegradesToError(t *testing.T) {
+	cluster := testClusterWithService(t, 0.0001)
+	_, client := startServerWithConfig(t, cluster,
+		ServerConfig{MaxFrameSize: 8192}, ClientConfig{})
+	ctx := context.Background()
+	// Each put request is small, but the accumulated List response exceeds
+	// the server's frame limit; the server must answer with an in-band
+	// error instead of emitting a frame the client would reject.
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("object-with-a-rather-long-name-%04d-%032d", i, i)
+		if _, err := client.Put(ctx, "data", name, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := client.List(ctx, "data")
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("frame limit")) {
+		t.Fatalf("want in-band frame-limit error, got %v", err)
+	}
+	// The connection survives.
+	if _, _, err := client.Get(ctx, "data", "object-with-a-rather-long-name-0000-"+fmt.Sprintf("%032d", 0)); err != nil {
+		t.Fatalf("connection killed by oversized response handling: %v", err)
 	}
 }
 
 func TestDialFailure(t *testing.T) {
 	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
 		t.Fatal("expected dial error for closed port")
+	}
+}
+
+func TestServerStatsCount(t *testing.T) {
+	srv, client, _ := startServer(t)
+	ctx := context.Background()
+	if _, err := client.Put(ctx, "data", "x", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Get(ctx, "data", "x"); err != nil {
+		t.Fatal(err)
+	}
+	s := srv.Stats()
+	if s.FramesReceived < 2 || s.FramesSent < 2 || s.Requests < 2 {
+		t.Fatalf("server stats = %+v", s)
+	}
+	if s.BytesReceived == 0 || s.BytesSent == 0 {
+		t.Fatalf("server byte counters empty: %+v", s)
+	}
+	c := client.Stats()
+	if c.FramesSent < 2 || c.FramesReceived < 2 {
+		t.Fatalf("client stats = %+v", c)
+	}
+}
+
+// TestGobBaselineStillWorks keeps the benchmark baseline honest.
+func TestGobBaselineStillWorks(t *testing.T) {
+	cluster := testClusterWithService(t, 0.0001)
+	srv := NewGobServer(cluster)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := DialGob(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	payload := make([]byte, 2500)
+	rand.New(rand.NewSource(9)).Read(payload)
+	if _, err := client.Put("data", "obj", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client.Get("data", "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("gob round-trip mismatch")
+	}
+	if _, _, err := client.Get("data", "missing"); err == nil {
+		t.Fatal("expected error for missing object over gob")
 	}
 }

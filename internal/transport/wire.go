@@ -1,0 +1,430 @@
+// Package transport is the network data plane of the emulated object store:
+// a length-prefixed binary wire protocol with per-request IDs, so many
+// requests multiplex over one TCP connection. The server dispatches frames
+// to a bounded worker pool and sheds load with an explicit overload response
+// when its in-flight limit is reached; the client keeps a connection pool,
+// pipelines concurrent requests, demultiplexes responses by ID, honours
+// context deadlines/cancellation, and retries idempotent requests once a
+// connection breaks. The seed gob implementation is retained in gob.go as
+// the benchmark baseline.
+//
+// # Wire format
+//
+// Every frame is a 4-byte big-endian payload length followed by the payload.
+// Request payloads:
+//
+//	kind(1=request) | id uint64 | op byte | chunk uint32 |
+//	pool (uint16 len + bytes) | object (uint16 len + bytes) |
+//	data (uint32 len + bytes)
+//
+// Response payloads:
+//
+//	kind(2=response) | id uint64 | code byte | latency int64 (ns) |
+//	errmsg (uint16 len + bytes) | names (uint16 count × uint16 len + bytes) |
+//	data (uint32 len + bytes)
+//
+// Code 0 means success; non-zero codes map back to typed errors on the
+// client (objstore.ErrObjectNotFound, objstore.ErrPoolNotFound,
+// objstore.ErrChunkMissing, ErrOverloaded) so callers can errors.Is them.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"sprout/internal/objstore"
+)
+
+// Op identifies a request type.
+type Op byte
+
+// Supported operations.
+const (
+	OpPut Op = iota + 1
+	OpGet
+	OpGetChunk
+	OpList
+	OpPools
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpPut:
+		return "put"
+	case OpGet:
+		return "get"
+	case OpGetChunk:
+		return "get-chunk"
+	case OpList:
+		return "list"
+	case OpPools:
+		return "pools"
+	default:
+		return fmt.Sprintf("op(%d)", byte(o))
+	}
+}
+
+// Frame kinds.
+const (
+	frameRequest  byte = 1
+	frameResponse byte = 2
+)
+
+// Response status codes.
+const (
+	codeOK             byte = 0
+	codeError          byte = 1 // untyped server-side error
+	codeObjectNotFound byte = 2
+	codePoolNotFound   byte = 3
+	codeChunkMissing   byte = 4
+	codeUnknownOp      byte = 5
+	codeOverloaded     byte = 6
+)
+
+// DefaultMaxFrameSize bounds a frame payload unless overridden in the
+// client/server configuration.
+const DefaultMaxFrameSize = 64 << 20
+
+// maxString16 is the longest string a uint16-length field can carry.
+const maxString16 = 1<<16 - 1
+
+// requestOverhead is the fixed encoding cost of a request frame beyond the
+// pool, object, and data bytes (kind, id, op, chunk, three length fields).
+const requestOverhead = 1 + 8 + 1 + 4 + 2 + 2 + 4
+
+// ErrRequestTooLarge is returned before sending a request whose frame would
+// exceed the configured MaxFrameSize, or whose pool/object name exceeds the
+// wire format's 64 KiB string limit; the request is rejected locally
+// instead of poisoning connections the server would kill.
+var ErrRequestTooLarge = errors.New("transport: request exceeds frame limits")
+
+// validateRequest rejects requests the wire format cannot carry.
+func validateRequest(req *Request, maxFrame int) error {
+	if len(req.Pool) > maxString16 || len(req.Object) > maxString16 {
+		return fmt.Errorf("%w: name longer than %d bytes", ErrRequestTooLarge, maxString16)
+	}
+	if size := requestOverhead + len(req.Pool) + len(req.Object) + len(req.Data); size > maxFrame {
+		return fmt.Errorf("%w: frame would be %d bytes, limit %d", ErrRequestTooLarge, size, maxFrame)
+	}
+	return nil
+}
+
+// responseFits reports whether resp can be encoded within maxFrame; callers
+// replace oversized responses with an error response rather than emitting a
+// frame the peer will reject.
+func responseFits(resp *Response, maxFrame int) bool {
+	if len(resp.Names) > maxString16 {
+		return false
+	}
+	size := 1 + 8 + 1 + 8 + 2 + len(resp.Err) + 2 + 4 + len(resp.Data)
+	for _, n := range resp.Names {
+		if len(n) > maxString16 {
+			return false
+		}
+		size += 2 + len(n)
+	}
+	return size <= maxFrame
+}
+
+// ErrOverloaded is returned when the server sheds a request because its
+// max-in-flight limit is reached. Callers should back off; the client does
+// not retry these automatically.
+var ErrOverloaded = errors.New("transport: server overloaded")
+
+// errConnBroken marks a request that failed because the underlying
+// connection died before a response arrived; the client retries these.
+var errConnBroken = errors.New("transport: connection broken")
+
+// Request is one client request.
+type Request struct {
+	ID     uint64
+	Op     Op
+	Chunk  int
+	Pool   string
+	Object string
+	Data   []byte
+}
+
+// Response is one server reply.
+type Response struct {
+	ID      uint64
+	Code    byte
+	Err     string
+	Names   []string
+	Data    []byte
+	Latency time.Duration
+}
+
+// OK reports whether the response carries a success code.
+func (r *Response) OK() bool { return r.Code == codeOK }
+
+// codeForError maps a server-side error to a wire status code.
+func codeForError(err error) byte {
+	switch {
+	case errors.Is(err, objstore.ErrObjectNotFound):
+		return codeObjectNotFound
+	case errors.Is(err, objstore.ErrPoolNotFound):
+		return codePoolNotFound
+	case errors.Is(err, objstore.ErrChunkMissing):
+		return codeChunkMissing
+	default:
+		return codeError
+	}
+}
+
+// wireError carries the server's error message while unwrapping to the
+// sentinel matching its wire code, so errors.Is works across the network.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }
+
+// errorFromResponse reconstructs a typed error from a non-OK response.
+func errorFromResponse(resp *Response) error {
+	msg := resp.Err
+	if msg == "" {
+		msg = "transport: remote error"
+	}
+	switch resp.Code {
+	case codeObjectNotFound:
+		return &wireError{msg: msg, sentinel: objstore.ErrObjectNotFound}
+	case codePoolNotFound:
+		return &wireError{msg: msg, sentinel: objstore.ErrPoolNotFound}
+	case codeChunkMissing:
+		return &wireError{msg: msg, sentinel: objstore.ErrChunkMissing}
+	case codeOverloaded:
+		return &wireError{msg: msg, sentinel: ErrOverloaded}
+	default:
+		return errors.New(msg)
+	}
+}
+
+// appendRequest encodes req as a complete frame (length prefix included).
+func appendRequest(buf []byte, req *Request) []byte {
+	payload := 1 + 8 + 1 + 4 + 2 + len(req.Pool) + 2 + len(req.Object) + 4 + len(req.Data)
+	buf = append(buf, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[len(buf)-4:], uint32(payload))
+	buf = append(buf, frameRequest)
+	buf = binary.BigEndian.AppendUint64(buf, req.ID)
+	buf = append(buf, byte(req.Op))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(req.Chunk))
+	buf = appendString16(buf, req.Pool)
+	buf = appendString16(buf, req.Object)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Data)))
+	return append(buf, req.Data...)
+}
+
+// appendResponse encodes resp as a complete frame (length prefix included).
+// Names and Data must have been checked with responseFits; Err is clamped
+// here so arbitrarily long error messages cannot desync the stream.
+func appendResponse(buf []byte, resp *Response) []byte {
+	if len(resp.Err) > maxString16 {
+		resp.Err = resp.Err[:maxString16]
+	}
+	payload := 1 + 8 + 1 + 8 + 2 + len(resp.Err) + 2 + 4 + len(resp.Data)
+	for _, n := range resp.Names {
+		payload += 2 + len(n)
+	}
+	buf = append(buf, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(buf[len(buf)-4:], uint32(payload))
+	buf = append(buf, frameResponse)
+	buf = binary.BigEndian.AppendUint64(buf, resp.ID)
+	buf = append(buf, resp.Code)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Latency))
+	buf = appendString16(buf, resp.Err)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(resp.Names)))
+	for _, n := range resp.Names {
+		buf = appendString16(buf, n)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(resp.Data)))
+	return append(buf, resp.Data...)
+}
+
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// readFrame reads one frame payload from r, enforcing the size limit.
+func readFrame(r io.Reader, maxSize int) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := int(binary.BigEndian.Uint32(hdr[:]))
+	if size < 1 || size > maxSize {
+		return nil, fmt.Errorf("transport: frame size %d outside (0, %d]", size, maxSize)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+var errTruncated = errors.New("transport: truncated frame")
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, errTruncated
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) string16() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	b, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *reader) blob32() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	return r.bytes(int(n))
+}
+
+// decodeRequest parses a request frame payload. The returned request's Data
+// aliases the payload buffer.
+func decodeRequest(payload []byte) (Request, error) {
+	r := reader{buf: payload}
+	var req Request
+	kind, err := r.u8()
+	if err != nil {
+		return req, err
+	}
+	if kind != frameRequest {
+		return req, fmt.Errorf("transport: expected request frame, got kind %d", kind)
+	}
+	if req.ID, err = r.u64(); err != nil {
+		return req, err
+	}
+	op, err := r.u8()
+	if err != nil {
+		return req, err
+	}
+	req.Op = Op(op)
+	chunk, err := r.u32()
+	if err != nil {
+		return req, err
+	}
+	req.Chunk = int(int32(chunk))
+	if req.Pool, err = r.string16(); err != nil {
+		return req, err
+	}
+	if req.Object, err = r.string16(); err != nil {
+		return req, err
+	}
+	if req.Data, err = r.blob32(); err != nil {
+		return req, err
+	}
+	if r.off != len(r.buf) {
+		return req, fmt.Errorf("transport: %d trailing bytes in request frame", len(r.buf)-r.off)
+	}
+	return req, nil
+}
+
+// decodeResponse parses a response frame payload. The returned response's
+// Data aliases the payload buffer.
+func decodeResponse(payload []byte) (Response, error) {
+	r := reader{buf: payload}
+	var resp Response
+	kind, err := r.u8()
+	if err != nil {
+		return resp, err
+	}
+	if kind != frameResponse {
+		return resp, fmt.Errorf("transport: expected response frame, got kind %d", kind)
+	}
+	if resp.ID, err = r.u64(); err != nil {
+		return resp, err
+	}
+	if resp.Code, err = r.u8(); err != nil {
+		return resp, err
+	}
+	lat, err := r.u64()
+	if err != nil {
+		return resp, err
+	}
+	resp.Latency = time.Duration(lat)
+	if resp.Err, err = r.string16(); err != nil {
+		return resp, err
+	}
+	count, err := r.u16()
+	if err != nil {
+		return resp, err
+	}
+	if count > 0 {
+		resp.Names = make([]string, count)
+		for i := range resp.Names {
+			if resp.Names[i], err = r.string16(); err != nil {
+				return resp, err
+			}
+		}
+	}
+	if resp.Data, err = r.blob32(); err != nil {
+		return resp, err
+	}
+	if r.off != len(r.buf) {
+		return resp, fmt.Errorf("transport: %d trailing bytes in response frame", len(r.buf)-r.off)
+	}
+	return resp, nil
+}

@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+
+	"sprout/internal/objstore"
+)
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Op: OpPut, Pool: "data", Object: "obj", Data: []byte("payload")},
+		{ID: 1<<63 + 7, Op: OpGetChunk, Pool: "p", Object: "o", Chunk: 42},
+		{ID: 0, Op: OpList, Pool: "pool-with-longer-name"},
+		{ID: 3, Op: OpPools},
+		{ID: 4, Op: OpGet, Pool: "", Object: "", Data: nil},
+		{ID: 5, Op: OpGetChunk, Chunk: -1},
+	}
+	for _, want := range cases {
+		frame := appendRequest(nil, &want)
+		payload, err := readFrame(bytes.NewReader(frame), DefaultMaxFrameSize)
+		if err != nil {
+			t.Fatalf("readFrame(%+v): %v", want, err)
+		}
+		got, err := decodeRequest(payload)
+		if err != nil {
+			t.Fatalf("decodeRequest(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("request round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 9, Code: codeOK, Data: []byte{1, 2, 3}, Latency: 1500 * time.Microsecond},
+		{ID: 10, Code: codeObjectNotFound, Err: "objstore: object not found: x"},
+		{ID: 11, Code: codeOK, Names: []string{"a", "bb", ""}},
+		{ID: 12, Code: codeOverloaded, Err: "transport: server overloaded"},
+		{ID: 13, Code: codeOK},
+	}
+	for _, want := range cases {
+		frame := appendResponse(nil, &want)
+		payload, err := readFrame(bytes.NewReader(frame), DefaultMaxFrameSize)
+		if err != nil {
+			t.Fatalf("readFrame(%+v): %v", want, err)
+		}
+		got, err := decodeResponse(payload)
+		if err != nil {
+			t.Fatalf("decodeResponse(%+v): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("response round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestAppendExtendsExistingBuffer(t *testing.T) {
+	req := Request{ID: 2, Op: OpGet, Pool: "p", Object: "o"}
+	prefix := []byte("prefix")
+	frame := appendRequest(append([]byte(nil), prefix...), &req)
+	if !bytes.HasPrefix(frame, prefix) {
+		t.Fatal("appendRequest clobbered existing buffer contents")
+	}
+	payload, err := readFrame(bytes.NewReader(frame[len(prefix):]), DefaultMaxFrameSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := decodeRequest(payload); err != nil || got.Pool != "p" {
+		t.Fatalf("decode after prefixed append: %+v, %v", got, err)
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	req := Request{ID: 1, Op: OpPut, Data: make([]byte, 1024)}
+	frame := appendRequest(nil, &req)
+	if _, err := readFrame(bytes.NewReader(frame), 64); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0}), DefaultMaxFrameSize); err == nil {
+		t.Fatal("zero-length frame accepted")
+	}
+	if _, err := readFrame(bytes.NewReader(frame[:len(frame)-3]), DefaultMaxFrameSize); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated frame: want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestDecodeMalformedFrames(t *testing.T) {
+	req := Request{ID: 1, Op: OpPut, Pool: "data", Object: "o", Data: []byte("abc")}
+	frame := appendRequest(nil, &req)
+	payload := frame[4:]
+	if _, err := decodeRequest(payload[:5]); err == nil {
+		t.Fatal("truncated request payload accepted")
+	}
+	if _, err := decodeResponse(payload); err == nil {
+		t.Fatal("request payload accepted as response")
+	}
+	resp := Response{ID: 1, Code: codeOK, Data: []byte("abc")}
+	rframe := appendResponse(nil, &resp)
+	if _, err := decodeRequest(rframe[4:]); err == nil {
+		t.Fatal("response payload accepted as request")
+	}
+	// Trailing garbage must be rejected, not silently ignored.
+	if _, err := decodeRequest(append(append([]byte(nil), payload...), 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestErrorFromResponseSentinels(t *testing.T) {
+	cases := []struct {
+		code byte
+		want error
+	}{
+		{codeObjectNotFound, objstore.ErrObjectNotFound},
+		{codePoolNotFound, objstore.ErrPoolNotFound},
+		{codeChunkMissing, objstore.ErrChunkMissing},
+		{codeOverloaded, ErrOverloaded},
+	}
+	for _, c := range cases {
+		resp := Response{Code: c.code, Err: "remote detail"}
+		err := errorFromResponse(&resp)
+		if !errors.Is(err, c.want) {
+			t.Fatalf("code %d: errors.Is(%v, %v) = false", c.code, err, c.want)
+		}
+		if err.Error() != "remote detail" {
+			t.Fatalf("code %d: message lost: %q", c.code, err.Error())
+		}
+	}
+	if err := errorFromResponse(&Response{Code: codeError, Err: "plain"}); err == nil || err.Error() != "plain" {
+		t.Fatalf("generic error mangled: %v", err)
+	}
+}
+
+func TestCodeForErrorMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want byte
+	}{
+		{objstore.ErrObjectNotFound, codeObjectNotFound},
+		{objstore.ErrPoolNotFound, codePoolNotFound},
+		{objstore.ErrChunkMissing, codeChunkMissing},
+		{errors.New("anything else"), codeError},
+	}
+	for _, c := range cases {
+		if got := codeForError(c.err); got != c.want {
+			t.Fatalf("codeForError(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
