@@ -1,15 +1,17 @@
 // Command sproutstore runs the emulated Ceph-like object store, either as a
 // TCP server speaking the multiplexed binary protocol, as a load-generating
-// client against such a server, or as a self-contained demo that starts a
+// client against such a server, as a self-contained demo that starts a
 // server, writes objects through erasure-coded pools and reads them back
 // through both the LRU cache tier and the functional-caching equivalent
-// pools.
+// pools, or as a live Sprout controller serving reads over the emulated
+// OSDs with hedged parallel fetches and the auto-replanner.
 //
 // Usage:
 //
 //	sproutstore -mode serve -addr 127.0.0.1:7440 -workers 16 -inflight 512
 //	sproutstore -mode load -target 127.0.0.1:7440 -clients 64 -conns 4
 //	sproutstore -mode demo
+//	sproutstore -mode ctrl -clients 8 -duration 3s -hedge-delay 10ms -replan-every 500ms
 package main
 
 import (
@@ -22,21 +24,26 @@ import (
 	"os/signal"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"sprout/internal/cluster"
+	"sprout/internal/core"
 	"sprout/internal/objstore"
+	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/transport"
+	"sprout/internal/workload"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "demo", "serve, load, or demo")
+		mode    = flag.String("mode", "demo", "serve, load, demo, or ctrl")
 		addr    = flag.String("addr", "127.0.0.1:0", "listen address in serve mode")
 		osds    = flag.Int("osds", 12, "number of OSDs")
-		objects = flag.Int("objects", 20, "objects written in demo mode")
-		objSize = flag.Int("size", 1<<20, "object size in bytes for the demo")
+		objects = flag.Int("objects", 20, "demo/ctrl: objects written into the pools")
+		objSize = flag.Int("size", 1<<20, "demo/ctrl: object size in bytes")
 
 		// Server admission control.
 		workers  = flag.Int("workers", 0, "serve: handler pool size (0 = default)")
@@ -44,9 +51,17 @@ func main() {
 
 		// Client pool and load generation.
 		target   = flag.String("target", "", "load: server address to connect to")
-		clients  = flag.Int("clients", 16, "load: concurrent client goroutines")
+		clients  = flag.Int("clients", 16, "load/ctrl: concurrent client goroutines")
 		conns    = flag.Int("conns", 4, "load: pooled TCP connections")
-		duration = flag.Duration("duration", 3*time.Second, "load: how long to drive requests")
+		duration = flag.Duration("duration", 3*time.Second, "load/ctrl: how long to drive requests")
+
+		// Controller serving path (ctrl mode).
+		cacheChunks = flag.Int("cache", 0, "ctrl: functional-cache capacity in chunks (0 = 3 per object)")
+		hedgeDelay  = flag.Duration("hedge-delay", 10*time.Millisecond, "ctrl: hedge timer for straggling fetches (0 disables)")
+		hedgeExtra  = flag.Int("hedge-extra", 1, "ctrl: max extra hedged fetches per read")
+		fillWorkers = flag.Int("fill-workers", 2, "ctrl: background cache-fill workers")
+		replanEvery = flag.Duration("replan-every", 500*time.Millisecond, "ctrl: auto-replanner tick (0 disables)")
+		replanTh    = flag.Float64("replan-threshold", 0.5, "ctrl: relative rate drift that triggers a replan")
 	)
 	flag.Parse()
 
@@ -101,9 +116,145 @@ func main() {
 			s.OverloadRejections, s.DecodeErrors)
 	case "demo":
 		runDemo(cluster, pools, *objects, *objSize)
+	case "ctrl":
+		runCtrl(cluster, ctrlConfig{
+			osds:        *osds,
+			objects:     *objects,
+			objSize:     *objSize,
+			cacheChunks: *cacheChunks,
+			clients:     *clients,
+			duration:    *duration,
+			serve: core.ServeOptions{
+				HedgeDelay:      *hedgeDelay,
+				HedgeExtra:      *hedgeExtra,
+				FillWorkers:     *fillWorkers,
+				ReplanInterval:  *replanEvery,
+				ReplanThreshold: *replanTh,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			},
+		})
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+}
+
+// ctrlConfig gathers the knobs of the controller serving mode.
+type ctrlConfig struct {
+	osds        int
+	objects     int
+	objSize     int
+	cacheChunks int
+	clients     int
+	duration    time.Duration
+	serve       core.ServeOptions
+}
+
+// runCtrl serves Zipf-distributed reads through a Sprout controller whose
+// chunks live in the emulated OSD cluster: parallel (optionally hedged)
+// degraded reads against the calibrated service times, background cache
+// fills, and the auto-replanner re-planning from measured rates.
+func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
+	ctx := context.Background()
+	pool, err := oc.Pool("ec-7-4")
+	if err != nil {
+		fail(err)
+	}
+	// Describe the same topology to the controller. The OSD service times
+	// are ShiftedExponential{0.002, 500} (mean 4ms => rate 250/s); the
+	// controller's latency model needs rates on that scale so the plans it
+	// computes from measured arrival rates stay feasible.
+	rates := make([]float64, cfg.osds)
+	for i := range rates {
+		rates[i] = 250
+	}
+	clcfg := cluster.Config{
+		NumNodes:     cfg.osds,
+		NumFiles:     cfg.objects,
+		N:            7,
+		K:            4,
+		FileSize:     int64(cfg.objSize),
+		ServiceRates: rates,
+		Seed:         1,
+	}
+	clu, err := clcfg.Build()
+	if err != nil {
+		fail(err)
+	}
+	lambdas := workload.Zipf(cfg.objects, 1.1, 50)
+	clu, err = clu.WithArrivalRates(lambdas)
+	if err != nil {
+		fail(err)
+	}
+	capacity := cfg.cacheChunks
+	if capacity <= 0 {
+		capacity = 3 * cfg.objects
+	}
+	ctrl, err := core.NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 10}, cfg.serve, 1)
+	if err != nil {
+		fail(err)
+	}
+	defer ctrl.Close()
+
+	// Write every object into the erasure-coded pool; the controller then
+	// reads chunks back through the pool's CRUSH-like placement.
+	fmt.Printf("sproutstore: writing %d objects of %d bytes into ec-7-4...\n", cfg.objects, cfg.objSize)
+	rng := rand.New(rand.NewSource(6))
+	payload := make([]byte, cfg.objSize)
+	objName := func(fileID int) string { return fmt.Sprintf("file-%04d", fileID) }
+	for i := 0; i < cfg.objects; i++ {
+		rng.Read(payload)
+		if err := pool.Put(ctx, objName(i), payload); err != nil {
+			fail(err)
+		}
+	}
+	fetcher := core.FetcherFunc(func(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+		return pool.GetChunk(ctx, objName(fileID), chunkIndex)
+	})
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		fail(err)
+	}
+	if err := ctrl.PrefetchCache(ctx, fetcher); err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("sproutstore: serving %d readers for %v (hedge %v +%d, replan every %v)\n",
+		cfg.clients, cfg.duration, cfg.serve.HedgeDelay, cfg.serve.HedgeExtra, cfg.serve.ReplanInterval)
+	picker := workload.NewRatePicker(lambdas)
+	stop := time.Now().Add(cfg.duration)
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) + 40))
+			for time.Now().Before(stop) {
+				fileID := picker.Pick(r.Float64())
+				if _, err := ctrl.Read(ctx, fileID, fetcher); err != nil {
+					fail(err)
+				}
+				reads.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ctrl.WaitFills()
+
+	stats := ctrl.Stats()
+	lat := ctrl.ReadLatency()
+	fmt.Printf("served %d reads (%.0f/s)\n", reads.Load(), float64(reads.Load())/cfg.duration.Seconds())
+	fmt.Printf("  cache-hit reads: %6d  p50 %9v  p90 %9v  p99 %9v\n",
+		lat.CacheHit.Count, lat.CacheHit.P50, lat.CacheHit.P90, lat.CacheHit.P99)
+	fmt.Printf("  storage reads:   %6d  p50 %9v  p90 %9v  p99 %9v\n",
+		lat.Storage.Count, lat.Storage.P50, lat.Storage.P90, lat.Storage.P99)
+	fmt.Printf("  chunks: %d from cache, %d from OSDs; %d background fills (%d dropped)\n",
+		stats.ChunksFromCache, stats.ChunksFromDisk, stats.LazyFills, stats.FillsDropped)
+	fmt.Printf("  hedges: %d launched, %d wins; failovers: %d\n",
+		stats.HedgesLaunched, stats.HedgeWins, stats.FetchFailovers)
+	fmt.Printf("  plans: %d total, %d auto-replans, %d rejected\n",
+		stats.PlanUpdates, stats.AutoReplans, stats.ReplanErrors)
 }
 
 // runLoad drives GetChunk traffic at a remote server and reports throughput

@@ -78,8 +78,10 @@ func main() {
 	fmt.Printf("latency bound: %.3f s, cache chunks used: %d / 8\n", plan.Objective, plan.CacheUsed())
 	fmt.Printf("cache allocation per file: %v\n", plan.D)
 
-	// 5. Read every file twice: the first read lazily fills the cache with
-	// functional chunks, the second read uses them.
+	// 5. Read every file twice: the first read enqueues background fills of
+	// the planned functional chunks, the second read uses them. WaitFills
+	// drains the background materialisation pool so the second pass sees a
+	// warm cache.
 	ctx := context.Background()
 	for pass := 1; pass <= 2; pass++ {
 		for fileID, want := range originals {
@@ -91,6 +93,7 @@ func main() {
 				log.Fatalf("file %d content mismatch", fileID)
 			}
 		}
+		ctrl.WaitFills()
 		stats := ctrl.Stats()
 		fmt.Printf("after pass %d: reads=%d chunks from cache=%d, from storage=%d\n",
 			pass, stats.Reads, stats.ChunksFromCache, stats.ChunksFromDisk)

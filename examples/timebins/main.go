@@ -96,8 +96,9 @@ func main() {
 			fmt.Printf("re-planned at t=%.0fs: allocation %v (bound %.2f s)\n", req.Arrival, plan.D, plan.Objective)
 		}
 	}
+	ctrl.WaitFills()
 	stats := ctrl.Stats()
 	fmt.Printf("\n%d plan updates (%d triggered by the estimator)\n", stats.PlanUpdates, rebins)
-	fmt.Printf("chunks served from cache: %d, from storage: %d, lazy cache fills: %d\n",
+	fmt.Printf("chunks served from cache: %d, from storage: %d, background cache fills: %d\n",
 		stats.ChunksFromCache, stats.ChunksFromDisk, stats.LazyFills)
 }

@@ -3,20 +3,41 @@
 // receive 80% of the requests, served from erasure-coded storage with a
 // cache at the streaming proxy. It compares the latency bound of Sprout's
 // optimized functional cache against caching whole popular videos and
-// against having no cache, then shows how the plan shifts when a new title
-// goes viral.
+// against having no cache, then serves the workload live through the
+// concurrent controller: hedged parallel fetches against an emulated
+// storage backend while the auto-replanner watches a previously cold title
+// go viral and re-plans the cache on its own.
 package main
 
 import (
+	"bytes"
+	"context"
+	"flag"
 	"fmt"
 	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"sprout"
+	"sprout/internal/bench"
 	"sprout/internal/optimizer"
 	"sprout/internal/workload"
 )
 
+var (
+	hedgeDelay  = flag.Duration("hedge-delay", 3*time.Millisecond, "hedge timer for straggling chunk fetches (0 disables)")
+	hedgeExtra  = flag.Int("hedge-extra", 2, "max extra hedged fetches per read")
+	fillWorkers = flag.Int("fill-workers", 2, "background cache-fill workers")
+	replanEvery = flag.Duration("replan-every", 150*time.Millisecond, "auto-replanner tick (0 disables)")
+	replanTh    = flag.Float64("replan-threshold", 0.5, "relative rate drift that triggers a replan")
+	serveFor    = flag.Duration("serve", 2*time.Second, "how long to serve live traffic")
+	readers     = flag.Int("readers", 8, "concurrent reader goroutines")
+)
+
 func main() {
+	flag.Parse()
 	const (
 		numVideos  = 120
 		cacheSize  = 150 // chunks
@@ -95,4 +116,132 @@ func main() {
 	fmt.Printf("\nafter title %d goes viral (0.05 req/s):\n", viral)
 	fmt.Printf("  new bound %.2f s; viral title now holds %d cache chunks (was %d)\n",
 		replanned.Objective, replanned.D[viral], functional.D[viral])
+
+	serveLive()
+}
+
+// serveLive drives the concurrent serving path: Zipf traffic over a scaled-
+// down library, a mid-run popularity flip to the viral title, and the
+// auto-replanner adapting the cache plan without any manual PlanTimeBin.
+func serveLive() {
+	const (
+		titles    = 40
+		cacheSize = 50
+		titleSize = 256 << 10
+	)
+	fmt.Printf("\nserving live traffic (%d titles, %v, %d readers, hedge %v +%d, replan every %v):\n",
+		titles, *serveFor, *readers, *hedgeDelay, *hedgeExtra, *replanEvery)
+
+	// The auto-replanner feeds *measured* request rates (thousands of reads
+	// per second) into the optimizer, so the node service rates must be on
+	// the same scale or every re-plan would be rejected as unstable. Scale
+	// the paper's relative rates up to emulated-hardware speed.
+	const rateScale = 1e5
+	serviceRates := sprout.PaperServiceRates()
+	for i := range serviceRates {
+		serviceRates[i] *= rateScale
+	}
+	cfg := sprout.ClusterConfig{
+		NumNodes:     12,
+		NumFiles:     titles,
+		N:            7,
+		K:            4,
+		FileSize:     titleSize,
+		ServiceRates: serviceRates,
+		Seed:         4,
+	}
+	clu, err := cfg.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lambdas := workload.Zipf(titles, 1.1, 100)
+	clu, err = clu.WithArrivalRates(lambdas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := sprout.NewControllerWith(clu, cacheSize, sprout.OptimizerOptions{MaxOuterIter: 10},
+		sprout.ServeOptions{
+			HedgeDelay:      *hedgeDelay,
+			HedgeExtra:      *hedgeExtra,
+			FillWorkers:     *fillWorkers,
+			ReplanInterval:  *replanEvery,
+			ReplanThreshold: *replanTh,
+		}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// Encode the library into an emulated store whose per-fetch service time
+	// (0.3ms + Exp(0.5ms), 3% stragglers at 10x) gives hedging tails to beat.
+	chunks := make([][][]byte, titles)
+	originals := make([][]byte, titles)
+	rng := rand.New(rand.NewSource(9))
+	for _, meta := range ctrl.Files() {
+		payload := make([]byte, meta.SizeBytes)
+		rng.Read(payload)
+		originals[meta.ID] = payload
+		dataChunks, err := meta.Code.Split(payload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chunks[meta.ID], err = meta.Code.Encode(dataChunks)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	store := bench.NewLatencyStore(chunks, 8, 300*time.Microsecond, 500*time.Microsecond, 0.03, 10)
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := ctrl.PrefetchCache(ctx, store); err != nil {
+		log.Fatal(err)
+	}
+
+	// Halfway through, the coldest title goes viral: readers flip most of
+	// their traffic onto it and the auto-replanner must catch the drift.
+	viral := titles - 1
+	var goneViral atomic.Bool
+	time.AfterFunc(*serveFor/2, func() { goneViral.Store(true) })
+
+	stop := time.Now().Add(*serveFor)
+	picker := workload.NewRatePicker(lambdas)
+	var wg sync.WaitGroup
+	var readsDone atomic.Int64
+	for w := 0; w < *readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) + 20))
+			for time.Now().Before(stop) {
+				title := picker.Pick(r.Float64())
+				if goneViral.Load() && r.Float64() < 0.6 {
+					title = viral
+				}
+				got, err := ctrl.Read(ctx, title, store)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !bytes.Equal(got, originals[title]) {
+					log.Fatalf("title %d content mismatch", title)
+				}
+				readsDone.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	ctrl.WaitFills()
+
+	stats := ctrl.Stats()
+	lat := ctrl.ReadLatency()
+	fmt.Printf("  served %d reads (%.0f/s): %d auto-replans (%d rejected), %d background fills, %d hedges (%d wins)\n",
+		readsDone.Load(), float64(readsDone.Load())/serveFor.Seconds(),
+		stats.AutoReplans, stats.ReplanErrors, stats.LazyFills, stats.HedgesLaunched, stats.HedgeWins)
+	fmt.Printf("  cache-hit reads: %6d  p50 %8v  p99 %8v\n",
+		lat.CacheHit.Count, lat.CacheHit.P50, lat.CacheHit.P99)
+	fmt.Printf("  storage reads:   %6d  p50 %8v  p99 %8v\n",
+		lat.Storage.Count, lat.Storage.P50, lat.Storage.P99)
+	fmt.Printf("  viral title now holds %d cache chunks (planned %d)\n",
+		ctrl.Cache().ChunksForFile(viral), ctrl.CacheAllocationTarget(viral))
 }

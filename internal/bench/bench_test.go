@@ -281,3 +281,45 @@ func abs(v float64) float64 {
 	}
 	return v
 }
+
+func TestReadPointModes(t *testing.T) {
+	cfg := tiny()
+	clu, lambdas, err := readCluster(cfg.Files, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := encodeReadCorpus(clu, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"seq", "par", "hedge"} {
+		res, err := readPoint(clu, lambdas, chunks, cfg, 2*cfg.Files, mode, 4, 40)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.Ops != 40 || res.OpsPerSec <= 0 {
+			t.Fatalf("%s: degenerate result %+v", mode, res)
+		}
+		if res.P50ms > res.P99ms {
+			t.Fatalf("%s: p50 %.2f > p99 %.2f", mode, res.P50ms, res.P99ms)
+		}
+		if res.CacheShare <= 0 {
+			t.Fatalf("%s: warm point served nothing from cache: %+v", mode, res)
+		}
+	}
+	if _, err := readPoint(clu, lambdas, chunks, cfg, 0, "bogus", 1, 1); err == nil {
+		t.Fatal("unknown mode must error")
+	}
+}
+
+func TestReadTableSpeedupColumn(t *testing.T) {
+	results := []ReadResult{
+		{Cache: "cold", Mode: "seq", Readers: 16, Ops: 10, OpsPerSec: 100},
+		{Cache: "cold", Mode: "par", Readers: 16, Ops: 10, OpsPerSec: 250},
+	}
+	var buf bytes.Buffer
+	ReadTable(results).Write(&buf)
+	if !strings.Contains(buf.String(), "2.50x") {
+		t.Fatalf("missing speedup column:\n%s", buf.String())
+	}
+}

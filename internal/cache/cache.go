@@ -7,6 +7,7 @@ package cache
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -27,11 +28,15 @@ func (k ChunkKey) String() string { return fmt.Sprintf("file%d/chunk%d", k.FileI
 // FunctionalCache stores functional (coded) chunks per file according to a
 // cache plan. Capacity is expressed in chunks, mirroring the optimizer's
 // allocation unit; chunk payloads may be of different sizes across files.
+//
+// Chunks are indexed per file, so per-file lookups cost O(d_i) rather than a
+// scan of the whole cache — the controller's read plane calls VisitFile on
+// every request.
 type FunctionalCache struct {
 	mu       sync.RWMutex
 	capacity int
-	chunks   map[ChunkKey][]byte
-	perFile  map[int]int
+	size     int
+	byFile   map[int]map[int][]byte // fileID -> chunkIndex -> payload
 
 	hits   uint64
 	misses uint64
@@ -45,8 +50,7 @@ func NewFunctionalCache(capacity int) *FunctionalCache {
 	}
 	return &FunctionalCache{
 		capacity: capacity,
-		chunks:   make(map[ChunkKey][]byte),
-		perFile:  make(map[int]int),
+		byFile:   make(map[int]map[int][]byte),
 	}
 }
 
@@ -57,14 +61,14 @@ func (c *FunctionalCache) Capacity() int { return c.capacity }
 func (c *FunctionalCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.chunks)
+	return c.size
 }
 
 // ChunksForFile returns how many chunks of the given file are cached.
 func (c *FunctionalCache) ChunksForFile(fileID int) int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.perFile[fileID]
+	return len(c.byFile[fileID])
 }
 
 // Put stores a coded chunk. It returns false without storing when the cache
@@ -72,15 +76,22 @@ func (c *FunctionalCache) ChunksForFile(fileID int) int {
 func (c *FunctionalCache) Put(key ChunkKey, data []byte) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.chunks[key]; exists {
-		c.chunks[key] = data
-		return true
+	file := c.byFile[key.FileID]
+	if file != nil {
+		if _, exists := file[key.ChunkIndex]; exists {
+			file[key.ChunkIndex] = data
+			return true
+		}
 	}
-	if len(c.chunks) >= c.capacity {
+	if c.size >= c.capacity {
 		return false
 	}
-	c.chunks[key] = data
-	c.perFile[key.FileID]++
+	if file == nil {
+		file = make(map[int][]byte)
+		c.byFile[key.FileID] = file
+	}
+	file[key.ChunkIndex] = data
+	c.size++
 	return true
 }
 
@@ -88,7 +99,7 @@ func (c *FunctionalCache) Put(key ChunkKey, data []byte) bool {
 func (c *FunctionalCache) Get(key ChunkKey) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	data, ok := c.chunks[key]
+	data, ok := c.byFile[key.FileID][key.ChunkIndex]
 	if ok {
 		c.hits++
 	} else {
@@ -101,24 +112,37 @@ func (c *FunctionalCache) Get(key ChunkKey) ([]byte, bool) {
 func (c *FunctionalCache) GetFile(fileID int) map[int][]byte {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make(map[int][]byte)
-	for k, v := range c.chunks {
-		if k.FileID == fileID {
-			out[k.ChunkIndex] = v
-		}
+	file := c.byFile[fileID]
+	out := make(map[int][]byte, len(file))
+	for idx, data := range file {
+		out[idx] = data
 	}
 	return out
+}
+
+// VisitFile calls visit for every cached chunk of the file until visit
+// returns false. The read lock is held for the duration of the visit;
+// callbacks must be quick and must not call back into the cache.
+func (c *FunctionalCache) VisitFile(fileID int, visit func(chunkIndex int, data []byte) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for idx, data := range c.byFile[fileID] {
+		if !visit(idx, data) {
+			return
+		}
+	}
 }
 
 // Delete removes a chunk if present.
 func (c *FunctionalCache) Delete(key ChunkKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.chunks[key]; ok {
-		delete(c.chunks, key)
-		c.perFile[key.FileID]--
-		if c.perFile[key.FileID] == 0 {
-			delete(c.perFile, key.FileID)
+	file := c.byFile[key.FileID]
+	if _, ok := file[key.ChunkIndex]; ok {
+		delete(file, key.ChunkIndex)
+		c.size--
+		if len(file) == 0 {
+			delete(c.byFile, key.FileID)
 		}
 	}
 }
@@ -128,14 +152,9 @@ func (c *FunctionalCache) Delete(key ChunkKey) {
 func (c *FunctionalCache) DeleteFile(fileID int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var removed int
-	for k := range c.chunks {
-		if k.FileID == fileID {
-			delete(c.chunks, k)
-			removed++
-		}
-	}
-	delete(c.perFile, fileID)
+	removed := len(c.byFile[fileID])
+	c.size -= removed
+	delete(c.byFile, fileID)
 	return removed
 }
 
@@ -148,30 +167,22 @@ func (c *FunctionalCache) TrimFile(fileID, keep int) int {
 	if keep < 0 {
 		keep = 0
 	}
-	var indices []int
-	for k := range c.chunks {
-		if k.FileID == fileID {
-			indices = append(indices, k.ChunkIndex)
-		}
-	}
-	if len(indices) <= keep {
+	file := c.byFile[fileID]
+	if len(file) <= keep {
 		return 0
 	}
-	// Evict the largest indices first.
-	for i := 0; i < len(indices); i++ {
-		for j := i + 1; j < len(indices); j++ {
-			if indices[j] > indices[i] {
-				indices[i], indices[j] = indices[j], indices[i]
-			}
-		}
+	indices := make([]int, 0, len(file))
+	for idx := range file {
+		indices = append(indices, idx)
 	}
+	sort.Sort(sort.Reverse(sort.IntSlice(indices)))
 	toEvict := indices[:len(indices)-keep]
 	for _, idx := range toEvict {
-		delete(c.chunks, ChunkKey{FileID: fileID, ChunkIndex: idx})
+		delete(file, idx)
 	}
-	c.perFile[fileID] = keep
-	if keep == 0 {
-		delete(c.perFile, fileID)
+	c.size -= len(toEvict)
+	if len(file) == 0 {
+		delete(c.byFile, fileID)
 	}
 	return len(toEvict)
 }
@@ -187,9 +198,9 @@ func (c *FunctionalCache) Stats() (hits, misses uint64) {
 func (c *FunctionalCache) Allocation() map[int]int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	out := make(map[int]int, len(c.perFile))
-	for k, v := range c.perFile {
-		out[k] = v
+	out := make(map[int]int, len(c.byFile))
+	for fileID, file := range c.byFile {
+		out[fileID] = len(file)
 	}
 	return out
 }

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"sprout/internal/cluster"
+	"sprout/internal/optimizer"
+	"sprout/internal/queue"
+)
+
+// benchStore is a contention-free in-memory fetcher: chunk payloads are
+// precomputed per file so benchmark numbers isolate the controller's own
+// serving path.
+type benchStore struct {
+	chunks [][][]byte // fileID -> chunkIndex -> payload
+}
+
+func (s *benchStore) FetchChunk(_ context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+	file := s.chunks[fileID]
+	if chunkIndex >= len(file) {
+		return nil, fmt.Errorf("no chunk %d", chunkIndex)
+	}
+	return file[chunkIndex], nil
+}
+
+func benchController(b *testing.B, numFiles, capacity int, serve ServeOptions) (*Controller, *benchStore) {
+	b.Helper()
+	nodes := make([]cluster.Node, 8)
+	for i := range nodes {
+		nodes[i] = cluster.Node{ID: i, Name: fmt.Sprintf("osd-%d", i), Service: queue.NewExponential(1.0)}
+	}
+	rng := rand.New(rand.NewSource(17))
+	files := make([]cluster.File, numFiles)
+	for i := range files {
+		placement, _ := cluster.RandomPlacement(rng, 8, 5)
+		files[i] = cluster.File{
+			ID: i, Name: fmt.Sprintf("f%d", i), SizeBytes: 16 << 10,
+			K: 3, N: 5, Placement: placement, Lambda: 0.01,
+		}
+	}
+	clu := &cluster.Cluster{Nodes: nodes, Files: files}
+	ctrl, err := NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 6}, serve, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := &benchStore{chunks: make([][][]byte, numFiles)}
+	for _, meta := range ctrl.Files() {
+		payload := make([]byte, meta.SizeBytes)
+		rng.Read(payload)
+		dataChunks, err := meta.Code.Split(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		coded, err := meta.Code.Encode(dataChunks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store.chunks[meta.ID] = coded
+	}
+	lambdas := make([]float64, numFiles)
+	for i := range lambdas {
+		lambdas[i] = 0.01
+	}
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		b.Fatal(err)
+	}
+	return ctrl, store
+}
+
+// BenchmarkControllerRead measures the lock-free read plane end to end
+// (scheduling, cache lookup, parallel fetch fan-out, decode) over an
+// instant in-memory store, across concurrent readers via RunParallel.
+func BenchmarkControllerRead(b *testing.B) {
+	for _, caps := range []struct {
+		name     string
+		capacity int
+	}{{"nocache", 0}, {"cached", 256}} {
+		b.Run(caps.name, func(b *testing.B) {
+			ctrl, store := benchController(b, 64, caps.capacity, ServeOptions{})
+			defer ctrl.Close()
+			if caps.capacity > 0 {
+				if err := ctrl.PrefetchCache(context.Background(), store); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ctx := context.Background()
+			var seq atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					fileID := int(seq.Add(1)) % 64
+					if _, err := ctrl.Read(ctx, fileID, store); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkControllerReadSequentialFetch is the seed-style serialised fetch
+// baseline for A/B comparison with BenchmarkControllerRead.
+func BenchmarkControllerReadSequentialFetch(b *testing.B) {
+	ctrl, store := benchController(b, 64, 0, ServeOptions{SequentialFetch: true})
+	defer ctrl.Close()
+	ctx := context.Background()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			fileID := int(seq.Add(1)) % 64
+			if _, err := ctrl.Read(ctx, fileID, store); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -6,7 +6,17 @@
 // nodes chosen by probabilistic scheduling, and it applies the cache
 // transition rule of Section III when the workload moves to a new time bin:
 // allocations that shrink are trimmed immediately, allocations that grow are
-// materialised lazily the first time the file is read.
+// materialised in the background after the file's next read.
+//
+// The controller is split into two planes:
+//
+//   - The read plane (Read) is lock-free: it works off an immutable epoch
+//     snapshot published through an atomic pointer, fans chunk fetches out
+//     concurrently (optionally hedging stragglers), and records statistics
+//     in atomic counters and a latency histogram.
+//   - The control plane (PlanTimeBin, the background fill workers, and the
+//     auto-replanner) serialises on a mutex and publishes each change as a
+//     fresh epoch snapshot.
 package core
 
 import (
@@ -15,17 +25,24 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sprout/internal/cache"
 	"sprout/internal/cluster"
 	"sprout/internal/erasure"
 	"sprout/internal/optimizer"
 	"sprout/internal/scheduler"
+	"sprout/internal/workload"
 )
 
 // ChunkFetcher retrieves the payload of one coded chunk of a file from a
 // storage node. Implementations include the in-process object store and the
 // TCP client; tests use in-memory fakes.
+//
+// Fetchers must honour context cancellation: the controller cancels the
+// fetch context as soon as it has gathered enough chunks (hedged fetches) or
+// when the caller's context is done.
 type ChunkFetcher interface {
 	FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error)
 }
@@ -48,35 +65,117 @@ type FileMeta struct {
 	Code      *erasure.Code
 }
 
-// Controller is the Sprout cache controller for one compute server.
-type Controller struct {
-	mu sync.Mutex
+// ServeOptions tunes the controller's concurrent serving path. The zero
+// value fetches chunks in parallel without hedging, runs two background fill
+// workers, and leaves auto-replanning off.
+type ServeOptions struct {
+	// SequentialFetch restores the seed behaviour of fetching storage chunks
+	// one at a time. Kept as the measured baseline for A/B benchmarks. It
+	// takes precedence over hedging: the serialised loop never arms the
+	// hedge timer, so HedgeDelay/HedgeExtra are zeroed when it is set.
+	SequentialFetch bool
 
-	files    []FileMeta
-	clu      *cluster.Cluster
-	capacity int
-	cache    *cache.FunctionalCache
-	rng      *rand.Rand
+	// HedgeDelay, when positive, arms a timer per read: if the read has not
+	// gathered its chunks when the timer fires, up to HedgeExtra additional
+	// fetches are launched against other nodes holding chunks of the file,
+	// and the fastest responses win (losers are cancelled via context).
+	HedgeDelay time.Duration
+	// HedgeExtra is the maximum number of extra hedged fetches per read.
+	// Defaults to 1 when HedgeDelay is set.
+	HedgeExtra int
 
-	plan       *optimizer.Plan
-	assignment *scheduler.Assignment
-	// pendingFill[fileID] is the target cache allocation for files whose
-	// allocation grew in the current time bin and has not been materialised
-	// yet (lazy fill on first access).
-	pendingFill map[int]int
+	// FillWorkers is the size of the background materialisation pool that
+	// installs grown cache allocations after reads decode. Default 2.
+	FillWorkers int
+	// FillQueue bounds the fill job queue; when full, fill jobs are dropped
+	// (the next read of the file re-enqueues). Default 64.
+	FillQueue int
 
-	opts optimizer.Options
+	// ReplanInterval, when positive, starts the auto-replanner: every
+	// interval the EWMA workload estimator folds the observed request rates,
+	// and when they deviate from the planned rates by more than
+	// ReplanThreshold the controller re-runs PlanTimeBin on its own.
+	ReplanInterval time.Duration
+	// ReplanThreshold is the relative rate change that triggers a replan.
+	// Default 0.25.
+	ReplanThreshold float64
+	// ReplanAlpha is the EWMA weight of the newest interval. Default 0.3.
+	ReplanAlpha float64
 
-	stats Stats
+	// Logf, when set, receives diagnostics from the background planes
+	// (auto-replan failures). Never called on the read path.
+	Logf func(format string, args ...any)
 }
 
-// Stats exposes counters for observability and the evaluation harness.
-type Stats struct {
-	Reads           int64
-	ChunksFromCache int64
-	ChunksFromDisk  int64
-	LazyFills       int64
-	PlanUpdates     int64
+func (o ServeOptions) withDefaults() ServeOptions {
+	if o.SequentialFetch {
+		o.HedgeDelay, o.HedgeExtra = 0, 0
+	}
+	if o.HedgeDelay > 0 && o.HedgeExtra <= 0 {
+		o.HedgeExtra = 1
+	}
+	if o.FillWorkers <= 0 {
+		o.FillWorkers = 2
+	}
+	if o.FillQueue <= 0 {
+		o.FillQueue = 64
+	}
+	if o.ReplanThreshold <= 0 {
+		o.ReplanThreshold = 0.25
+	}
+	if o.ReplanAlpha <= 0 {
+		o.ReplanAlpha = 0.3
+	}
+	return o
+}
+
+// epoch is one immutable snapshot of the control plane's state. The read
+// plane loads it once per request through an atomic pointer and never takes
+// a lock; the control plane publishes a fresh snapshot on every change
+// (plan updates and fill completions), so concurrent readers always see a
+// consistent (cluster, plan, assignment, pending) tuple.
+type epoch struct {
+	clu        *cluster.Cluster
+	plan       *optimizer.Plan
+	assignment *scheduler.Assignment
+	// pending[fileID] is the target cache allocation for files whose
+	// allocation grew in the current time bin and has not been materialised
+	// yet (background fill after the next read).
+	pending map[int]int
+}
+
+// Controller is the Sprout cache controller for one compute server.
+type Controller struct {
+	files    []FileMeta // immutable after construction
+	capacity int
+	cache    *cache.FunctionalCache
+	opts     optimizer.Options
+	serve    ServeOptions
+
+	// epoch is the read plane's view; written only by the control plane
+	// under mu.
+	epoch atomic.Pointer[epoch]
+	// mu serialises the control plane: plan swaps, fill installs, trims.
+	// The read path never takes it.
+	mu sync.Mutex
+
+	// Per-goroutine RNGs for scheduler draws, seeded deterministically from
+	// the controller seed.
+	rngPool sync.Pool
+	rngSeq  atomic.Int64
+
+	fillQ        chan fillJob
+	fillWG       sync.WaitGroup
+	fillInFlight sync.Map // fileID -> struct{}, dedupes queued fills
+	fills        fillTracker
+
+	est      *workload.EWMAEstimator // non-nil when auto-replanning
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	bgWG     sync.WaitGroup
+
+	stats counters
+	hist  readHist
 }
 
 // Common errors.
@@ -86,8 +185,14 @@ var (
 )
 
 // NewController builds a controller for the given cluster with a functional
-// cache of cacheCapacity chunks. Erasure coders are created per file.
+// cache of cacheCapacity chunks and default serving options. Erasure coders
+// are created per file.
 func NewController(clu *cluster.Cluster, cacheCapacity int, opts optimizer.Options, seed int64) (*Controller, error) {
+	return NewControllerWith(clu, cacheCapacity, opts, ServeOptions{}, seed)
+}
+
+// NewControllerWith builds a controller with explicit serving options.
+func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.Options, serve ServeOptions, seed int64) (*Controller, error) {
 	if err := clu.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,21 +216,53 @@ func NewController(clu *cluster.Cluster, cacheCapacity int, opts optimizer.Optio
 			Code:      code,
 		}
 	}
-	return &Controller{
-		files:       files,
-		clu:         clu,
-		capacity:    cacheCapacity,
-		cache:       cache.NewFunctionalCache(cacheCapacity),
-		rng:         rand.New(rand.NewSource(seed)),
-		pendingFill: make(map[int]int),
-		opts:        opts,
-	}, nil
+	serve = serve.withDefaults()
+	c := &Controller{
+		files:    files,
+		capacity: cacheCapacity,
+		cache:    cache.NewFunctionalCache(cacheCapacity),
+		opts:     opts,
+		serve:    serve,
+		fillQ:    make(chan fillJob, serve.FillQueue),
+		stopCh:   make(chan struct{}),
+	}
+	c.rngPool.New = func() any {
+		return rand.New(rand.NewSource(seed + c.rngSeq.Add(1)))
+	}
+	c.epoch.Store(&epoch{clu: clu, pending: map[int]int{}})
+	for i := 0; i < serve.FillWorkers; i++ {
+		c.fillWG.Add(1)
+		go c.fillWorker()
+	}
+	if serve.ReplanInterval > 0 {
+		c.est = workload.NewEWMAEstimator(len(files), serve.ReplanAlpha)
+		c.bgWG.Add(1)
+		go c.replanLoop(serve.ReplanInterval, serve.ReplanThreshold)
+	}
+	return c, nil
+}
+
+// Close stops the background planes (fill workers and auto-replanner).
+// In-flight fills are completed or discarded; Read must not be called after
+// Close.
+func (c *Controller) Close() error {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	c.fillWG.Wait()
+	c.bgWG.Wait()
+	// Discard fills queued after the workers exited.
+	for {
+		select {
+		case job := <-c.fillQ:
+			c.fillInFlight.Delete(job.fileID)
+			c.fills.add(-1)
+		default:
+			return nil
+		}
+	}
 }
 
 // Files returns the controller's file metadata.
 func (c *Controller) Files() []FileMeta {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	out := make([]FileMeta, len(c.files))
 	copy(out, c.files)
 	return out
@@ -137,24 +274,46 @@ func (c *Controller) Cache() *cache.FunctionalCache { return c.cache }
 
 // Plan returns the current cache plan, or nil if none has been computed.
 func (c *Controller) Plan() *optimizer.Plan {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.plan
+	return c.epoch.Load().plan
 }
 
-// Stats returns a snapshot of the controller counters.
-func (c *Controller) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+// CacheAllocationTarget returns the planned cache allocation d_i for the
+// file in the current bin (0 when no plan exists).
+func (c *Controller) CacheAllocationTarget(fileID int) int {
+	ep := c.epoch.Load()
+	if ep.plan == nil || fileID < 0 || fileID >= len(ep.plan.D) {
+		return 0
+	}
+	return ep.plan.D[fileID]
+}
+
+// swapEpochLocked publishes a mutated copy of the current epoch. Must be
+// called with c.mu held.
+func (c *Controller) swapEpochLocked(mutate func(*epoch)) {
+	cur := c.epoch.Load()
+	next := &epoch{
+		clu:        cur.clu,
+		plan:       cur.plan,
+		assignment: cur.assignment,
+		pending:    make(map[int]int, len(cur.pending)),
+	}
+	for k, v := range cur.pending {
+		next.pending[k] = v
+	}
+	mutate(next)
+	c.epoch.Store(next)
 }
 
 // PlanTimeBin runs the cache optimization for a time bin with the given
 // per-file arrival rates and applies the cache transition rule: shrinking
-// allocations are trimmed immediately; growing allocations are recorded and
-// materialised lazily on the file's next read. It returns the new plan.
+// allocations are trimmed immediately; growing allocations are recorded in
+// the new epoch's pending set and materialised in the background after the
+// file's next read. It returns the new plan.
+//
+// The optimization itself runs outside the control-plane mutex; only the
+// transition (trims plus the epoch swap) serialises with fills.
 func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
-	clu, err := c.clu.WithArrivalRates(lambdas)
+	clu, err := c.epoch.Load().clu.WithArrivalRates(lambdas)
 	if err != nil {
 		return nil, err
 	}
@@ -162,14 +321,10 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.mu.Lock()
-	var warm []int
-	if c.plan != nil {
-		warm = c.plan.D
-	}
 	opts := c.opts
-	opts.WarmStart = warm
-	c.mu.Unlock()
+	if prev := c.epoch.Load().plan; prev != nil {
+		opts.WarmStart = prev.D
+	}
 
 	plan, err := optimizer.Optimize(prob, opts)
 	if err != nil {
@@ -182,191 +337,45 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.clu = clu
-	c.plan = plan
-	c.assignment = assignment
-	c.stats.PlanUpdates++
-	// Apply the transition rule.
+	pending := make(map[int]int)
 	for fileID, target := range plan.D {
 		have := c.cache.ChunksForFile(fileID)
 		switch {
 		case target < have:
 			c.cache.TrimFile(fileID, target)
-			delete(c.pendingFill, fileID)
 		case target > have:
-			c.pendingFill[fileID] = target
-		default:
-			delete(c.pendingFill, fileID)
+			pending[fileID] = target
 		}
+	}
+	c.epoch.Store(&epoch{
+		clu:        clu,
+		plan:       plan,
+		assignment: assignment,
+		pending:    pending,
+	})
+	c.stats.planUpdates.Add(1)
+	if c.est != nil {
+		c.est.StartBin(lambdas)
 	}
 	return plan, nil
-}
-
-// CacheAllocationTarget returns the planned cache allocation d_i for the
-// file in the current bin (0 when no plan exists).
-func (c *Controller) CacheAllocationTarget(fileID int) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.plan == nil || fileID >= len(c.plan.D) {
-		return 0
-	}
-	return c.plan.D[fileID]
-}
-
-// Read serves a complete file: cached functional chunks are combined with
-// chunks fetched (via the fetcher) from storage nodes selected by the
-// probabilistic scheduler, and the file is decoded. If the file's cache
-// allocation grew in this time bin, the missing functional chunks are
-// generated from the decoded data and installed (lazy fill).
-func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
-	c.mu.Lock()
-	if fileID < 0 || fileID >= len(c.files) {
-		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
-	}
-	if c.plan == nil {
-		c.mu.Unlock()
-		return nil, ErrNoPlan
-	}
-	meta := c.files[fileID]
-	clu := c.clu
-	cachedChunks := c.cache.GetFile(fileID)
-	targets := c.assignment.Pick(fileID, c.rng)
-	pendingTarget, needsFill := c.pendingFill[fileID]
-	c.mu.Unlock()
-
-	// Gather chunks: first from cache, then from the selected storage nodes.
-	chunks := make([]erasure.Chunk, 0, meta.K)
-	for idx, data := range cachedChunks {
-		if len(chunks) >= meta.K {
-			break
-		}
-		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
-	}
-	fromCache := len(chunks)
-
-	// If we must lazily fill the cache for this file, fetch a full k chunks
-	// from storage so the data chunks can be reconstructed regardless of how
-	// many cache chunks exist right now.
-	need := meta.K - len(chunks)
-	if needsFill {
-		need = meta.K - 0
-		chunks = chunks[:0]
-		fromCache = 0
-	}
-	fetched := 0
-	for _, node := range targets {
-		if fetched >= need {
-			break
-		}
-		chunkIndex := chunkIndexOnNode(meta, node)
-		if chunkIndex < 0 {
-			continue
-		}
-		data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(clu, node))
-		if err != nil {
-			return nil, fmt.Errorf("core: fetching chunk %d of file %d: %w", chunkIndex, fileID, err)
-		}
-		chunks = append(chunks, erasure.Chunk{Index: chunkIndex, Data: data})
-		fetched++
-	}
-	// If the scheduler did not provide enough distinct nodes (e.g. lazy fill
-	// needs k chunks but the plan only reads k-d), top up from the remaining
-	// placement.
-	if len(chunks) < meta.K {
-		used := make(map[int]bool, len(chunks))
-		for _, ch := range chunks {
-			used[ch.Index] = true
-		}
-		for chunkIndex, node := range meta.Placement {
-			if len(chunks) >= meta.K {
-				break
-			}
-			if used[chunkIndex] {
-				continue
-			}
-			data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(clu, node))
-			if err != nil {
-				return nil, fmt.Errorf("core: fetching chunk %d of file %d: %w", chunkIndex, fileID, err)
-			}
-			chunks = append(chunks, erasure.Chunk{Index: chunkIndex, Data: data})
-			fetched++
-		}
-	}
-	if len(chunks) < meta.K {
-		return nil, fmt.Errorf("core: only %d of %d chunks available for file %d", len(chunks), meta.K, fileID)
-	}
-
-	dataChunks, err := meta.Code.Reconstruct(chunks)
-	if err != nil {
-		return nil, err
-	}
-	payload, err := meta.Code.Join(dataChunks, meta.SizeBytes)
-	if err != nil {
-		return nil, err
-	}
-
-	c.mu.Lock()
-	c.stats.Reads++
-	c.stats.ChunksFromCache += int64(fromCache)
-	c.stats.ChunksFromDisk += int64(fetched)
-	c.mu.Unlock()
-
-	if needsFill {
-		if err := c.materialiseCache(fileID, meta, dataChunks, pendingTarget); err != nil {
-			return nil, err
-		}
-	}
-	return payload, nil
-}
-
-// materialiseCache generates functional cache chunks for the file from its
-// reconstructed data chunks and installs them, completing a lazy fill.
-func (c *Controller) materialiseCache(fileID int, meta FileMeta, dataChunks [][]byte, target int) error {
-	if target > meta.K {
-		target = meta.K
-	}
-	cacheChunks, err := meta.Code.CacheChunks(dataChunks, target)
-	if err != nil {
-		return fmt.Errorf("core: generating cache chunks for file %d: %w", fileID, err)
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for i, data := range cacheChunks {
-		key := cache.ChunkKey{FileID: fileID, ChunkIndex: meta.Code.CacheChunkIndex(i)}
-		c.cache.Put(key, data)
-	}
-	c.stats.LazyFills++
-	delete(c.pendingFill, fileID)
-	return nil
 }
 
 // PrefetchCache eagerly materialises the planned cache content for every
 // file using the fetcher (the offline placement phase described in the
 // paper, typically run during low-load hours).
 func (c *Controller) PrefetchCache(ctx context.Context, fetcher ChunkFetcher) error {
-	c.mu.Lock()
-	if c.plan == nil {
-		c.mu.Unlock()
+	ep := c.epoch.Load()
+	if ep.plan == nil {
 		return ErrNoPlan
 	}
-	plan := c.plan
-	clu := c.clu
-	files := make([]FileMeta, len(c.files))
-	copy(files, c.files)
-	c.mu.Unlock()
-
-	for fileID, target := range plan.D {
-		if target == 0 {
-			continue
-		}
-		meta := files[fileID]
+	for fileID := range ep.pending {
+		meta := c.files[fileID]
 		chunks := make([]erasure.Chunk, 0, meta.K)
 		for chunkIndex, node := range meta.Placement {
 			if len(chunks) >= meta.K {
 				break
 			}
-			data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(clu, node))
+			data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(ep.clu, node))
 			if err != nil {
 				return fmt.Errorf("core: prefetch file %d: %w", fileID, err)
 			}
@@ -376,11 +385,56 @@ func (c *Controller) PrefetchCache(ctx context.Context, fetcher ChunkFetcher) er
 		if err != nil {
 			return err
 		}
-		if err := c.materialiseCache(fileID, meta, dataChunks, target); err != nil {
+		if err := c.installFill(fileID, dataChunks); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Estimator returns the workload estimator feeding the auto-replanner, or
+// nil when auto-replanning is off.
+func (c *Controller) Estimator() *workload.EWMAEstimator { return c.est }
+
+// replanLoop is the auto-replanner: each tick it folds the rates observed by
+// the read plane into the EWMA estimate, and re-plans the time bin when the
+// workload has drifted from the one the current plan was computed for.
+func (c *Controller) replanLoop(interval time.Duration, threshold float64) {
+	defer c.bgWG.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	// Fold counters over measured elapsed time, not the nominal interval:
+	// when a slow PlanTimeBin makes the ticker drop ticks, the counters hold
+	// several intervals of requests and dividing by the interval would
+	// inflate the rate estimate (and cascade into spurious replans).
+	last := time.Now()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case now := <-ticker.C:
+			if c.epoch.Load().plan == nil {
+				// Nothing to adapt until the first manual plan — and don't
+				// burn the estimator's first-tick seeding on the zero
+				// counters accumulated before serving starts.
+				last = now
+				continue
+			}
+			rates := c.est.Tick(now.Sub(last).Seconds())
+			last = now
+			if !c.est.Deviates(threshold) {
+				continue
+			}
+			if _, err := c.PlanTimeBin(rates); err != nil {
+				c.stats.replanErrors.Add(1)
+				if c.serve.Logf != nil {
+					c.serve.Logf("core: auto-replan: %v", err)
+				}
+				continue
+			}
+			c.stats.autoReplans.Add(1)
+		}
+	}
 }
 
 // chunkIndexOnNode returns the coded-chunk index stored on the given node

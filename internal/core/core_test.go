@@ -192,7 +192,7 @@ func TestLazyFillThenCachedReads(t *testing.T) {
 	if !found {
 		t.Skip("no file received cache allocation")
 	}
-	// First read triggers the lazy fill.
+	// First read triggers the background fill.
 	got, err := ctrl.Read(context.Background(), fileWithCache, store)
 	if err != nil {
 		t.Fatal(err)
@@ -200,6 +200,7 @@ func TestLazyFillThenCachedReads(t *testing.T) {
 	if !bytes.Equal(got, store.data[fileWithCache]) {
 		t.Fatal("first read returned wrong data")
 	}
+	ctrl.WaitFills()
 	if ctrl.Cache().ChunksForFile(fileWithCache) != plan.D[fileWithCache] {
 		t.Fatalf("cache holds %d chunks, want %d",
 			ctrl.Cache().ChunksForFile(fileWithCache), plan.D[fileWithCache])
@@ -283,12 +284,13 @@ func TestTimeBinTransitionTrimsAndGrows(t *testing.T) {
 			t.Fatalf("file %d holds %d chunks above its new allocation %d", i, have, d)
 		}
 	}
-	// Reading a grown file materialises its new chunks.
+	// Reading a grown file materialises its new chunks in the background.
 	for i, d := range plan2.D {
 		if d > ctrl.Cache().ChunksForFile(i) {
 			if _, err := ctrl.Read(context.Background(), i, store); err != nil {
 				t.Fatal(err)
 			}
+			ctrl.WaitFills()
 			if ctrl.Cache().ChunksForFile(i) != d {
 				t.Fatalf("file %d lazy fill incomplete: %d of %d", i, ctrl.Cache().ChunksForFile(i), d)
 			}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"sprout/internal/cache"
+)
+
+// fillJob asks the background pool to materialise the pending cache
+// allocation of one file from its already-decoded data chunks.
+type fillJob struct {
+	fileID     int
+	dataChunks [][]byte
+}
+
+// fillTracker counts queued plus running fill jobs so WaitFills can block
+// until the pool drains.
+type fillTracker struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	active int
+}
+
+func (t *fillTracker) add(n int) {
+	t.mu.Lock()
+	if t.cond == nil {
+		t.cond = sync.NewCond(&t.mu)
+	}
+	t.active += n
+	if t.active <= 0 {
+		t.cond.Broadcast()
+	}
+	t.mu.Unlock()
+}
+
+func (t *fillTracker) wait() {
+	t.mu.Lock()
+	if t.cond == nil {
+		t.cond = sync.NewCond(&t.mu)
+	}
+	for t.active > 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// enqueueFill hands a decoded file to the background materialisation pool.
+// At most one job per file is in flight; when the queue is full the job is
+// dropped and the file's next read re-enqueues it.
+func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte) {
+	if _, loaded := c.fillInFlight.LoadOrStore(fileID, struct{}{}); loaded {
+		return
+	}
+	c.fills.add(1)
+	select {
+	case c.fillQ <- fillJob{fileID: fileID, dataChunks: dataChunks}:
+		c.stats.fillsEnqueued.Add(1)
+	default:
+		c.fillInFlight.Delete(fileID)
+		c.fills.add(-1)
+		c.stats.fillsDropped.Add(1)
+	}
+}
+
+// WaitFills blocks until every queued or running background fill has
+// completed. Intended for tests, benchmarks, and orderly shutdown points;
+// reads continue to work while it waits.
+func (c *Controller) WaitFills() { c.fills.wait() }
+
+func (c *Controller) fillWorker() {
+	defer c.fillWG.Done()
+	for {
+		select {
+		case job := <-c.fillQ:
+			c.runFill(job)
+		case <-c.stopCh:
+			return
+		}
+	}
+}
+
+func (c *Controller) runFill(job fillJob) {
+	defer func() {
+		c.fillInFlight.Delete(job.fileID)
+		c.fills.add(-1)
+	}()
+	if err := c.installFill(job.fileID, job.dataChunks); err != nil {
+		c.stats.fillErrors.Add(1)
+		if c.serve.Logf != nil {
+			c.serve.Logf("core: background fill of file %d: %v", job.fileID, err)
+		}
+	}
+}
+
+// installFill generates the file's pending functional cache chunks from its
+// reconstructed data chunks and installs them, completing a fill. The chunk
+// generation runs outside the control-plane mutex; the install revalidates
+// the pending target against the current epoch under the mutex, so fills
+// racing a plan change (e.g. an allocation that shrank again) never install
+// chunks beyond the live plan.
+func (c *Controller) installFill(fileID int, dataChunks [][]byte) error {
+	meta := c.files[fileID]
+	for attempt := 0; attempt < 3; attempt++ {
+		target, ok := c.epoch.Load().pending[fileID]
+		if !ok {
+			return nil // already materialised or no longer planned
+		}
+		if target > meta.K {
+			target = meta.K
+		}
+		cacheChunks, err := meta.Code.CacheChunks(dataChunks, target)
+		if err != nil {
+			return fmt.Errorf("core: generating cache chunks for file %d: %w", fileID, err)
+		}
+
+		c.mu.Lock()
+		cur, ok := c.epoch.Load().pending[fileID]
+		if !ok {
+			c.mu.Unlock()
+			return nil
+		}
+		if cur > meta.K {
+			cur = meta.K
+		}
+		if cur != target {
+			// The plan moved while we were generating; recompute.
+			c.mu.Unlock()
+			continue
+		}
+		for i, data := range cacheChunks {
+			key := cache.ChunkKey{FileID: fileID, ChunkIndex: meta.Code.CacheChunkIndex(i)}
+			c.cache.Put(key, data)
+		}
+		c.swapEpochLocked(func(e *epoch) { delete(e.pending, fileID) })
+		c.stats.lazyFills.Add(1)
+		c.mu.Unlock()
+		return nil
+	}
+	// The plan kept changing under us; leave the file pending — its next
+	// read re-enqueues the fill.
+	return nil
+}

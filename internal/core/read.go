@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sprout/internal/erasure"
+)
+
+// Read serves a complete file: cached functional chunks are combined with
+// chunks fetched (via the fetcher) from storage nodes selected by the
+// probabilistic scheduler, and the file is decoded. If the file's cache
+// allocation grew in this time bin, a background fill job is enqueued after
+// decode so the missing functional chunks are generated and installed off
+// the read path.
+//
+// Read is lock-free with respect to the controller: it works off the
+// current epoch snapshot and never blocks on PlanTimeBin, fills, or other
+// reads.
+func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
+	start := time.Now()
+	if fileID < 0 || fileID >= len(c.files) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
+	}
+	ep := c.epoch.Load()
+	if ep.plan == nil {
+		return nil, ErrNoPlan
+	}
+	if c.est != nil {
+		c.est.Observe(fileID)
+	}
+	meta := c.files[fileID]
+
+	// Gather chunks from the cache first. Any k distinct coded chunks decode,
+	// so cached chunks always count toward k — including while a fill for a
+	// grown allocation is still pending.
+	chunks := make([]erasure.Chunk, 0, meta.K)
+	c.cache.VisitFile(fileID, func(idx int, data []byte) bool {
+		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
+		return len(chunks) < meta.K
+	})
+	fromCache := len(chunks)
+
+	need := meta.K - fromCache
+	if need > 0 {
+		fetched, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need)
+		if err != nil {
+			return nil, err
+		}
+		chunks = append(chunks, fetched...)
+	}
+	if len(chunks) < meta.K {
+		return nil, fmt.Errorf("core: only %d of %d chunks available for file %d", len(chunks), meta.K, fileID)
+	}
+
+	dataChunks, err := meta.Code.Reconstruct(chunks)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := meta.Code.Join(dataChunks, meta.SizeBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	c.stats.reads.Add(1)
+	c.stats.chunksFromCache.Add(int64(fromCache))
+	c.stats.chunksFromDisk.Add(int64(len(chunks) - fromCache))
+	if fromCache == meta.K {
+		c.stats.cacheOnlyReads.Add(1)
+	}
+	c.hist.observe(time.Since(start), fromCache == meta.K)
+
+	if _, ok := ep.pending[fileID]; ok {
+		c.enqueueFill(fileID, dataChunks)
+	}
+	return payload, nil
+}
+
+// fetchCandidate is one possible storage source for a chunk the read still
+// needs: the chunk index and the ID of the node holding it.
+type fetchCandidate struct {
+	chunkIndex int
+	nodeID     int
+}
+
+// candidates lists the storage sources for a read in preference order: the
+// scheduler-selected nodes first, then the rest of the file's placement as
+// backups (used when the scheduler yields fewer distinct nodes than needed,
+// when fetches fail, and as hedge targets). haveIdx are chunk indices
+// already in hand (from the cache).
+func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) []fetchCandidate {
+	used := make(map[int]bool, len(have))
+	for _, ch := range have {
+		used[ch.Index] = true
+	}
+	rng := c.rngPool.Get().(*rand.Rand)
+	u := rng.Float64()
+	c.rngPool.Put(rng)
+	targets := ep.assignment.PickFrom(meta.ID, u)
+
+	cands := make([]fetchCandidate, 0, len(meta.Placement))
+	for _, node := range targets {
+		ci := chunkIndexOnNode(meta, node)
+		if ci < 0 || used[ci] {
+			continue
+		}
+		used[ci] = true
+		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
+	}
+	for ci, node := range meta.Placement {
+		if used[ci] {
+			continue
+		}
+		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
+	}
+	return cands
+}
+
+func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need int) ([]erasure.Chunk, error) {
+	cands := c.candidates(ep, meta, have)
+	if c.serve.SequentialFetch {
+		return c.fetchSequential(ctx, fetcher, meta.ID, cands, need)
+	}
+	return c.fetchParallel(ctx, fetcher, meta.ID, cands, need)
+}
+
+// fetchSequential is the seed's serialised fetch loop, kept as the measured
+// A/B baseline: one chunk at a time, moving to the next candidate on error.
+func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, error) {
+	chunks := make([]erasure.Chunk, 0, need)
+	var lastErr error
+	for _, cand := range cands {
+		if len(chunks) >= need {
+			break
+		}
+		data, err := fetcher.FetchChunk(ctx, fileID, cand.chunkIndex, cand.nodeID)
+		if err != nil {
+			lastErr = fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)
+			c.stats.fetchFailovers.Add(1)
+			continue
+		}
+		chunks = append(chunks, erasure.Chunk{Index: cand.chunkIndex, Data: data})
+	}
+	if len(chunks) < need {
+		return nil, fetchShortfallError(fileID, len(chunks), need, lastErr)
+	}
+	return chunks, nil
+}
+
+type fetchResult struct {
+	chunk  erasure.Chunk
+	hedged bool
+	err    error
+}
+
+// fetchParallel fans the needed chunk fetches out concurrently over the
+// candidate nodes. Failures fail over to the next unused candidate. When
+// hedging is enabled and the read is still incomplete after HedgeDelay, up
+// to HedgeExtra additional candidates are launched and the fastest
+// responses win; once enough chunks are in hand the shared context is
+// cancelled so losing fetches stop early.
+func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, error) {
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make(chan fetchResult, len(cands))
+	launch := func(i int, hedged bool) {
+		cand := cands[i]
+		go func() {
+			data, err := fetcher.FetchChunk(fctx, fileID, cand.chunkIndex, cand.nodeID)
+			if err != nil {
+				results <- fetchResult{hedged: hedged, err: fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)}
+				return
+			}
+			results <- fetchResult{chunk: erasure.Chunk{Index: cand.chunkIndex, Data: data}, hedged: hedged}
+		}()
+	}
+
+	next := 0 // next unused candidate
+	for ; next < len(cands) && next < need; next++ {
+		launch(next, false)
+	}
+	outstanding := next
+
+	var hedgeC <-chan time.Time
+	if c.serve.HedgeDelay > 0 && c.serve.HedgeExtra > 0 && next < len(cands) {
+		timer := time.NewTimer(c.serve.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
+	}
+
+	chunks := make([]erasure.Chunk, 0, need)
+	var lastErr error
+	for len(chunks) < need && outstanding > 0 {
+		select {
+		case res := <-results:
+			outstanding--
+			if res.err != nil {
+				if ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
+				lastErr = res.err
+				if next < len(cands) {
+					launch(next, false)
+					next++
+					outstanding++
+					c.stats.fetchFailovers.Add(1)
+				}
+				continue
+			}
+			chunks = append(chunks, res.chunk)
+			if res.hedged {
+				c.stats.hedgeWins.Add(1)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			for extra := 0; extra < c.serve.HedgeExtra && next < len(cands); extra++ {
+				launch(next, true)
+				next++
+				outstanding++
+				c.stats.hedgesLaunched.Add(1)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if len(chunks) < need {
+		return nil, fetchShortfallError(fileID, len(chunks), need, lastErr)
+	}
+	return chunks, nil
+}
+
+func fetchShortfallError(fileID, got, need int, lastErr error) error {
+	if lastErr != nil {
+		return lastErr
+	}
+	return fmt.Errorf("core: only %d of %d needed chunks fetched for file %d", got, need, fileID)
+}

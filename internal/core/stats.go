@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// counters are the controller's hot-path statistics. Everything is atomic:
+// the read plane increments them without any lock.
+type counters struct {
+	reads           atomic.Int64
+	chunksFromCache atomic.Int64
+	chunksFromDisk  atomic.Int64
+	cacheOnlyReads  atomic.Int64
+	lazyFills       atomic.Int64
+	planUpdates     atomic.Int64
+	fillsEnqueued   atomic.Int64
+	fillsDropped    atomic.Int64
+	fillErrors      atomic.Int64
+	hedgesLaunched  atomic.Int64
+	hedgeWins       atomic.Int64
+	fetchFailovers  atomic.Int64
+	autoReplans     atomic.Int64
+	replanErrors    atomic.Int64
+}
+
+// Stats exposes counters for observability and the evaluation harness.
+type Stats struct {
+	Reads           int64
+	ChunksFromCache int64
+	ChunksFromDisk  int64
+	LazyFills       int64
+	PlanUpdates     int64
+
+	// CacheOnlyReads counts reads served entirely from cached chunks.
+	CacheOnlyReads int64
+	// FillsEnqueued / FillsDropped count background materialisation jobs
+	// accepted by and shed from the fill queue.
+	FillsEnqueued int64
+	FillsDropped  int64
+	// FillErrors counts background fills that failed.
+	FillErrors int64
+	// HedgesLaunched counts extra fetches started by the hedge timer;
+	// HedgeWins counts hedged fetches that supplied a winning chunk.
+	HedgesLaunched int64
+	HedgeWins      int64
+	// FetchFailovers counts fetch failures that were retried against
+	// another node holding a chunk of the file.
+	FetchFailovers int64
+	// AutoReplans counts plans triggered by the auto-replanner;
+	// ReplanErrors counts auto-replans that failed.
+	AutoReplans  int64
+	ReplanErrors int64
+}
+
+// Stats returns a snapshot of the controller counters.
+func (c *Controller) Stats() Stats {
+	return Stats{
+		Reads:           c.stats.reads.Load(),
+		ChunksFromCache: c.stats.chunksFromCache.Load(),
+		ChunksFromDisk:  c.stats.chunksFromDisk.Load(),
+		LazyFills:       c.stats.lazyFills.Load(),
+		PlanUpdates:     c.stats.planUpdates.Load(),
+		CacheOnlyReads:  c.stats.cacheOnlyReads.Load(),
+		FillsEnqueued:   c.stats.fillsEnqueued.Load(),
+		FillsDropped:    c.stats.fillsDropped.Load(),
+		FillErrors:      c.stats.fillErrors.Load(),
+		HedgesLaunched:  c.stats.hedgesLaunched.Load(),
+		HedgeWins:       c.stats.hedgeWins.Load(),
+		FetchFailovers:  c.stats.fetchFailovers.Load(),
+		AutoReplans:     c.stats.autoReplans.Load(),
+		ReplanErrors:    c.stats.replanErrors.Load(),
+	}
+}
+
+// histBuckets covers [1µs, ~134s] in power-of-two buckets (bucket 27 spans
+// [2^26µs ≈ 67s, 2^27µs ≈ 134s)); slower reads land in the last bucket.
+const histBuckets = 28
+
+// latencyHist is a lock-free log2 histogram of read latencies in
+// microseconds: bucket i counts latencies in [2^(i-1), 2^i) µs.
+type latencyHist struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	us := uint64(d / time.Microsecond)
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	for {
+		cur := h.maxNS.Load()
+		if int64(d) <= cur || h.maxNS.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// quantile returns an estimate of the q-quantile by locating the bucket
+// holding the rank and interpolating linearly inside it.
+func (h *latencyHist) quantile(q float64, counts *[histBuckets]int64, total int64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for b := 0; b < histBuckets; b++ {
+		n := float64(counts[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(b)
+			frac := (rank - cum) / n
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return time.Duration(h.maxNS.Load())
+}
+
+// bucketBounds returns the [lo, hi) latency range of bucket b.
+func bucketBounds(b int) (lo, hi time.Duration) {
+	if b == 0 {
+		return 0, time.Microsecond
+	}
+	lo = time.Duration(1<<(b-1)) * time.Microsecond
+	hi = time.Duration(1<<b) * time.Microsecond
+	return lo, hi
+}
+
+// LatencySnapshot summarises one latency distribution.
+type LatencySnapshot struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+func (h *latencyHist) snapshot() LatencySnapshot {
+	var counts [histBuckets]int64
+	var total int64
+	for b := range counts {
+		counts[b] = h.buckets[b].Load()
+		total += counts[b]
+	}
+	s := LatencySnapshot{Count: total, Max: time.Duration(h.maxNS.Load())}
+	if total > 0 {
+		s.Mean = time.Duration(h.sumNS.Load() / total)
+		// Interpolated estimates can overshoot the true extreme inside a
+		// bucket; clamp to the observed maximum so percentiles stay ordered.
+		clamp := func(d time.Duration) time.Duration {
+			if d > s.Max {
+				return s.Max
+			}
+			return d
+		}
+		s.P50 = clamp(h.quantile(0.50, &counts, total))
+		s.P90 = clamp(h.quantile(0.90, &counts, total))
+		s.P99 = clamp(h.quantile(0.99, &counts, total))
+	}
+	return s
+}
+
+// readHist splits read latencies by how the read was served: entirely from
+// cache versus needing storage fetches.
+type readHist struct {
+	cacheHit latencyHist
+	degraded latencyHist
+}
+
+func (h *readHist) observe(d time.Duration, cacheOnly bool) {
+	if cacheOnly {
+		h.cacheHit.observe(d)
+	} else {
+		h.degraded.observe(d)
+	}
+}
+
+// ReadLatencyStats is the controller's read-latency histogram snapshot.
+type ReadLatencyStats struct {
+	// CacheHit covers reads served entirely from cached chunks; Storage
+	// covers reads that fetched at least one chunk from storage nodes.
+	CacheHit LatencySnapshot
+	Storage  LatencySnapshot
+}
+
+// ReadLatency returns percentile snapshots of read latency split by cache
+// hits versus reads that touched storage.
+func (c *Controller) ReadLatency() ReadLatencyStats {
+	return ReadLatencyStats{
+		CacheHit: c.hist.cacheHit.snapshot(),
+		Storage:  c.hist.degraded.snapshot(),
+	}
+}

@@ -81,7 +81,23 @@ func (p *Picker) Pick(rng *rand.Rand) []int {
 	if p.setSize == 0 {
 		return nil
 	}
-	u := rng.Float64()
+	return p.PickFrom(rng.Float64())
+}
+
+// PickFrom is Pick with the single uniform draw u in [0,1) supplied by the
+// caller. Madow's sampling consumes exactly one uniform variate, so callers
+// on concurrent paths can use per-goroutine randomness without funnelling
+// through a shared, locked rand.Rand. The Picker itself is immutable after
+// construction and safe for concurrent PickFrom calls.
+func (p *Picker) PickFrom(u float64) []int {
+	if p.setSize == 0 {
+		return nil
+	}
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
 	out := make([]int, 0, p.setSize)
 	for t := 0; t < p.setSize; t++ {
 		target := u + float64(t)
@@ -133,6 +149,12 @@ func NewAssignment(pi [][]float64) (*Assignment, error) {
 // file.
 func (a *Assignment) Pick(file int, rng *rand.Rand) []int {
 	return a.pickers[file].Pick(rng)
+}
+
+// PickFrom selects the storage nodes for one request of the given file from
+// a caller-supplied uniform draw; see Picker.PickFrom.
+func (a *Assignment) PickFrom(file int, u float64) []int {
+	return a.pickers[file].PickFrom(u)
 }
 
 // ChunksFromStorage returns how many chunks file i fetches from storage

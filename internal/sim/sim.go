@@ -42,11 +42,26 @@ type Config struct {
 	SlotLength float64
 	// WarmupFraction of the horizon is excluded from latency statistics.
 	WarmupFraction float64
+	// HedgeDelay, if positive with HedgeExtra > 0, models hedged chunk
+	// fetches: a request still incomplete HedgeDelay seconds after arrival
+	// launches up to HedgeExtra extra chunk reads on the least-loaded
+	// placement nodes it has not already targeted. The request completes
+	// once its original count of storage pieces has finished (fastest
+	// responses win; hedged reads substitute for storage pieces only, never
+	// for the folded cache piece) — leftover redundant jobs are cancelled if
+	// still queued, but consume server time if already in service.
+	HedgeDelay float64
+	// HedgeExtra is the maximum number of extra hedged chunk reads per
+	// request.
+	HedgeExtra int
 }
 
 // Result aggregates the simulation outputs.
 type Result struct {
-	Requests        int
+	Requests int
+	// Completed counts requests whose latency was recorded (arrivals after
+	// the warmup cutoff that finished); with no warmup it equals Requests.
+	Completed       int
 	MeanLatency     float64
 	P95Latency      float64
 	P99Latency      float64
@@ -56,6 +71,8 @@ type Result struct {
 	NodeChunks      []int64   // chunks served per node
 	CacheChunks     int64     // chunks served from cache
 	StorageChunks   int64     // chunks served from storage
+	HedgedChunks    int64     // extra chunk reads launched by hedging
+	CancelledChunks int64     // hedged/redundant reads cancelled before service
 	Slots           []SlotStats
 }
 
@@ -76,6 +93,7 @@ var (
 const (
 	evArrival = iota
 	evNodeDone
+	evHedge
 )
 
 type event struct {
@@ -109,8 +127,13 @@ func (q *eventQueue) Pop() interface{} {
 type requestState struct {
 	file      int
 	arrival   float64
-	pending   int
-	completed float64 // completion time of the slowest finished piece so far
+	required  int  // storage pieces that must finish (hedged reads substitute)
+	done      int  // storage pieces finished so far (hedged extras count too)
+	needCache bool // a folded cache piece (worth d chunks) must also finish
+	cacheDone bool
+	finished  bool    // enough pieces have finished; leftovers are redundant
+	targets   []int   // node indices already fetching a chunk for this request
+	completed float64 // completion time of the slowest counted piece so far
 }
 
 type nodeState struct {
@@ -202,23 +225,42 @@ func Run(cfg Config) (*Result, error) {
 		return s
 	}
 
+	var cancelledChunks int64
 	startService := func(now float64, j int) {
 		ns := nodeStates[j]
-		if ns.busy || len(ns.queue) == 0 {
+		if ns.busy {
+			return
+		}
+		// Cancellation point: queued jobs whose request already finished are
+		// dropped before ever entering service.
+		for len(ns.queue) > 0 && ns.queue[0].req.finished {
+			ns.queue = ns.queue[1:]
+			cancelledChunks++
+		}
+		if len(ns.queue) == 0 {
 			return
 		}
 		ns.busy = true
+		ns.served++
 		service := nodes[j].Service.Sample(rng)
 		ns.busyTime += service
 		push(&event{time: now + service, kind: evNodeDone, node: j, req: ns.queue[0].req})
 	}
 
-	finishPiece := func(now float64, req *requestState) {
-		req.pending--
+	// finishPiece records one completed piece. Hedged storage reads are a
+	// 1-for-1 substitute for storage pieces only: the folded cache piece
+	// stands for d whole chunks and must complete on its own.
+	finishPiece := func(now float64, req *requestState, cachePiece bool) {
+		if cachePiece {
+			req.cacheDone = true
+		} else {
+			req.done++
+		}
 		if now > req.completed {
 			req.completed = now
 		}
-		if req.pending == 0 {
+		if !req.finished && req.done >= req.required && (!req.needCache || req.cacheDone) {
+			req.finished = true
 			lat := req.completed - req.arrival
 			if req.arrival >= warmup {
 				latencies = append(latencies, lat)
@@ -227,6 +269,23 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}
+
+	// Placement of each file as node indices, for hedge target selection.
+	hedging := cfg.HedgeDelay > 0 && cfg.HedgeExtra > 0
+	var placementIdx [][]int
+	if hedging {
+		idx := cfg.Cluster.NodeIndex()
+		placementIdx = make([][]int, len(files))
+		for i, f := range files {
+			placementIdx[i] = make([]int, 0, len(f.Placement))
+			for _, nodeID := range f.Placement {
+				if j, ok := idx[nodeID]; ok {
+					placementIdx[i] = append(placementIdx[i], j)
+				}
+			}
+		}
+	}
+	var hedgedChunks int64
 
 	requests := 0
 	for q.Len() > 0 {
@@ -249,13 +308,14 @@ func Run(cfg Config) (*Result, error) {
 			// Cache reads complete after CacheLatency (possibly zero). They are
 			// folded into a single pending piece since all cached chunks are
 			// read in parallel from local cache memory.
-			pending := len(targets)
-			if cached > 0 {
-				pending++
+			req := &requestState{
+				file: ev.file, arrival: now,
+				required: len(targets), needCache: cached > 0 && len(targets) > 0,
+				targets: targets,
 			}
-			req := &requestState{file: ev.file, arrival: now, pending: pending}
-			if pending == 0 {
+			if len(targets) == 0 {
 				// Entire file served from cache instantaneously.
+				req.finished = true
 				if now >= warmup {
 					latencies = append(latencies, cfg.CacheLatency)
 					perFileSum[ev.file] += cfg.CacheLatency
@@ -267,7 +327,7 @@ func Run(cfg Config) (*Result, error) {
 				if s := slotOf(now); s >= 0 {
 					slots[s].CacheChunks += int64(cached)
 				}
-				if pending > 0 {
+				if req.needCache {
 					// Model the cache read as an immediate completion event.
 					done := now + cfg.CacheLatency
 					push(&event{time: done, kind: evNodeDone, node: -1, req: req})
@@ -279,7 +339,45 @@ func Run(cfg Config) (*Result, error) {
 			}
 			for _, j := range targets {
 				nodeStates[j].queue = append(nodeStates[j].queue, &chunkJob{req: req})
-				nodeStates[j].served++
+				startService(now, j)
+			}
+			if hedging && len(targets) > 0 {
+				push(&event{time: now + cfg.HedgeDelay, kind: evHedge, file: ev.file, req: req})
+			}
+		case evHedge:
+			req := ev.req
+			if req.finished || req.done >= req.required {
+				// Done, or only the cache piece is outstanding — an extra
+				// storage read could not complete the request.
+				break
+			}
+			// Launch up to HedgeExtra redundant chunk reads on the
+			// least-loaded placement nodes not already fetching for this
+			// request.
+			targeted := make(map[int]bool, len(req.targets))
+			for _, j := range req.targets {
+				targeted[j] = true
+			}
+			extra := make([]int, 0, len(placementIdx[ev.file]))
+			for _, j := range placementIdx[ev.file] {
+				if !targeted[j] {
+					extra = append(extra, j)
+				}
+			}
+			sort.Slice(extra, func(a, b int) bool {
+				qa, qb := len(nodeStates[extra[a]].queue), len(nodeStates[extra[b]].queue)
+				if qa != qb {
+					return qa < qb
+				}
+				return extra[a] < extra[b]
+			})
+			if len(extra) > cfg.HedgeExtra {
+				extra = extra[:cfg.HedgeExtra]
+			}
+			for _, j := range extra {
+				req.targets = append(req.targets, j)
+				hedgedChunks++
+				nodeStates[j].queue = append(nodeStates[j].queue, &chunkJob{req: req})
 				startService(now, j)
 			}
 		case evNodeDone:
@@ -289,22 +387,25 @@ func Run(cfg Config) (*Result, error) {
 				job := ns.queue[0]
 				ns.queue = ns.queue[1:]
 				ns.busy = false
-				finishPiece(now, job.req)
+				finishPiece(now, job.req, false)
 				startService(now, ev.node)
 			} else {
 				// Cache read completion.
-				finishPiece(now, ev.req)
+				finishPiece(now, ev.req, true)
 			}
 		}
 	}
 
 	res := &Result{
 		Requests:        requests,
+		Completed:       len(latencies),
 		PerFileLatency:  make([]float64, len(files)),
 		NodeUtilization: make([]float64, len(nodes)),
 		NodeChunks:      make([]int64, len(nodes)),
 		CacheChunks:     cacheChunks,
 		StorageChunks:   storageChunks,
+		HedgedChunks:    hedgedChunks,
+		CancelledChunks: cancelledChunks,
 		Slots:           slots,
 	}
 	for i := range files {

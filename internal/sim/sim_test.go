@@ -262,3 +262,136 @@ func TestDeterministicWithSameSeed(t *testing.T) {
 		t.Fatal("different seeds should differ (with overwhelming probability)")
 	}
 }
+
+// hedgeTestCluster has one pathologically slow node in a (3,2) placement,
+// so requests scheduled onto it dominate the tail unless hedging rescues
+// them via the third placement node.
+func hedgeTestCluster() *cluster.Cluster {
+	return &cluster.Cluster{
+		Nodes: []cluster.Node{
+			{ID: 0, Name: "slow", Service: queue.NewExponential(0.05)}, // mean 20s
+			{ID: 1, Name: "n1", Service: queue.NewExponential(10)},
+			{ID: 2, Name: "n2", Service: queue.NewExponential(10)},
+			{ID: 3, Name: "n3", Service: queue.NewExponential(10)},
+		},
+		Files: []cluster.File{{
+			ID: 0, Name: "f0", SizeBytes: 100, K: 2, N: 3,
+			Placement: []int{0, 1, 2}, Lambda: 0.02,
+		}},
+	}
+}
+
+func TestHedgingCutsTailLatency(t *testing.T) {
+	// pi schedules 2 chunks per request over nodes {0,1,2}; 40% of requests
+	// touch the slow node and wait ~20s for that chunk.
+	cfg := Config{
+		Cluster:        hedgeTestCluster(),
+		Pi:             [][]float64{{0.4, 0.8, 0.8, 0}},
+		Horizon:        20000,
+		Seed:           7,
+		WarmupFraction: 0.02,
+	}
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hedged := cfg
+	hedged.HedgeDelay = 1
+	hedged.HedgeExtra = 1
+	hres, err := Run(hedged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hres.HedgedChunks == 0 {
+		t.Fatal("no hedged chunks launched")
+	}
+	// A request whose slow-node chunk is hedged completes via the third
+	// placement node in ~1.1s instead of ~20s: the p95 must collapse.
+	if hres.P95Latency >= base.P95Latency/2 {
+		t.Fatalf("hedging did not cut the tail: base p95 %.2fs, hedged p95 %.2fs",
+			base.P95Latency, hres.P95Latency)
+	}
+	// The mean must not regress.
+	if hres.MeanLatency > base.MeanLatency {
+		t.Fatalf("hedging regressed mean latency: base %.2fs, hedged %.2fs",
+			base.MeanLatency, hres.MeanLatency)
+	}
+	// Accounting: every post-warmup request completes exactly once — no
+	// request is dropped or double-counted by hedged completions.
+	if hres.Completed == 0 || hres.Completed > hres.Requests {
+		t.Fatalf("request accounting off: completed %d of %d", hres.Completed, hres.Requests)
+	}
+	noWarm := hedged
+	noWarm.WarmupFraction = 0
+	nres, err := Run(noWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nres.Completed != nres.Requests {
+		t.Fatalf("with no warmup every request must record one latency: completed %d of %d",
+			nres.Completed, nres.Requests)
+	}
+}
+
+func TestHedgingDisabledMatchesSeedBehaviour(t *testing.T) {
+	// With hedging off, HedgedChunks/CancelledChunks stay zero and results
+	// are identical for identical seeds.
+	cfg := Config{
+		Cluster: hedgeTestCluster(),
+		Pi:      [][]float64{{0.4, 0.8, 0.8, 0}},
+		Horizon: 5000,
+		Seed:    3,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HedgedChunks != 0 || a.CancelledChunks != 0 {
+		t.Fatalf("hedge counters must be zero when disabled: %+v", a)
+	}
+	if a.MeanLatency != b.MeanLatency || a.Requests != b.Requests {
+		t.Fatal("simulation must be deterministic for a fixed seed")
+	}
+}
+
+func TestHedgeCannotSubstituteCachePiece(t *testing.T) {
+	// One cached chunk (d=1) plus one storage read (k-d=1) per request, with
+	// a cache latency far above the hedge delay. The hedge may race the
+	// storage read, but it must never stand in for the folded cache piece:
+	// no request can complete before the cache read finishes at 20ms.
+	clu := &cluster.Cluster{
+		Nodes: []cluster.Node{
+			{ID: 0, Name: "n0", Service: queue.NewExponential(10)},
+			{ID: 1, Name: "n1", Service: queue.NewExponential(10)},
+			{ID: 2, Name: "n2", Service: queue.NewExponential(10)},
+		},
+		Files: []cluster.File{{
+			ID: 0, Name: "f0", SizeBytes: 100, K: 2, N: 3,
+			Placement: []int{0, 1, 2}, Lambda: 0.01,
+		}},
+	}
+	res, err := Run(Config{
+		Cluster:      clu,
+		Pi:           [][]float64{{1, 0, 0}},
+		CacheChunks:  []int{1},
+		CacheLatency: 0.02,
+		HedgeDelay:   0.005,
+		HedgeExtra:   1,
+		Horizon:      20000,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests simulated")
+	}
+	// Mean and every percentile must sit at or above the cache latency.
+	if res.MeanLatency < 0.02 {
+		t.Fatalf("mean latency %.4fs below the 20ms cache read: hedge substituted the cache piece", res.MeanLatency)
+	}
+}

@@ -1,0 +1,105 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// EWMAEstimator estimates per-file arrival rates with an exponentially
+// weighted moving average over fixed ticks. Unlike RateEstimator (which
+// keeps every event of a sliding window under a mutex), Observe is a single
+// lock-free atomic increment, so it can sit directly on a concurrent read
+// path; the control plane folds the counters into the moving average on a
+// periodic Tick.
+type EWMAEstimator struct {
+	alpha  float64
+	counts []atomic.Int64
+
+	mu       sync.Mutex
+	rates    []float64 // current EWMA estimate, updated by Tick
+	binRates []float64 // rates the current time bin was planned with
+	ticks    int
+}
+
+// NewEWMAEstimator creates an estimator over numFiles files. alpha in (0,1]
+// is the weight of the newest tick; values near 1 adapt fast, values near 0
+// smooth hard. A non-positive or out-of-range alpha defaults to 0.3.
+func NewEWMAEstimator(numFiles int, alpha float64) *EWMAEstimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	return &EWMAEstimator{
+		alpha:    alpha,
+		counts:   make([]atomic.Int64, numFiles),
+		rates:    make([]float64, numFiles),
+		binRates: make([]float64, numFiles),
+	}
+}
+
+// Observe records one request for the file. Safe for concurrent use and
+// lock-free.
+func (e *EWMAEstimator) Observe(file int) {
+	if file < 0 || file >= len(e.counts) {
+		return
+	}
+	e.counts[file].Add(1)
+}
+
+// Tick folds the requests observed since the previous Tick into the moving
+// average, treating them as spread over elapsed seconds, and returns a copy
+// of the updated per-file rate estimates. The first tick seeds the average
+// with the instantaneous rates.
+func (e *EWMAEstimator) Tick(elapsed float64) []float64 {
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range e.counts {
+		inst := float64(e.counts[i].Swap(0)) / elapsed
+		if e.ticks == 0 {
+			e.rates[i] = inst
+		} else {
+			e.rates[i] = e.alpha*inst + (1-e.alpha)*e.rates[i]
+		}
+	}
+	e.ticks++
+	return append([]float64(nil), e.rates...)
+}
+
+// Rates returns a copy of the current per-file rate estimates (as of the
+// last Tick).
+func (e *EWMAEstimator) Rates() []float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]float64(nil), e.rates...)
+}
+
+// StartBin records the per-file rates the new time bin is planned with;
+// Deviates compares against these.
+func (e *EWMAEstimator) StartBin(rates []float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	copy(e.binRates, rates)
+}
+
+// Deviates reports whether the current estimate differs from the rates of
+// the current bin by more than threshold (relative change) for any file.
+// Files going from zero to non-zero always trigger, mirroring
+// RateEstimator.NeedsNewBin.
+func (e *EWMAEstimator) Deviates(threshold float64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, r := range e.rates {
+		base := e.binRates[i]
+		if base == 0 && r > 0 {
+			return true
+		}
+		scale := math.Max(base, 1e-9)
+		if math.Abs(r-base)/scale > threshold {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestEWMAFirstTickSeedsInstantaneousRates(t *testing.T) {
+	e := NewEWMAEstimator(3, 0.5)
+	for i := 0; i < 10; i++ {
+		e.Observe(0)
+	}
+	e.Observe(2)
+	rates := e.Tick(2)
+	want := []float64{5, 0, 0.5}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 1e-12 {
+			t.Fatalf("rates[%d] = %v, want %v", i, rates[i], want[i])
+		}
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	e := NewEWMAEstimator(1, 0.5)
+	for i := 0; i < 8; i++ {
+		e.Observe(0)
+	}
+	e.Tick(1) // seeds at 8 req/s
+	// A silent tick halves the estimate at alpha = 0.5.
+	rates := e.Tick(1)
+	if math.Abs(rates[0]-4) > 1e-12 {
+		t.Fatalf("after silent tick rate = %v, want 4", rates[0])
+	}
+	// Counts are consumed by Tick: a second silent tick halves again.
+	rates = e.Tick(1)
+	if math.Abs(rates[0]-2) > 1e-12 {
+		t.Fatalf("after two silent ticks rate = %v, want 2", rates[0])
+	}
+}
+
+func TestEWMADeviates(t *testing.T) {
+	e := NewEWMAEstimator(2, 1)
+	for i := 0; i < 10; i++ {
+		e.Observe(0)
+	}
+	rates := e.Tick(1)
+	e.StartBin(rates)
+	if e.Deviates(0.25) {
+		t.Fatal("should not deviate right after StartBin")
+	}
+	// Rate of file 0 doubles.
+	for i := 0; i < 20; i++ {
+		e.Observe(0)
+	}
+	e.Tick(1)
+	if !e.Deviates(0.25) {
+		t.Fatal("doubled rate should deviate")
+	}
+	// Zero-to-nonzero always triggers.
+	e2 := NewEWMAEstimator(1, 1)
+	e2.StartBin([]float64{0})
+	e2.Observe(0)
+	e2.Tick(1)
+	if !e2.Deviates(10) {
+		t.Fatal("zero to non-zero should trigger at any threshold")
+	}
+}
+
+func TestEWMAObserveConcurrent(t *testing.T) {
+	e := NewEWMAEstimator(4, 0.3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Observe(i % 4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	rates := e.Tick(1)
+	var total float64
+	for _, r := range rates {
+		total += r
+	}
+	if total != 8000 {
+		t.Fatalf("total rate %v, want 8000", total)
+	}
+}
+
+func TestEWMAOutOfRangeObserve(t *testing.T) {
+	e := NewEWMAEstimator(1, 0.3)
+	e.Observe(-1)
+	e.Observe(1)
+	rates := e.Tick(1)
+	if rates[0] != 0 {
+		t.Fatalf("out-of-range observes must be ignored, got %v", rates[0])
+	}
+}

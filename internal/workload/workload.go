@@ -175,3 +175,36 @@ func Zipf(numFiles int, s, totalRate float64) []float64 {
 	}
 	return weights
 }
+
+// RatePicker samples file indices proportional to a fixed non-negative rate
+// vector: one uniform draw per pick against a precomputed cumulative array.
+// It is immutable after construction and safe for concurrent use.
+type RatePicker struct {
+	cum   []float64
+	total float64
+}
+
+// NewRatePicker builds a picker over the rates (e.g. a Zipf lambda vector).
+func NewRatePicker(rates []float64) *RatePicker {
+	p := &RatePicker{cum: make([]float64, len(rates))}
+	for i, r := range rates {
+		if r > 0 {
+			p.total += r
+		}
+		p.cum[i] = p.total
+	}
+	return p
+}
+
+// Pick maps a uniform draw u in [0,1) to an index with probability
+// proportional to its rate. A zero-total picker always returns 0.
+func (p *RatePicker) Pick(u float64) int {
+	if p.total == 0 || len(p.cum) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(p.cum, u*p.total)
+	if i >= len(p.cum) {
+		i = len(p.cum) - 1
+	}
+	return i
+}

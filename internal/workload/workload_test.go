@@ -246,3 +246,22 @@ func TestRateEstimatorDefaults(t *testing.T) {
 		t.Fatal("invalid window should fall back to a positive default")
 	}
 }
+
+func TestRatePicker(t *testing.T) {
+	p := NewRatePicker([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 40000; i++ {
+		counts[p.Pick(rng.Float64())]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-rate index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("rate-3 index picked %.2fx rate-1 index, want ~3x", ratio)
+	}
+	if NewRatePicker(nil).Pick(0.5) != 0 || NewRatePicker([]float64{0, 0}).Pick(0.99) != 0 {
+		t.Fatal("degenerate pickers must return 0")
+	}
+}

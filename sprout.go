@@ -38,6 +38,15 @@ type (
 	FileMeta = core.FileMeta
 	// ControllerStats are the controller's observability counters.
 	ControllerStats = core.Stats
+	// ServeOptions tunes the controller's concurrent serving path: parallel
+	// vs sequential chunk fetches, hedged fetches, background fill workers,
+	// and the auto-replanner.
+	ServeOptions = core.ServeOptions
+	// LatencySnapshot summarises one read-latency distribution (p50/p90/p99).
+	LatencySnapshot = core.LatencySnapshot
+	// ReadLatencyStats splits read-latency percentiles by cache hits versus
+	// reads that touched storage.
+	ReadLatencyStats = core.ReadLatencyStats
 
 	// Cluster describes storage nodes, files and placement.
 	Cluster = cluster.Cluster
@@ -69,9 +78,17 @@ type (
 )
 
 // NewController builds a Sprout controller for a cluster with a functional
-// cache of cacheCapacity chunks.
+// cache of cacheCapacity chunks and default serving options (parallel chunk
+// fetches, two background fill workers, no hedging, no auto-replanning).
 func NewController(clu *Cluster, cacheCapacity int, opts OptimizerOptions, seed int64) (*Controller, error) {
 	return core.NewController(clu, cacheCapacity, opts, seed)
+}
+
+// NewControllerWith builds a Sprout controller with explicit serving
+// options — hedged fetches, fill-worker sizing, and the auto-replanner that
+// re-runs PlanTimeBin when the observed workload drifts.
+func NewControllerWith(clu *Cluster, cacheCapacity int, opts OptimizerOptions, serve ServeOptions, seed int64) (*Controller, error) {
+	return core.NewControllerWith(clu, cacheCapacity, opts, serve, seed)
 }
 
 // NewCode creates an (n, k) storage code with k reserved functional cache
