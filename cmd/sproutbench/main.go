@@ -118,6 +118,13 @@ func experiments() []experiment {
 			}
 			return bench.ReadTable(r), nil
 		}},
+		{"degraded", "degraded reads and background repair under OSD failures", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.DegradedReadLatency(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.DegradedTable(r), nil
+		}},
 	}
 }
 

@@ -12,6 +12,7 @@
 //	sproutstore -mode load -target 127.0.0.1:7440 -clients 64 -conns 4
 //	sproutstore -mode demo
 //	sproutstore -mode ctrl -clients 8 -duration 3s -hedge-delay 10ms -replan-every 500ms
+//	sproutstore -mode ctrl -duration 3s -fail "500ms:2,5" -recover "2s:2" -lose
 package main
 
 import (
@@ -23,16 +24,18 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	"sprout/internal/cluster"
 	"sprout/internal/core"
 	"sprout/internal/objstore"
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
+	"sprout/internal/repair"
 	"sprout/internal/transport"
 	"sprout/internal/workload"
 )
@@ -62,6 +65,13 @@ func main() {
 		fillWorkers = flag.Int("fill-workers", 2, "ctrl: background cache-fill workers")
 		replanEvery = flag.Duration("replan-every", 500*time.Millisecond, "ctrl: auto-replanner tick (0 disables)")
 		replanTh    = flag.Float64("replan-threshold", 0.5, "ctrl: relative rate drift that triggers a replan")
+
+		// Failure injection and repair (ctrl mode).
+		failSpec      = flag.String("fail", "", "ctrl: OSD failures under load, e.g. \"500ms:2,5;1s:7\" (after 500ms fail OSDs 2 and 5, after 1s fail 7)")
+		recoverSpec   = flag.String("recover", "", "ctrl: OSD recoveries, same format as -fail")
+		loseChunks    = flag.Bool("lose", true, "ctrl: failed OSDs lose their chunks (forces reconstruction)")
+		repairWorkers = flag.Int("repair-workers", 2, "ctrl: repair worker pool size")
+		repairScan    = flag.Duration("repair-scan", 100*time.Millisecond, "ctrl: repair degradation-scan interval")
 	)
 	flag.Parse()
 
@@ -117,13 +127,26 @@ func main() {
 	case "demo":
 		runDemo(cluster, pools, *objects, *objSize)
 	case "ctrl":
+		failEvents, err := parseOSDEvents(*failSpec)
+		if err != nil {
+			fail(fmt.Errorf("-fail: %w", err))
+		}
+		recoverEvents, err := parseOSDEvents(*recoverSpec)
+		if err != nil {
+			fail(fmt.Errorf("-recover: %w", err))
+		}
 		runCtrl(cluster, ctrlConfig{
-			osds:        *osds,
-			objects:     *objects,
-			objSize:     *objSize,
-			cacheChunks: *cacheChunks,
-			clients:     *clients,
-			duration:    *duration,
+			osds:          *osds,
+			objects:       *objects,
+			objSize:       *objSize,
+			cacheChunks:   *cacheChunks,
+			clients:       *clients,
+			duration:      *duration,
+			failures:      failEvents,
+			recoveries:    recoverEvents,
+			loseChunks:    *loseChunks,
+			repairWorkers: *repairWorkers,
+			repairScan:    *repairScan,
 			serve: core.ServeOptions{
 				HedgeDelay:      *hedgeDelay,
 				HedgeExtra:      *hedgeExtra,
@@ -149,53 +172,61 @@ type ctrlConfig struct {
 	clients     int
 	duration    time.Duration
 	serve       core.ServeOptions
+
+	failures      []osdEvent
+	recoveries    []osdEvent
+	loseChunks    bool
+	repairWorkers int
+	repairScan    time.Duration
+}
+
+// osdEvent schedules a membership transition for a set of OSDs at an offset
+// into the serving window.
+type osdEvent struct {
+	after time.Duration
+	ids   []int
+}
+
+// parseOSDEvents parses "500ms:2,5;1s:7" into scheduled OSD events.
+func parseOSDEvents(spec string) ([]osdEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []osdEvent
+	for _, part := range strings.Split(spec, ";") {
+		after, idsStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("event %q: want duration:id[,id...]", part)
+		}
+		d, err := time.ParseDuration(after)
+		if err != nil {
+			return nil, fmt.Errorf("event %q: %w", part, err)
+		}
+		var ids []int
+		for _, s := range strings.Split(idsStr, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("event %q: %w", part, err)
+			}
+			ids = append(ids, id)
+		}
+		out = append(out, osdEvent{after: d, ids: ids})
+	}
+	return out, nil
 }
 
 // runCtrl serves Zipf-distributed reads through a Sprout controller whose
 // chunks live in the emulated OSD cluster: parallel (optionally hedged)
 // degraded reads against the calibrated service times, background cache
-// fills, and the auto-replanner re-planning from measured rates.
+// fills, the auto-replanner re-planning from measured rates, and — with
+// -fail/-recover — OSD failures injected under live load with the repair
+// plane reconstructing lost chunks concurrently.
 func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 	ctx := context.Background()
 	pool, err := oc.Pool("ec-7-4")
 	if err != nil {
 		fail(err)
 	}
-	// Describe the same topology to the controller. The OSD service times
-	// are ShiftedExponential{0.002, 500} (mean 4ms => rate 250/s); the
-	// controller's latency model needs rates on that scale so the plans it
-	// computes from measured arrival rates stay feasible.
-	rates := make([]float64, cfg.osds)
-	for i := range rates {
-		rates[i] = 250
-	}
-	clcfg := cluster.Config{
-		NumNodes:     cfg.osds,
-		NumFiles:     cfg.objects,
-		N:            7,
-		K:            4,
-		FileSize:     int64(cfg.objSize),
-		ServiceRates: rates,
-		Seed:         1,
-	}
-	clu, err := clcfg.Build()
-	if err != nil {
-		fail(err)
-	}
-	lambdas := workload.Zipf(cfg.objects, 1.1, 50)
-	clu, err = clu.WithArrivalRates(lambdas)
-	if err != nil {
-		fail(err)
-	}
-	capacity := cfg.cacheChunks
-	if capacity <= 0 {
-		capacity = 3 * cfg.objects
-	}
-	ctrl, err := core.NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 10}, cfg.serve, 1)
-	if err != nil {
-		fail(err)
-	}
-	defer ctrl.Close()
 
 	// Write every object into the erasure-coded pool; the controller then
 	// reads chunks back through the pool's CRUSH-like placement.
@@ -209,6 +240,23 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 			fail(err)
 		}
 	}
+
+	// Export the pool's real topology (same OSD IDs, same per-chunk
+	// placement) to the controller, so membership changes map one to one.
+	lambdas := workload.Zipf(cfg.objects, 1.1, 50)
+	clu, err := pool.ClusterView(lambdas)
+	if err != nil {
+		fail(err)
+	}
+	capacity := cfg.cacheChunks
+	if capacity <= 0 {
+		capacity = 3 * cfg.objects
+	}
+	ctrl, err := core.NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 10}, cfg.serve, 1)
+	if err != nil {
+		fail(err)
+	}
+	defer ctrl.Close()
 	fetcher := core.FetcherFunc(func(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
 		return pool.GetChunk(ctx, objName(fileID), chunkIndex)
 	})
@@ -219,10 +267,21 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 		fail(err)
 	}
 
+	mgr := repair.NewManager(pool, repair.Config{
+		Workers:      cfg.repairWorkers,
+		ScanInterval: cfg.repairScan,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	mgr.Start()
+	defer mgr.Close()
+
 	fmt.Printf("sproutstore: serving %d readers for %v (hedge %v +%d, replan every %v)\n",
 		cfg.clients, cfg.duration, cfg.serve.HedgeDelay, cfg.serve.HedgeExtra, cfg.serve.ReplanInterval)
 	picker := workload.NewRatePicker(lambdas)
 	stop := time.Now().Add(cfg.duration)
+	start := time.Now()
 	var reads atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.clients; w++ {
@@ -239,7 +298,47 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 			}
 		}(w)
 	}
+
+	// Apply the scheduled failure/recovery events under live load.
+	var injectWG sync.WaitGroup
+	inject := func(events []osdEvent, action func(ids []int)) {
+		for _, ev := range events {
+			injectWG.Add(1)
+			go func(ev osdEvent) {
+				defer injectWG.Done()
+				wait := time.Until(start.Add(ev.after))
+				if wait > 0 {
+					time.Sleep(wait)
+				}
+				action(ev.ids)
+			}(ev)
+		}
+	}
+	inject(cfg.failures, func(ids []int) {
+		if err := oc.FailOSDs(cfg.loseChunks, ids...); err != nil {
+			fmt.Fprintf(os.Stderr, "sproutstore: fail injection: %v\n", err)
+			return
+		}
+		for _, id := range ids {
+			ctrl.SetNodeDown(id)
+		}
+		mgr.Kick()
+		fmt.Printf("sproutstore: failed OSDs %v (lose chunks: %v)\n", ids, cfg.loseChunks)
+	})
+	inject(cfg.recoveries, func(ids []int) {
+		if err := oc.RecoverOSDs(ids...); err != nil {
+			fmt.Fprintf(os.Stderr, "sproutstore: recover injection: %v\n", err)
+			return
+		}
+		for _, id := range ids {
+			ctrl.SetNodeUp(id)
+		}
+		mgr.Kick()
+		fmt.Printf("sproutstore: recovered OSDs %v\n", ids)
+	})
+
 	wg.Wait()
+	injectWG.Wait()
 	ctrl.WaitFills()
 
 	stats := ctrl.Stats()
@@ -249,12 +348,23 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 		lat.CacheHit.Count, lat.CacheHit.P50, lat.CacheHit.P90, lat.CacheHit.P99)
 	fmt.Printf("  storage reads:   %6d  p50 %9v  p90 %9v  p99 %9v\n",
 		lat.Storage.Count, lat.Storage.P50, lat.Storage.P90, lat.Storage.P99)
+	fmt.Printf("  degraded reads:  %6d  p50 %9v  p90 %9v  p99 %9v\n",
+		lat.Degraded.Count, lat.Degraded.P50, lat.Degraded.P90, lat.Degraded.P99)
 	fmt.Printf("  chunks: %d from cache, %d from OSDs; %d background fills (%d dropped)\n",
 		stats.ChunksFromCache, stats.ChunksFromDisk, stats.LazyFills, stats.FillsDropped)
-	fmt.Printf("  hedges: %d launched, %d wins; failovers: %d\n",
-		stats.HedgesLaunched, stats.HedgeWins, stats.FetchFailovers)
-	fmt.Printf("  plans: %d total, %d auto-replans, %d rejected\n",
-		stats.PlanUpdates, stats.AutoReplans, stats.ReplanErrors)
+	fmt.Printf("  hedges: %d launched, %d wins; failovers: %d; cache rescues: %d\n",
+		stats.HedgesLaunched, stats.HedgeWins, stats.FetchFailovers, stats.CacheRescues)
+	fmt.Printf("  plans: %d total, %d auto-replans, %d rejected; membership changes: %d\n",
+		stats.PlanUpdates, stats.AutoReplans, stats.ReplanErrors, stats.MembershipChanges)
+	if len(cfg.failures) > 0 {
+		rs := mgr.Stats()
+		degraded := len(pool.DegradedObjects())
+		fmt.Printf("  repair: %d chunks (%d KiB) reconstructed in %v, %d deferred, %d failures; degraded objects left: %d\n",
+			rs.ChunksRepaired, rs.BytesRepaired>>10, rs.RepairTime.Round(time.Millisecond),
+			rs.Deferred, rs.Failures, degraded)
+		down := ctrl.DownNodes()
+		fmt.Printf("  membership: down OSDs at exit: %v\n", down)
+	}
 }
 
 // runLoad drives GetChunk traffic at a remote server and reports throughput

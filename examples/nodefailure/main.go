@@ -1,0 +1,221 @@
+// Example nodefailure runs the classic erasure-store failure drill on the
+// emulated cluster, end to end through the self-healing plane:
+//
+//  1. Objects are written into a (7,4) pool over 12 OSDs and served through
+//     the Sprout controller with a warm functional cache.
+//  2. Two OSDs are killed under live load, losing their chunks. Nobody
+//     tells the controller: the failure detector notices the error streaks
+//     on the read path and flips the nodes out of the scheduler's draws,
+//     while reads keep succeeding — degraded — via failover and the cache.
+//  3. The repair plane reconstructs every lost chunk from survivors with
+//     the erasure coder and re-places them on live OSDs, restoring full
+//     redundancy while traffic continues.
+//  4. The failed OSDs come back; the liveness prober feeds the detector,
+//     which returns them to the scheduler, and the repair plane promotes
+//     them from Recovering to Up.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout"
+	"sprout/internal/optimizer"
+	"sprout/internal/workload"
+)
+
+var (
+	objects  = flag.Int("objects", 24, "objects written into the pool")
+	objSize  = flag.Int("size", 256<<10, "object size in bytes")
+	readers  = flag.Int("readers", 8, "concurrent reader goroutines")
+	phaseLen = flag.Duration("phase", 700*time.Millisecond, "length of each serving phase")
+)
+
+func main() {
+	flag.Parse()
+	ctx := context.Background()
+
+	// --- Storage plane: 12 OSDs, (7,4) pool, 24 objects. -----------------
+	oc, err := sprout.NewStorageCluster(sprout.StorageConfig{
+		NumOSDs:      12,
+		Services:     []sprout.ServiceDist{sprout.Exponential(600)},
+		RefChunkSize: int64(*objSize / 4),
+		Seed:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := oc.CreatePool("ec-7-4", 7, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	payload := make([]byte, *objSize)
+	objName := func(fileID int) string { return fmt.Sprintf("file-%04d", fileID) }
+	for i := 0; i < *objects; i++ {
+		rng.Read(payload)
+		if err := pool.Put(ctx, objName(i), payload); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("wrote %d objects of %d KiB into ec-7-4 over 12 OSDs\n", *objects, *objSize>>10)
+
+	// --- Control plane: controller over the pool's real topology. --------
+	lambdas := workload.Zipf(*objects, 1.1, 50)
+	view, err := pool.ClusterView(lambdas)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl, err := sprout.NewControllerWith(view, 2**objects, optimizer.Options{MaxOuterIter: 10},
+		sprout.ServeOptions{
+			HedgeDelay: 20 * time.Millisecond, HedgeExtra: 1,
+			// With the auto-replanner on, a membership change triggers an
+			// immediate PlanTimeBin against the degraded node set.
+			ReplanInterval: 300 * time.Millisecond, ReplanThreshold: 0.5,
+		}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	// --- Self-healing plane: repair manager + failure detector. ----------
+	mgr := sprout.NewRepairManager(pool, sprout.RepairConfig{
+		Workers:      2,
+		ScanInterval: 50 * time.Millisecond,
+	})
+	mgr.Start()
+	defer mgr.Close()
+	det := sprout.NewFailureDetector(sprout.DetectorConfig{
+		ErrorThreshold: 3,
+		OnDown: func(osdID int) {
+			fmt.Printf("  detector: OSD %d DOWN -> excluded from scheduling, repair kicked\n", osdID)
+			ctrl.SetNodeDown(osdID)
+			mgr.Kick()
+		},
+		OnUp: func(osdID int) {
+			fmt.Printf("  detector: OSD %d UP -> back in scheduling\n", osdID)
+			ctrl.SetNodeUp(osdID)
+		},
+	})
+
+	// The fetcher feeds every chunk-read outcome into the detector — the
+	// serving path doubles as the failure signal, no separate monitoring.
+	fetcher := sprout.FetcherFunc(func(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+		data, err := pool.GetChunk(ctx, objName(fileID), chunkIndex)
+		det.Observe(nodeID, err, 0)
+		return data, err
+	})
+
+	// A liveness prober (heartbeats) lets the detector see recoveries even
+	// while the scheduler sends the node no traffic.
+	stopProbe := make(chan struct{})
+	var probeWG sync.WaitGroup
+	probeWG.Add(1)
+	go func() {
+		defer probeWG.Done()
+		ticker := time.NewTicker(100 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopProbe:
+				return
+			case <-ticker.C:
+				for _, id := range det.DownNodes() {
+					osd, err := oc.OSD(id)
+					if err != nil {
+						continue
+					}
+					if osd.State() != sprout.OSDDown {
+						det.Observe(id, nil, 0)
+					}
+				}
+			}
+		}
+	}()
+	defer func() { close(stopProbe); probeWG.Wait() }()
+
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		log.Fatal(err)
+	}
+	if err := ctrl.PrefetchCache(ctx, fetcher); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Serve live traffic across the failure/recovery phases. ----------
+	picker := workload.NewRatePicker(lambdas)
+	var stop atomic.Bool
+	var reads, readErrs atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < *readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w) + 17))
+			for !stop.Load() {
+				if _, err := ctrl.Read(ctx, picker.Pick(r.Float64()), fetcher); err != nil {
+					readErrs.Add(1)
+					continue
+				}
+				reads.Add(1)
+			}
+		}(w)
+	}
+
+	phase := func(name string) {
+		fmt.Printf("--- %s\n", name)
+		time.Sleep(*phaseLen)
+	}
+
+	phase("phase 1: healthy serving")
+
+	fmt.Println("--- phase 2: killing OSDs 3 and 7 (chunks lost), load continues")
+	if err := oc.FailOSDs(true, 3, 7); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(*phaseLen)
+
+	// Wait (while serving) until the repair plane reports full redundancy.
+	healStart := time.Now()
+	for len(pool.DegradedObjects()) > 0 && time.Since(healStart) < 30*time.Second {
+		time.Sleep(20 * time.Millisecond)
+	}
+	rs := mgr.Stats()
+	fmt.Printf("  repair: %d chunks (%d KiB) reconstructed in %v wall, %d objects degraded\n",
+		rs.ChunksRepaired, rs.BytesRepaired>>10, time.Since(healStart).Round(time.Millisecond),
+		len(pool.DegradedObjects()))
+
+	fmt.Println("--- phase 3: OSDs 3 and 7 recover")
+	if err := oc.RecoverOSDs(3, 7); err != nil {
+		log.Fatal(err)
+	}
+	time.Sleep(*phaseLen)
+
+	stop.Store(true)
+	wg.Wait()
+	ctrl.WaitFills()
+
+	// --- Wrap-up. ---------------------------------------------------------
+	stats := ctrl.Stats()
+	lat := ctrl.ReadLatency()
+	fmt.Printf("served %d reads (%d errors) across healthy, degraded and recovery phases\n",
+		reads.Load(), readErrs.Load())
+	fmt.Printf("  cache hits: %d (p99 %v), storage: %d (p99 %v), degraded: %d (p99 %v)\n",
+		lat.CacheHit.Count, lat.CacheHit.P99,
+		lat.Storage.Count, lat.Storage.P99,
+		lat.Degraded.Count, lat.Degraded.P99)
+	fmt.Printf("  failovers: %d, cache rescues: %d, membership changes: %d, auto-replans: %d\n",
+		stats.FetchFailovers, stats.CacheRescues, stats.MembershipChanges, stats.AutoReplans)
+	fmt.Printf("  detector down list at exit: %v (empty = all healthy)\n", det.DownNodes())
+	for _, h := range oc.Health() {
+		if h.State != sprout.OSDUp {
+			fmt.Printf("  OSD %d still %v\n", h.ID, h.State)
+		}
+	}
+	fmt.Println("done: failures detected from the read path, reads served throughout, redundancy restored")
+}

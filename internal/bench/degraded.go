@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout/internal/core"
+	"sprout/internal/objstore"
+	"sprout/internal/optimizer"
+	"sprout/internal/queue"
+	"sprout/internal/repair"
+	"sprout/internal/workload"
+)
+
+// DegradedResult measures the serving path at one (failed OSDs, cache
+// warmth) point: latency under live load while f OSDs are down with their
+// chunks lost, plus the repair plane's progress restoring redundancy.
+type DegradedResult struct {
+	Cache  string // "cold" (no functional cache) or "warm" (planned + prefetched)
+	Failed int    // OSDs failed with chunk loss (0 = healthy baseline)
+
+	Ops       int
+	OpsPerSec float64
+	P50ms     float64
+	P99ms     float64
+
+	// DegradedReads / CacheRescues / Failovers are the controller's
+	// degraded-serving counters over the run.
+	DegradedReads int64
+	CacheRescues  int64
+	Failovers     int64
+
+	// LostChunks is how many chunks the failure dropped; RepairedChunks how
+	// many the repair plane reconstructed while load continued;
+	// RemainingDegraded how many objects still miss chunks at the end (0 =
+	// full redundancy restored). RepairMBps is reconstruction throughput.
+	LostChunks        int
+	RepairedChunks    int64
+	RemainingDegraded int
+	RepairMBps        float64
+}
+
+// degradedPointConfig bounds one measurement point.
+type degradedPoint struct {
+	objects int
+	objSize int
+	readers int
+	healthy time.Duration // load served before the failure is injected
+	tail    time.Duration // load served after repair completes
+	healBy  time.Duration // give up waiting for repair after this long
+}
+
+// DegradedReadLatency runs the classic erasure-store failure drill on the
+// emulated cluster: write objects into a (7,4) pool, serve Zipf reads
+// through the controller, kill f OSDs (losing their chunks) under live
+// load for f = 0..n-k, keep serving degraded reads, and let the repair
+// plane reconstruct the lost chunks concurrently. Each point reports
+// latency percentiles over the whole run (healthy + degraded + repair
+// windows) and whether redundancy was fully restored.
+func DegradedReadLatency(cfg Config) ([]DegradedResult, error) {
+	cfg = cfg.withDefaults()
+	pt := degradedPoint{
+		objects: cfg.Files,
+		objSize: 64 << 10,
+		readers: 8,
+		healthy: 150 * time.Millisecond,
+		tail:    100 * time.Millisecond,
+		healBy:  20 * time.Second,
+	}
+	if pt.objects > 48 {
+		pt.objects = 48 // bounds per-point write/prefetch cost
+	}
+
+	var out []DegradedResult
+	for _, cache := range []string{"cold", "warm"} {
+		for f := 0; f <= 3; f++ {
+			res, err := degradedReadPoint(cfg, pt, cache, f)
+			if err != nil {
+				return nil, fmt.Errorf("bench: degraded point %s/f=%d: %w", cache, f, err)
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+func degradedReadPoint(cfg Config, pt degradedPoint, cacheMode string, failed int) (DegradedResult, error) {
+	ctx := context.Background()
+	oc, err := objstore.NewCluster(objstore.ClusterConfig{
+		NumOSDs:      12,
+		Services:     []queue.Dist{queue.ShiftedExponential{Shift: 0.0005, Rate: 2000}},
+		RefChunkSize: int64(pt.objSize / 4),
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return DegradedResult{}, err
+	}
+	pool, err := oc.CreatePool("ec-7-4", 7, 4)
+	if err != nil {
+		return DegradedResult{}, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed + 9))
+	payload := make([]byte, pt.objSize)
+	objName := func(fileID int) string { return fmt.Sprintf("file-%04d", fileID) }
+	for i := 0; i < pt.objects; i++ {
+		rng.Read(payload)
+		if err := pool.Put(ctx, objName(i), payload); err != nil {
+			return DegradedResult{}, err
+		}
+	}
+
+	lambdas := workload.Zipf(pt.objects, 1.1, 50)
+	view, err := pool.ClusterView(lambdas)
+	if err != nil {
+		return DegradedResult{}, err
+	}
+	capacity := 0
+	if cacheMode == "warm" {
+		capacity = 2 * pt.objects
+	}
+	ctrl, err := core.NewControllerWith(view, capacity, optimizer.Options{MaxOuterIter: cfg.MaxOuterIter}, core.ServeOptions{}, cfg.Seed)
+	if err != nil {
+		return DegradedResult{}, err
+	}
+	defer ctrl.Close()
+	fetcher := core.FetcherFunc(func(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+		return pool.GetChunk(ctx, objName(fileID), chunkIndex)
+	})
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		return DegradedResult{}, err
+	}
+	if capacity > 0 {
+		if err := ctrl.PrefetchCache(ctx, fetcher); err != nil {
+			return DegradedResult{}, err
+		}
+	}
+
+	mgr := repair.NewManager(pool, repair.Config{Workers: 2, ScanInterval: 25 * time.Millisecond})
+	mgr.Start()
+	defer mgr.Close()
+
+	// Serve Zipf reads from the reader pool until told to stop.
+	picker := workload.NewRatePicker(lambdas)
+	var stop atomic.Bool
+	latencies := make([][]time.Duration, pt.readers)
+	errs := make([]error, pt.readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < pt.readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + 100 + int64(w)))
+			var lats []time.Duration
+			for !stop.Load() {
+				fileID := picker.Pick(r.Float64())
+				opStart := time.Now()
+				if _, err := ctrl.Read(ctx, fileID, fetcher); err != nil {
+					errs[w] = err
+					return
+				}
+				lats = append(lats, time.Since(opStart))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+
+	finish := func() error {
+		stop.Store(true)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	time.Sleep(pt.healthy)
+	lost := 0
+	if failed > 0 {
+		// Fail the first f OSDs with chunk loss, under live load, and tell
+		// the controller — the failure-detector path is exercised by the
+		// nodefailure example; here injection is explicit so every point
+		// fails the same nodes.
+		before := chunkCounts(oc)
+		ids := make([]int, failed)
+		for i := range ids {
+			ids[i] = i
+		}
+		if err := oc.FailOSDs(true, ids...); err != nil {
+			_ = finish()
+			return DegradedResult{}, err
+		}
+		for _, id := range ids {
+			lost += before[id]
+			ctrl.SetNodeDown(id)
+		}
+		mgr.Kick()
+
+		// Wait until the repair plane has restored every lost chunk (or the
+		// deadline passes) while the readers keep hammering the pool.
+		deadline := time.Now().Add(pt.healBy)
+		for time.Now().Before(deadline) {
+			if mgr.Stats().InFlight == 0 && len(pool.DegradedObjects()) == 0 {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	time.Sleep(pt.tail)
+	if err := finish(); err != nil {
+		return DegradedResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	var merged []time.Duration
+	for _, l := range latencies {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	pct := func(p float64) float64 {
+		if len(merged) == 0 {
+			return 0
+		}
+		return float64(merged[int(p*float64(len(merged)-1))]) / float64(time.Millisecond)
+	}
+
+	stats := ctrl.Stats()
+	rs := mgr.Stats()
+	var mbps float64
+	if rs.RepairTime > 0 {
+		mbps = float64(rs.BytesRepaired) / rs.RepairTime.Seconds() / (1 << 20)
+	}
+	return DegradedResult{
+		Cache:             cacheMode,
+		Failed:            failed,
+		Ops:               len(merged),
+		OpsPerSec:         float64(len(merged)) / elapsed.Seconds(),
+		P50ms:             pct(0.50),
+		P99ms:             pct(0.99),
+		DegradedReads:     stats.DegradedReads,
+		CacheRescues:      stats.CacheRescues,
+		Failovers:         stats.FetchFailovers,
+		LostChunks:        lost,
+		RepairedChunks:    rs.ChunksRepaired,
+		RemainingDegraded: len(pool.DegradedObjects()),
+		RepairMBps:        mbps,
+	}, nil
+}
+
+// chunkCounts snapshots how many chunks each OSD stores, by OSD ID.
+func chunkCounts(oc *objstore.Cluster) map[int]int {
+	out := make(map[int]int)
+	for _, osd := range oc.OSDs() {
+		out[osd.ID] = osd.NumChunks()
+	}
+	return out
+}
+
+// DegradedTable renders DegradedReadLatency results with the latency
+// inflation of each point over the matching healthy baseline.
+func DegradedTable(results []DegradedResult) *Table {
+	t := &Table{
+		Title:   "degraded reads under OSD failures: latency vs failed nodes, with background repair",
+		Headers: []string{"cache", "failed", "ops", "ops/s", "p50 ms", "p99 ms", "p99 vs healthy", "degraded", "rescues", "failovers", "lost", "repaired", "left", "repair MB/s"},
+		Notes: []string{
+			"(7,4) pool over 12 OSDs; failed OSDs lose their chunks; reads keep flowing during failure and repair",
+			"repair reconstructs lost chunks from k survivors and re-places them on live OSDs (fewest-survivors first)",
+			"left = objects still missing chunks at the end of the run (0 = full redundancy restored)",
+		},
+	}
+	baseline := make(map[string]float64)
+	for _, r := range results {
+		if r.Failed == 0 {
+			baseline[r.Cache] = r.P99ms
+		}
+	}
+	for _, r := range results {
+		rel := "1.00x"
+		if b := baseline[r.Cache]; b > 0 && r.Failed > 0 {
+			rel = fmt.Sprintf("%.2fx", r.P99ms/b)
+		}
+		t.AddRow(
+			r.Cache,
+			itoa(r.Failed),
+			itoa(r.Ops),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.P50ms),
+			fmt.Sprintf("%.2f", r.P99ms),
+			rel,
+			i64toa(r.DegradedReads),
+			i64toa(r.CacheRescues),
+			i64toa(r.Failovers),
+			itoa(r.LostChunks),
+			i64toa(r.RepairedChunks),
+			itoa(r.RemainingDegraded),
+			fmt.Sprintf("%.1f", r.RepairMBps),
+		)
+	}
+	return t
+}

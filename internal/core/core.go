@@ -132,17 +132,29 @@ func (o ServeOptions) withDefaults() ServeOptions {
 // epoch is one immutable snapshot of the control plane's state. The read
 // plane loads it once per request through an atomic pointer and never takes
 // a lock; the control plane publishes a fresh snapshot on every change
-// (plan updates and fill completions), so concurrent readers always see a
-// consistent (cluster, plan, assignment, pending) tuple.
+// (plan updates, fill completions, and membership changes), so concurrent
+// readers always see a consistent (cluster, plan, assignment, membership)
+// tuple.
 type epoch struct {
-	clu        *cluster.Cluster
-	plan       *optimizer.Plan
+	clu  *cluster.Cluster
+	plan *optimizer.Plan
+	// base is the assignment exactly as planned; assignment is the effective
+	// one the read plane draws from — base with down nodes excluded and the
+	// surviving probabilities renormalised.
+	base       *scheduler.Assignment
 	assignment *scheduler.Assignment
+	// down marks storage nodes (by position in clu.Nodes) currently believed
+	// unreachable: the scheduler never targets them and candidate failover
+	// skips them.
+	down map[int]bool
 	// pending[fileID] is the target cache allocation for files whose
 	// allocation grew in the current time bin and has not been materialised
 	// yet (background fill after the next read).
 	pending map[int]int
 }
+
+// alive is the membership predicate handed to scheduler.Excluding.
+func (e *epoch) alive(node int) bool { return !e.down[node] }
 
 // Controller is the Sprout cache controller for one compute server.
 type Controller struct {
@@ -151,6 +163,8 @@ type Controller struct {
 	cache    *cache.FunctionalCache
 	opts     optimizer.Options
 	serve    ServeOptions
+	// nodeIdx maps cluster node IDs to positions in clu.Nodes (immutable).
+	nodeIdx map[int]int
 
 	// epoch is the read plane's view; written only by the control plane
 	// under mu.
@@ -169,10 +183,14 @@ type Controller struct {
 	fillInFlight sync.Map // fileID -> struct{}, dedupes queued fills
 	fills        fillTracker
 
-	est      *workload.EWMAEstimator // non-nil when auto-replanning
-	stopCh   chan struct{}
-	stopOnce sync.Once
-	bgWG     sync.WaitGroup
+	est *workload.EWMAEstimator // non-nil when auto-replanning
+	// replanNow nudges the auto-replanner out of its tick wait after a
+	// membership change so PlanTimeBin re-runs against the new node set
+	// without waiting for workload drift.
+	replanNow chan struct{}
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	bgWG      sync.WaitGroup
 
 	stats counters
 	hist  readHist
@@ -218,18 +236,20 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 	}
 	serve = serve.withDefaults()
 	c := &Controller{
-		files:    files,
-		capacity: cacheCapacity,
-		cache:    cache.NewFunctionalCache(cacheCapacity),
-		opts:     opts,
-		serve:    serve,
-		fillQ:    make(chan fillJob, serve.FillQueue),
-		stopCh:   make(chan struct{}),
+		files:     files,
+		capacity:  cacheCapacity,
+		cache:     cache.NewFunctionalCache(cacheCapacity),
+		opts:      opts,
+		serve:     serve,
+		nodeIdx:   idx,
+		fillQ:     make(chan fillJob, serve.FillQueue),
+		replanNow: make(chan struct{}, 1),
+		stopCh:    make(chan struct{}),
 	}
 	c.rngPool.New = func() any {
 		return rand.New(rand.NewSource(seed + c.rngSeq.Add(1)))
 	}
-	c.epoch.Store(&epoch{clu: clu, pending: map[int]int{}})
+	c.epoch.Store(&epoch{clu: clu, down: map[int]bool{}, pending: map[int]int{}})
 	for i := 0; i < serve.FillWorkers; i++ {
 		c.fillWG.Add(1)
 		go c.fillWorker()
@@ -294,8 +314,13 @@ func (c *Controller) swapEpochLocked(mutate func(*epoch)) {
 	next := &epoch{
 		clu:        cur.clu,
 		plan:       cur.plan,
+		base:       cur.base,
 		assignment: cur.assignment,
+		down:       make(map[int]bool, len(cur.down)),
 		pending:    make(map[int]int, len(cur.pending)),
+	}
+	for k, v := range cur.down {
+		next.down[k] = v
 	}
 	for k, v := range cur.pending {
 		next.pending[k] = v
@@ -308,21 +333,25 @@ func (c *Controller) swapEpochLocked(mutate func(*epoch)) {
 // per-file arrival rates and applies the cache transition rule: shrinking
 // allocations are trimmed immediately; growing allocations are recorded in
 // the new epoch's pending set and materialised in the background after the
-// file's next read. It returns the new plan.
+// file's next read. The optimization runs against the live membership:
+// down nodes are excluded from every file's candidate set, so the plan
+// shifts cache capacity and scheduling probability onto the surviving
+// nodes. It returns the new plan.
 //
 // The optimization itself runs outside the control-plane mutex; only the
 // transition (trims plus the epoch swap) serialises with fills.
 func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
-	clu, err := c.epoch.Load().clu.WithArrivalRates(lambdas)
+	cur := c.epoch.Load()
+	clu, err := cur.clu.WithArrivalRates(lambdas)
 	if err != nil {
 		return nil, err
 	}
-	prob, err := optimizer.FromCluster(clu, c.capacity)
+	prob, err := optimizer.FromClusterExcluding(clu, c.capacity, cur.down)
 	if err != nil {
 		return nil, err
 	}
 	opts := c.opts
-	if prev := c.epoch.Load().plan; prev != nil {
+	if prev := cur.plan; prev != nil {
 		opts.WarmStart = prev.D
 	}
 
@@ -330,7 +359,7 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	assignment, err := scheduler.NewAssignment(plan.Pi)
+	base, err := scheduler.NewAssignment(plan.Pi)
 	if err != nil {
 		return nil, err
 	}
@@ -347,12 +376,17 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 			pending[fileID] = target
 		}
 	}
-	c.epoch.Store(&epoch{
-		clu:        clu,
-		plan:       plan,
-		assignment: assignment,
-		pending:    pending,
-	})
+	// Membership may have moved while the optimizer ran: carry the current
+	// down set and re-derive the effective assignment against it.
+	next := &epoch{
+		clu:     clu,
+		plan:    plan,
+		base:    base,
+		down:    c.epoch.Load().down,
+		pending: pending,
+	}
+	next.assignment = base.Excluding(next.alive)
+	c.epoch.Store(next)
 	c.stats.planUpdates.Add(1)
 	if c.est != nil {
 		c.est.StartBin(lambdas)
@@ -409,6 +443,7 @@ func (c *Controller) replanLoop(interval time.Duration, threshold float64) {
 	// inflate the rate estimate (and cascade into spurious replans).
 	last := time.Now()
 	for {
+		var rates []float64
 		select {
 		case <-c.stopCh:
 			return
@@ -420,21 +455,43 @@ func (c *Controller) replanLoop(interval time.Duration, threshold float64) {
 				last = now
 				continue
 			}
-			rates := c.est.Tick(now.Sub(last).Seconds())
+			rates = c.est.Tick(now.Sub(last).Seconds())
 			last = now
 			if !c.est.Deviates(threshold) {
 				continue
 			}
-			if _, err := c.PlanTimeBin(rates); err != nil {
-				c.stats.replanErrors.Add(1)
-				if c.serve.Logf != nil {
-					c.serve.Logf("core: auto-replan: %v", err)
-				}
+		case <-c.replanNow:
+			// Membership changed: re-plan immediately against the new node
+			// set, using the freshest rate estimate (falling back to the
+			// rates the current plan was computed for when the estimator has
+			// not folded a tick yet).
+			ep := c.epoch.Load()
+			if ep.plan == nil {
 				continue
 			}
-			c.stats.autoReplans.Add(1)
+			rates = c.est.Rates()
+			if !anyPositive(rates) {
+				rates = ep.clu.Lambdas()
+			}
+		}
+		if _, err := c.PlanTimeBin(rates); err != nil {
+			c.stats.replanErrors.Add(1)
+			if c.serve.Logf != nil {
+				c.serve.Logf("core: auto-replan: %v", err)
+			}
+			continue
+		}
+		c.stats.autoReplans.Add(1)
+	}
+}
+
+func anyPositive(xs []float64) bool {
+	for _, x := range xs {
+		if x > 0 {
+			return true
 		}
 	}
+	return false
 }
 
 // chunkIndexOnNode returns the coded-chunk index stored on the given node

@@ -44,11 +44,13 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 	fromCache := len(chunks)
 
 	need := meta.K - fromCache
+	fetchErrs := 0
 	if need > 0 {
-		fetched, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need)
+		fetched, errs, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need)
 		if err != nil {
 			return nil, err
 		}
+		fetchErrs = errs
 		chunks = append(chunks, fetched...)
 	}
 	if len(chunks) < meta.K {
@@ -64,13 +66,36 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 		return nil, err
 	}
 
+	// A read is degraded when any storage fetch failed under it (whether or
+	// not a backup candidate was launched), or when fewer than k of the
+	// file's storage chunks are on live nodes — the read only succeeded
+	// because cached chunks made up the shortfall.
+	aliveChunks := meta.N
+	if len(ep.down) > 0 {
+		aliveChunks = 0
+		for _, node := range meta.Placement {
+			if !ep.down[node] {
+				aliveChunks++
+			}
+		}
+	}
+	cacheOnly := fromCache == meta.K
+	storageShort := aliveChunks < meta.K
+	degraded := fetchErrs > 0 || storageShort
+
 	c.stats.reads.Add(1)
 	c.stats.chunksFromCache.Add(int64(fromCache))
 	c.stats.chunksFromDisk.Add(int64(len(chunks) - fromCache))
-	if fromCache == meta.K {
+	if cacheOnly {
 		c.stats.cacheOnlyReads.Add(1)
 	}
-	c.hist.observe(time.Since(start), fromCache == meta.K)
+	if degraded {
+		c.stats.degradedReads.Add(1)
+		if cacheOnly && storageShort {
+			c.stats.cacheRescues.Add(1)
+		}
+	}
+	c.hist.observe(time.Since(start), cacheOnly, degraded)
 
 	if _, ok := ep.pending[fileID]; ok {
 		c.enqueueFill(fileID, dataChunks)
@@ -88,8 +113,9 @@ type fetchCandidate struct {
 // candidates lists the storage sources for a read in preference order: the
 // scheduler-selected nodes first, then the rest of the file's placement as
 // backups (used when the scheduler yields fewer distinct nodes than needed,
-// when fetches fail, and as hedge targets). haveIdx are chunk indices
-// already in hand (from the cache).
+// when fetches fail, and as hedge targets). Down nodes are skipped
+// entirely — fetching from them would only burn a failover. haveIdx are
+// chunk indices already in hand (from the cache).
 func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) []fetchCandidate {
 	used := make(map[int]bool, len(have))
 	for _, ch := range have {
@@ -103,14 +129,14 @@ func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) 
 	cands := make([]fetchCandidate, 0, len(meta.Placement))
 	for _, node := range targets {
 		ci := chunkIndexOnNode(meta, node)
-		if ci < 0 || used[ci] {
+		if ci < 0 || used[ci] || ep.down[node] {
 			continue
 		}
 		used[ci] = true
 		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
 	}
 	for ci, node := range meta.Placement {
-		if used[ci] {
+		if used[ci] || ep.down[node] {
 			continue
 		}
 		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
@@ -118,7 +144,7 @@ func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) 
 	return cands
 }
 
-func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need int) ([]erasure.Chunk, error) {
+func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need int) ([]erasure.Chunk, int, error) {
 	cands := c.candidates(ep, meta, have)
 	if c.serve.SequentialFetch {
 		return c.fetchSequential(ctx, fetcher, meta.ID, cands, need)
@@ -128,8 +154,10 @@ func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *
 
 // fetchSequential is the seed's serialised fetch loop, kept as the measured
 // A/B baseline: one chunk at a time, moving to the next candidate on error.
-func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, error) {
+// It returns the chunks and the number of fetch errors the read absorbed.
+func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, int, error) {
 	chunks := make([]erasure.Chunk, 0, need)
+	fetchErrs := 0
 	var lastErr error
 	for _, cand := range cands {
 		if len(chunks) >= need {
@@ -138,15 +166,16 @@ func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, 
 		data, err := fetcher.FetchChunk(ctx, fileID, cand.chunkIndex, cand.nodeID)
 		if err != nil {
 			lastErr = fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)
+			fetchErrs++
 			c.stats.fetchFailovers.Add(1)
 			continue
 		}
 		chunks = append(chunks, erasure.Chunk{Index: cand.chunkIndex, Data: data})
 	}
 	if len(chunks) < need {
-		return nil, fetchShortfallError(fileID, len(chunks), need, lastErr)
+		return nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
 	}
-	return chunks, nil
+	return chunks, fetchErrs, nil
 }
 
 type fetchResult struct {
@@ -161,7 +190,7 @@ type fetchResult struct {
 // to HedgeExtra additional candidates are launched and the fastest
 // responses win; once enough chunks are in hand the shared context is
 // cancelled so losing fetches stop early.
-func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, error) {
+func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, int, error) {
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -192,6 +221,7 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 	}
 
 	chunks := make([]erasure.Chunk, 0, need)
+	fetchErrs := 0
 	var lastErr error
 	for len(chunks) < need && outstanding > 0 {
 		select {
@@ -199,9 +229,13 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 			outstanding--
 			if res.err != nil {
 				if ctx.Err() != nil {
-					return nil, ctx.Err()
+					return nil, fetchErrs, ctx.Err()
 				}
 				lastErr = res.err
+				// Count every failure (degraded-read classification) even
+				// when no backup candidate remains to launch — an in-flight
+				// hedge may still complete the read.
+				fetchErrs++
 				if next < len(cands) {
 					launch(next, false)
 					next++
@@ -223,13 +257,13 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 				c.stats.hedgesLaunched.Add(1)
 			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, fetchErrs, ctx.Err()
 		}
 	}
 	if len(chunks) < need {
-		return nil, fetchShortfallError(fileID, len(chunks), need, lastErr)
+		return nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
 	}
-	return chunks, nil
+	return chunks, fetchErrs, nil
 }
 
 func fetchShortfallError(fileID, got, need int, lastErr error) error {

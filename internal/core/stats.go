@@ -23,6 +23,10 @@ type counters struct {
 	fetchFailovers  atomic.Int64
 	autoReplans     atomic.Int64
 	replanErrors    atomic.Int64
+
+	degradedReads     atomic.Int64
+	cacheRescues      atomic.Int64
+	membershipChanges atomic.Int64
 }
 
 // Stats exposes counters for observability and the evaluation harness.
@@ -52,6 +56,15 @@ type Stats struct {
 	// ReplanErrors counts auto-replans that failed.
 	AutoReplans  int64
 	ReplanErrors int64
+
+	// DegradedReads counts reads that needed failover or succeeded while
+	// fewer than k of the file's storage chunks were on live nodes.
+	// CacheRescues is the subset served entirely from cached chunks while
+	// storage alone could not have decoded the file.
+	DegradedReads int64
+	CacheRescues  int64
+	// MembershipChanges counts SetNodeDown/SetNodeUp transitions applied.
+	MembershipChanges int64
 }
 
 // Stats returns a snapshot of the controller counters.
@@ -71,6 +84,10 @@ func (c *Controller) Stats() Stats {
 		FetchFailovers:  c.stats.fetchFailovers.Load(),
 		AutoReplans:     c.stats.autoReplans.Load(),
 		ReplanErrors:    c.stats.replanErrors.Load(),
+
+		DegradedReads:     c.stats.degradedReads.Load(),
+		CacheRescues:      c.stats.cacheRescues.Load(),
+		MembershipChanges: c.stats.membershipChanges.Load(),
 	}
 }
 
@@ -176,33 +193,42 @@ func (h *latencyHist) snapshot() LatencySnapshot {
 }
 
 // readHist splits read latencies by how the read was served: entirely from
-// cache versus needing storage fetches.
+// cache, from healthy storage fetches, or degraded (failover used, or the
+// read only succeeded because cached chunks covered for dead storage).
 type readHist struct {
 	cacheHit latencyHist
+	storage  latencyHist
 	degraded latencyHist
 }
 
-func (h *readHist) observe(d time.Duration, cacheOnly bool) {
-	if cacheOnly {
-		h.cacheHit.observe(d)
-	} else {
+func (h *readHist) observe(d time.Duration, cacheOnly, degraded bool) {
+	switch {
+	case degraded:
 		h.degraded.observe(d)
+	case cacheOnly:
+		h.cacheHit.observe(d)
+	default:
+		h.storage.observe(d)
 	}
 }
 
 // ReadLatencyStats is the controller's read-latency histogram snapshot.
 type ReadLatencyStats struct {
-	// CacheHit covers reads served entirely from cached chunks; Storage
-	// covers reads that fetched at least one chunk from storage nodes.
+	// CacheHit covers healthy reads served entirely from cached chunks;
+	// Storage covers healthy reads that fetched at least one chunk from
+	// storage nodes; Degraded covers reads that failed over or were served
+	// while fewer than k storage chunks were on live nodes.
 	CacheHit LatencySnapshot
 	Storage  LatencySnapshot
+	Degraded LatencySnapshot
 }
 
 // ReadLatency returns percentile snapshots of read latency split by cache
-// hits versus reads that touched storage.
+// hits versus healthy storage reads versus degraded reads.
 func (c *Controller) ReadLatency() ReadLatencyStats {
 	return ReadLatencyStats{
 		CacheHit: c.hist.cacheHit.snapshot(),
-		Storage:  c.hist.degraded.snapshot(),
+		Storage:  c.hist.storage.snapshot(),
+		Degraded: c.hist.degraded.snapshot(),
 	}
 }

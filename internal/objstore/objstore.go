@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sprout/internal/erasure"
@@ -30,16 +31,29 @@ var (
 	ErrChunkMissing   = errors.New("objstore: chunk missing")
 	ErrNotEnoughOSDs  = errors.New("objstore: not enough OSDs for pool")
 	ErrBadPoolParams  = errors.New("objstore: invalid pool parameters")
+	ErrOSDDown        = errors.New("objstore: osd down")
+	ErrNoRepairTarget = errors.New("objstore: no live OSD available for repair placement")
 )
 
 // OSD is one object storage daemon. Chunk reads and writes are serialised
 // through a per-OSD queue (mutex) and take a simulated service time drawn
 // from the configured distribution, scaled by the chunk size, so queueing
 // behaviour resembles the paper's testbed.
+//
+// An OSD has a lifecycle: it serves while Up or Recovering and fast-fails
+// every chunk operation with ErrOSDDown while Down (the node is
+// unreachable, so no service time is consumed). Fail and Recover drive the
+// transitions; health counters (errors, consecutive errors, lost chunks)
+// feed the repair plane's failure detector.
 type OSD struct {
 	ID int
 
-	mu     sync.Mutex
+	// svcMu serialises chunk reads/writes through the simulated service
+	// times (the FIFO disk queue). dataMu guards only the chunk map, so
+	// metadata operations (HasChunk, DeleteChunk, NumChunks — used by the
+	// repair plane's degradation scans) never wait behind service sleeps.
+	svcMu  sync.Mutex
+	dataMu sync.Mutex
 	chunks map[string][]byte // key: object/pool/chunk identifier
 
 	service queue.Dist // service time for a reference-sized chunk (seconds)
@@ -47,8 +61,13 @@ type OSD struct {
 	rng     *rand.Rand
 	rngMu   sync.Mutex
 
-	served int64
-	busyNS int64
+	state      atomic.Int32 // NodeState
+	errors     atomic.Int64
+	consecErrs atomic.Int64
+	lostChunks atomic.Int64
+
+	served atomic.Int64
+	busyNS atomic.Int64
 }
 
 // NewOSD creates an OSD with the given per-chunk service-time distribution
@@ -73,43 +92,81 @@ func (o *OSD) sampleService(size int64) time.Duration {
 	return time.Duration(s * float64(time.Second))
 }
 
-// PutChunk stores a chunk, blocking for the simulated service time.
+// PutChunk stores a chunk, blocking for the simulated service time while
+// holding the OSD busy (FIFO service through the service mutex).
 func (o *OSD) PutChunk(ctx context.Context, key string, data []byte) error {
+	if o.State() == StateDown {
+		return o.observe(fmt.Errorf("%w: osd %d", ErrOSDDown, o.ID))
+	}
 	delay := o.sampleService(int64(len(data)))
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.svcMu.Lock()
+	defer o.svcMu.Unlock()
 	if err := sleepCtx(ctx, delay); err != nil {
-		return err
+		return o.observe(err)
 	}
 	cp := append([]byte(nil), data...)
+	o.dataMu.Lock()
 	o.chunks[key] = cp
-	o.served++
-	o.busyNS += int64(delay)
-	return nil
+	o.dataMu.Unlock()
+	o.served.Add(1)
+	o.busyNS.Add(int64(delay))
+	return o.observe(nil)
 }
 
 // GetChunk retrieves a chunk, blocking for the simulated service time while
-// holding the OSD busy (FIFO service through the mutex).
+// holding the OSD busy (FIFO service through the service mutex).
 func (o *OSD) GetChunk(ctx context.Context, key string) ([]byte, error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	if o.State() == StateDown {
+		return nil, o.observe(fmt.Errorf("%w: osd %d", ErrOSDDown, o.ID))
+	}
+	o.svcMu.Lock()
+	defer o.svcMu.Unlock()
+	o.dataMu.Lock()
 	data, ok := o.chunks[key]
+	o.dataMu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %s on osd %d", ErrChunkMissing, key, o.ID)
+		return nil, o.observe(fmt.Errorf("%w: %s on osd %d", ErrChunkMissing, key, o.ID))
 	}
 	delay := o.sampleService(int64(len(data)))
 	if err := sleepCtx(ctx, delay); err != nil {
+		return nil, o.observe(err)
+	}
+	o.served.Add(1)
+	o.busyNS.Add(int64(delay))
+	if err := o.observe(nil); err != nil {
 		return nil, err
 	}
-	o.served++
-	o.busyNS += int64(delay)
 	return append([]byte(nil), data...), nil
 }
 
-// HasChunk reports whether the OSD stores the chunk, without service delay.
+// DeleteChunk removes a chunk without service delay (metadata operation).
+// Deleting an absent chunk is a no-op; a Down OSD rejects the call.
+func (o *OSD) DeleteChunk(key string) error {
+	if o.State() == StateDown {
+		return fmt.Errorf("%w: osd %d", ErrOSDDown, o.ID)
+	}
+	o.dataMu.Lock()
+	delete(o.chunks, key)
+	o.dataMu.Unlock()
+	return nil
+}
+
+// NumChunks returns how many chunks the OSD currently stores.
+func (o *OSD) NumChunks() int {
+	o.dataMu.Lock()
+	defer o.dataMu.Unlock()
+	return len(o.chunks)
+}
+
+// Service exposes the OSD's service-time distribution (used to export the
+// emulated topology as a cluster description for the controller).
+func (o *OSD) Service() queue.Dist { return o.service }
+
+// HasChunk reports whether the OSD stores the chunk, without service delay
+// and without waiting behind in-flight chunk operations.
 func (o *OSD) HasChunk(key string) bool {
-	o.mu.Lock()
-	defer o.mu.Unlock()
+	o.dataMu.Lock()
+	defer o.dataMu.Unlock()
 	_, ok := o.chunks[key]
 	return ok
 }
@@ -117,9 +174,7 @@ func (o *OSD) HasChunk(key string) bool {
 // Stats returns the number of chunk operations served and the cumulative
 // busy time.
 func (o *OSD) Stats() (served int64, busy time.Duration) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.served, time.Duration(o.busyNS)
+	return o.served.Load(), time.Duration(o.busyNS.Load())
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -153,6 +208,10 @@ type Pool struct {
 
 	mu      sync.RWMutex
 	objects map[string]objectMeta
+	// overrides remaps individual chunks (keyed by chunkKey) away from their
+	// CRUSH position: the repair plane re-places chunks reconstructed from a
+	// Down OSD onto live OSDs and records the new home here.
+	overrides map[string]*OSD
 }
 
 type objectMeta struct {
@@ -190,6 +249,7 @@ func NewPool(name string, n, k int, osds []*OSD, pgs int) (*Pool, error) {
 		code:            code,
 		pgOSDs:          make([][]*OSD, pgs),
 		objects:         make(map[string]objectMeta),
+		overrides:       make(map[string]*OSD),
 	}
 	for pg := range p.pgOSDs {
 		perm := rand.New(rand.NewSource(int64(pg)*2654435761 + int64(len(osds)))).Perm(len(osds))
@@ -234,8 +294,22 @@ func (p *Pool) chunkKey(object string, chunk int) string {
 	return p.Name + "/" + object + "/" + strconv.Itoa(chunk)
 }
 
+// osdForChunk resolves the OSD currently hosting a chunk: a repair override
+// if one exists, the CRUSH position otherwise.
+func (p *Pool) osdForChunk(pg int, object string, chunk int) *OSD {
+	p.mu.RLock()
+	osd, ok := p.overrides[p.chunkKey(object, chunk)]
+	p.mu.RUnlock()
+	if ok {
+		return osd
+	}
+	return p.pgOSDs[pg][chunk]
+}
+
 // Put writes an object: the primary OSD path encodes it into n chunks and
-// stores one chunk per OSD of the object's placement group.
+// stores one chunk per OSD of the object's placement group. If any chunk
+// write fails, the chunks already written are best-effort deleted so a
+// failed put never leaves orphans behind.
 func (p *Pool) Put(ctx context.Context, object string, data []byte) error {
 	dataChunks, err := p.code.Split(data)
 	if err != nil {
@@ -246,19 +320,30 @@ func (p *Pool) Put(ctx context.Context, object string, data []byte) error {
 		return err
 	}
 	pg := p.placementGroup(object)
-	osds := p.osdsForPG(pg)
 	var wg sync.WaitGroup
-	errs := make([]error, len(osds))
-	for i, osd := range osds {
+	errs := make([]error, p.N)
+	targets := make([]*OSD, p.N)
+	for i := 0; i < p.N; i++ {
+		targets[i] = p.osdForChunk(pg, object, i)
 		wg.Add(1)
 		go func(i int, osd *OSD) {
 			defer wg.Done()
 			errs[i] = osd.PutChunk(ctx, p.chunkKey(object, i), storage[i])
-		}(i, osd)
+		}(i, targets[i])
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// Partial write: roll the successful chunks back (best effort).
+			// A fresh put leaves nothing behind; a failed overwrite leaves
+			// only old-version chunks, so reads either decode the previous
+			// version consistently or fail outright — never a silent mix of
+			// versions (and the repair plane can rebuild the deleted ones).
+			for i, werr := range errs {
+				if werr == nil {
+					_ = targets[i].DeleteChunk(p.chunkKey(object, i))
+				}
+			}
 			return err
 		}
 	}
@@ -278,25 +363,23 @@ func (p *Pool) Get(ctx context.Context, object string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrObjectNotFound, object)
 	}
-	osds := p.osdsForPG(meta.pg)
-
 	type resp struct {
 		idx  int
 		data []byte
 		err  error
 	}
-	ch := make(chan resp, len(osds))
+	ch := make(chan resp, p.N)
 	readCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	for i, osd := range osds {
+	for i := 0; i < p.N; i++ {
 		go func(i int, osd *OSD) {
 			data, err := osd.GetChunk(readCtx, p.chunkKey(object, i))
 			ch <- resp{idx: i, data: data, err: err}
-		}(i, osd)
+		}(i, p.osdForChunk(meta.pg, object, i))
 	}
 	chunks := make([]erasure.Chunk, 0, p.K)
 	var lastErr error
-	for received := 0; received < len(osds) && len(chunks) < p.K; received++ {
+	for received := 0; received < p.N && len(chunks) < p.K; received++ {
 		r := <-ch
 		if r.err != nil {
 			lastErr = r.err
@@ -325,8 +408,23 @@ func (p *Pool) GetChunk(ctx context.Context, object string, chunk int) ([]byte, 
 	if chunk < 0 || chunk >= p.N {
 		return nil, fmt.Errorf("%w: chunk %d", ErrChunkMissing, chunk)
 	}
-	osds := p.osdsForPG(meta.pg)
-	return osds[chunk].GetChunk(ctx, p.chunkKey(object, chunk))
+	return p.osdForChunk(meta.pg, object, chunk).GetChunk(ctx, p.chunkKey(object, chunk))
+}
+
+// DeleteChunk removes one coded chunk of an object from its hosting OSD (no
+// service delay). Used by the repair plane's tests and by failed-put
+// cleanup over the network.
+func (p *Pool) DeleteChunk(object string, chunk int) error {
+	p.mu.RLock()
+	meta, ok := p.objects[object]
+	p.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrObjectNotFound, object)
+	}
+	if chunk < 0 || chunk >= p.N {
+		return fmt.Errorf("%w: chunk %d", ErrChunkMissing, chunk)
+	}
+	return p.osdForChunk(meta.pg, object, chunk).DeleteChunk(p.chunkKey(object, chunk))
 }
 
 // ObjectSize returns the stored size of an object.

@@ -372,3 +372,37 @@ func TestPlanHelpers(t *testing.T) {
 		}
 	}
 }
+
+func TestFromClusterExcluding(t *testing.T) {
+	cfg := cluster.PaperConfig()
+	cfg.NumFiles = 6
+	clu, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := map[int]bool{0: true, 5: true}
+	prob, err := FromClusterExcluding(clu, 10, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range prob.Files {
+		if len(f.Nodes) < f.K {
+			t.Fatalf("file %d left with %d < k nodes", i, len(f.Nodes))
+		}
+		for _, n := range f.Nodes {
+			if down[n] && len(f.Nodes) >= f.K+1 {
+				t.Fatalf("file %d still lists down node %d", i, n)
+			}
+		}
+	}
+	// A plan computed on the degraded problem places no load on down nodes.
+	plan, err := Optimize(prob, Options{MaxOuterIter: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range plan.Pi {
+		if row[0] != 0 || row[5] != 0 {
+			t.Fatalf("file %d scheduled on down node: pi[0]=%v pi[5]=%v", i, row[0], row[5])
+		}
+	}
+}

@@ -107,15 +107,34 @@ func (p *Problem) totalK() int {
 // FromCluster converts a cluster description into an optimizer problem. The
 // node indices in file specs refer to positions in c.Nodes.
 func FromCluster(c *cluster.Cluster, cacheCapacity int) (*Problem, error) {
+	return FromClusterExcluding(c, cacheCapacity, nil)
+}
+
+// FromClusterExcluding converts a cluster description into an optimizer
+// problem with the given node positions treated as down: down nodes are
+// removed from every file's candidate set, so the plan's scheduling
+// probabilities place no load on them. A file left with fewer than k live
+// nodes keeps its full placement (the problem would otherwise be
+// structurally infeasible); such files can only be served with cache help
+// and the read plane's failover handles them.
+func FromClusterExcluding(c *cluster.Cluster, cacheCapacity int, down map[int]bool) (*Problem, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	idx := c.NodeIndex()
 	files := make([]FileSpec, len(c.Files))
 	for i, f := range c.Files {
-		nodes := make([]int, len(f.Placement))
-		for j, id := range f.Placement {
-			nodes[j] = idx[id]
+		nodes := make([]int, 0, len(f.Placement))
+		for _, id := range f.Placement {
+			if pos := idx[id]; !down[pos] {
+				nodes = append(nodes, pos)
+			}
+		}
+		if len(nodes) < f.K {
+			nodes = nodes[:0]
+			for _, id := range f.Placement {
+				nodes = append(nodes, idx[id])
+			}
 		}
 		files[i] = FileSpec{K: f.K, Nodes: nodes, Lambda: f.Lambda}
 	}

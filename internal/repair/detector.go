@@ -1,0 +1,113 @@
+// Package repair is the self-healing plane of the emulated storage cluster:
+// a failure detector that turns per-node error/timeout streaks into
+// membership state, a prioritized repair queue that schedules the most
+// exposed objects (fewest surviving chunks) first, and a bounded worker
+// pool that reconstructs lost chunks with the erasure coder and re-places
+// them on live OSDs while the cluster keeps serving.
+package repair
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DetectorConfig tunes the failure detector.
+type DetectorConfig struct {
+	// ErrorThreshold is the number of consecutive failed (or over-latency)
+	// observations after which a node is declared down. Default 3.
+	ErrorThreshold int
+	// LatencyThreshold, when positive, makes a successful observation slower
+	// than this count as a failure (a node that answers but has become
+	// pathologically slow is as bad as one that does not answer).
+	LatencyThreshold time.Duration
+	// OnDown and OnUp are invoked (outside the detector's lock) when a node
+	// transitions. Typical wiring: OnDown feeds core.Controller.SetNodeDown
+	// and kicks the repair manager; OnUp feeds SetNodeUp.
+	OnDown func(nodeID int)
+	OnUp   func(nodeID int)
+}
+
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.ErrorThreshold <= 0 {
+		c.ErrorThreshold = 3
+	}
+	return c
+}
+
+// Detector is a consecutive-error failure detector: each storage node
+// accumulates a streak of failed observations, and crossing the threshold
+// declares the node down until a successful observation brings it back.
+// Observations come from whatever path touches the node — chunk fetchers,
+// repair reads, health probes. Safe for concurrent use.
+type Detector struct {
+	cfg DetectorConfig
+
+	mu     sync.Mutex
+	streak map[int]int
+	down   map[int]bool
+}
+
+// NewDetector builds a failure detector.
+func NewDetector(cfg DetectorConfig) *Detector {
+	return &Detector{
+		cfg:    cfg.withDefaults(),
+		streak: make(map[int]int),
+		down:   make(map[int]bool),
+	}
+}
+
+// Observe records the outcome of one operation against a node: err != nil,
+// or a latency above the configured threshold, extends the node's failure
+// streak; anything else resets it. State transitions fire the OnDown/OnUp
+// callbacks. Context cancellation is ignored entirely — a caller
+// abandoning a fetch (hedging, fastest-k reads) says nothing about the
+// node's health.
+func (d *Detector) Observe(nodeID int, err error, latency time.Duration) {
+	if errors.Is(err, context.Canceled) {
+		return
+	}
+	failed := err != nil ||
+		(d.cfg.LatencyThreshold > 0 && latency > d.cfg.LatencyThreshold)
+
+	var fire func(int)
+	d.mu.Lock()
+	if failed {
+		d.streak[nodeID]++
+		if d.streak[nodeID] >= d.cfg.ErrorThreshold && !d.down[nodeID] {
+			d.down[nodeID] = true
+			fire = d.cfg.OnDown
+		}
+	} else {
+		d.streak[nodeID] = 0
+		if d.down[nodeID] {
+			delete(d.down, nodeID)
+			fire = d.cfg.OnUp
+		}
+	}
+	d.mu.Unlock()
+	if fire != nil {
+		fire(nodeID)
+	}
+}
+
+// Down reports whether the detector currently considers the node down.
+func (d *Detector) Down(nodeID int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.down[nodeID]
+}
+
+// DownNodes returns the IDs of all nodes currently considered down, sorted.
+func (d *Detector) DownNodes() []int {
+	d.mu.Lock()
+	out := make([]int, 0, len(d.down))
+	for id := range d.down {
+		out = append(out, id)
+	}
+	d.mu.Unlock()
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,333 @@
+package repair
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout/internal/erasure"
+	"sprout/internal/objstore"
+)
+
+// Config tunes the repair manager.
+type Config struct {
+	// Workers is the size of the reconstruction worker pool. Default 2.
+	Workers int
+	// ScanInterval is the period of the background degradation scan. Zero
+	// disables periodic scans; Kick and ScanOnce still work.
+	ScanInterval time.Duration
+	// MaxAttempts bounds per-chunk retries after transient repair errors
+	// before the chunk is left for the next scan. Default 3.
+	MaxAttempts int
+	// Logf, when set, receives repair-plane diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	return c
+}
+
+// Stats is a snapshot of the repair plane's progress counters.
+type Stats struct {
+	// Scans counts degradation scans; Enqueued counts chunk repairs accepted
+	// into the queue (deduplicated).
+	Scans    int64
+	Enqueued int64
+	// ChunksRepaired and BytesRepaired measure completed reconstructions;
+	// RepairTime is the cumulative wall time spent reconstructing, so
+	// BytesRepaired/RepairTime is the repair throughput.
+	ChunksRepaired int64
+	BytesRepaired  int64
+	RepairTime     time.Duration
+	// Skipped counts queued chunks found healthy by the time a worker got to
+	// them; Deferred counts chunks with fewer than k surviving chunks (left
+	// for a later scan, e.g. after an OSD recovers); Failures counts repair
+	// attempts that errored; Retries counts re-enqueues after failures.
+	Skipped  int64
+	Deferred int64
+	Failures int64
+	Retries  int64
+	// QueueDepth is the current length of the repair queue; InFlight counts
+	// queued plus running repairs.
+	QueueDepth int
+	InFlight   int64
+}
+
+// Manager owns the repair plane for one pool: the periodic degradation
+// scan, the prioritized queue, and the worker pool that reconstructs lost
+// chunks with the erasure coder and re-places them on live OSDs.
+type Manager struct {
+	pool *objstore.Pool
+	cfg  Config
+
+	queue *repairQueue
+	kick  chan struct{}
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	inFlight atomic.Int64
+
+	scans          atomic.Int64
+	enqueued       atomic.Int64
+	chunksRepaired atomic.Int64
+	bytesRepaired  atomic.Int64
+	repairNS       atomic.Int64
+	skipped        atomic.Int64
+	deferred       atomic.Int64
+	failures       atomic.Int64
+	retries        atomic.Int64
+
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// NewManager builds a repair manager over the pool. Call Start to launch
+// the workers and the periodic scan.
+func NewManager(pool *objstore.Pool, cfg Config) *Manager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Manager{
+		pool:   pool,
+		cfg:    cfg.withDefaults(),
+		queue:  newRepairQueue(),
+		kick:   make(chan struct{}, 1),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+}
+
+// Start launches the worker pool and, when ScanInterval is set, the
+// periodic degradation scan.
+func (m *Manager) Start() {
+	m.startOnce.Do(func() {
+		for i := 0; i < m.cfg.Workers; i++ {
+			m.wg.Add(1)
+			go m.worker()
+		}
+		m.wg.Add(1)
+		go m.scanLoop()
+	})
+}
+
+// Close stops the scan loop and workers. In-flight repairs are cancelled.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() {
+		m.cancel()
+		m.queue.close()
+	})
+	m.wg.Wait()
+}
+
+// Kick triggers an immediate degradation scan (e.g. right after a failure
+// was injected or detected) without waiting for the next periodic tick.
+func (m *Manager) Kick() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ScanOnce scans the pool for degraded objects and enqueues their missing
+// chunks, most-exposed objects first. It returns the number of chunk
+// repairs newly enqueued.
+func (m *Manager) ScanOnce() int {
+	m.scans.Add(1)
+	added := 0
+	for _, deg := range m.pool.DegradedObjects() {
+		for _, chunk := range deg.Missing {
+			if m.enqueue(deg.Object, chunk, deg.Surviving, 0) {
+				added++
+			}
+		}
+	}
+	return added
+}
+
+// Stats returns a snapshot of the repair counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Scans:          m.scans.Load(),
+		Enqueued:       m.enqueued.Load(),
+		ChunksRepaired: m.chunksRepaired.Load(),
+		BytesRepaired:  m.bytesRepaired.Load(),
+		RepairTime:     time.Duration(m.repairNS.Load()),
+		Skipped:        m.skipped.Load(),
+		Deferred:       m.deferred.Load(),
+		Failures:       m.failures.Load(),
+		Retries:        m.retries.Load(),
+		QueueDepth:     m.queue.len(),
+		InFlight:       m.inFlight.Load(),
+	}
+}
+
+// WaitIdle blocks until no repairs are queued or running, or the context is
+// done. A drained queue does not imply a healthy pool: chunks with too few
+// survivors are deferred to later scans.
+func (m *Manager) WaitIdle(ctx context.Context) error {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if m.inFlight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+func (m *Manager) enqueue(object string, chunk, surviving, attempts int) bool {
+	m.inFlight.Add(1)
+	if !m.queue.push(object, chunk, surviving, attempts) {
+		m.inFlight.Add(-1)
+		return false
+	}
+	m.enqueued.Add(1)
+	return true
+}
+
+func (m *Manager) scanLoop() {
+	defer m.wg.Done()
+	var tickC <-chan time.Time
+	if m.cfg.ScanInterval > 0 {
+		ticker := time.NewTicker(m.cfg.ScanInterval)
+		defer ticker.Stop()
+		tickC = ticker.C
+	}
+	for {
+		select {
+		case <-m.ctx.Done():
+			return
+		case <-tickC:
+		case <-m.kick:
+		}
+		if m.ScanOnce() == 0 && m.queue.len() == 0 && m.inFlight.Load() == 0 {
+			// Nothing degraded: promote Recovering OSDs to Up — the pool has
+			// regained full redundancy.
+			for _, osd := range m.pool.OSDs() {
+				if osd.State() == objstore.StateRecovering {
+					osd.MarkUp()
+				}
+			}
+		}
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		it := m.queue.pop()
+		if it == nil {
+			return
+		}
+		var err error
+		if m.ctx.Err() == nil {
+			err = m.repairOne(it)
+		}
+		m.queue.done(it.object, it.chunk)
+		if err != nil {
+			m.failures.Add(1)
+			m.logf("%v", err)
+			// Re-enqueue unless the attempt budget is exhausted (a later
+			// scan will pick the chunk up again) or we are shutting down.
+			if m.ctx.Err() == nil && it.attempts+1 < m.cfg.MaxAttempts {
+				m.retries.Add(1)
+				m.enqueue(it.object, it.chunk, it.surviving, it.attempts+1)
+			}
+		}
+		m.inFlight.Add(-1)
+	}
+}
+
+// repairOne reconstructs one missing chunk: read any k surviving chunks,
+// decode, regenerate the missing coded chunk, and place it on a live OSD.
+// A returned error means the attempt failed and may be retried.
+func (m *Manager) repairOne(it *item) error {
+	start := time.Now()
+	locs, err := m.pool.ChunkLocations(it.object)
+	if err != nil {
+		m.skipped.Add(1) // object deleted since the scan
+		return nil
+	}
+	if loc := locs[it.chunk]; loc.Alive && loc.Present {
+		m.skipped.Add(1) // healed by another path since the scan
+		return nil
+	}
+	readable := make([]objstore.ChunkLocation, 0, len(locs))
+	for _, loc := range locs {
+		if loc.Alive && loc.Present {
+			readable = append(readable, loc)
+		}
+	}
+	code := m.pool.Code()
+	if len(readable) < code.K() {
+		// Not enough survivors to decode: leave the chunk for a later scan
+		// (an OSD recovering with its chunks intact can change this).
+		m.deferred.Add(1)
+		m.logf("repair: %s chunk %d: only %d of %d chunks readable, deferring",
+			it.object, it.chunk, len(readable), code.K())
+		return nil
+	}
+	// Fetch survivors in parallel and keep the fastest k — repair reads
+	// compete with live traffic in the OSD queues, so serialising them
+	// would make rebuild time scale with queue depth times k.
+	type fetchRes struct {
+		chunk int
+		data  []byte
+		err   error
+	}
+	rctx, cancel := context.WithCancel(m.ctx)
+	defer cancel()
+	results := make(chan fetchRes, len(readable))
+	for _, loc := range readable {
+		go func(chunk int) {
+			data, err := m.pool.GetChunk(rctx, it.object, chunk)
+			results <- fetchRes{chunk: chunk, data: data, err: err}
+		}(loc.Chunk)
+	}
+	chunks := make([]erasure.Chunk, 0, code.K())
+	for received := 0; received < len(readable) && len(chunks) < code.K(); received++ {
+		r := <-results
+		if r.err != nil {
+			continue
+		}
+		chunks = append(chunks, erasure.Chunk{Index: r.chunk, Data: r.data})
+	}
+	cancel()
+	if len(chunks) < code.K() {
+		return fmt.Errorf("repair: %s chunk %d: gathered %d of %d survivors",
+			it.object, it.chunk, len(chunks), code.K())
+	}
+	dataChunks, err := code.Reconstruct(chunks)
+	if err != nil {
+		return fmt.Errorf("repair: %s chunk %d: %w", it.object, it.chunk, err)
+	}
+	payload, err := code.ChunkAt(it.chunk, dataChunks)
+	if err != nil {
+		return fmt.Errorf("repair: %s chunk %d: %w", it.object, it.chunk, err)
+	}
+	if _, err := m.pool.PlaceChunk(m.ctx, it.object, it.chunk, payload); err != nil {
+		return fmt.Errorf("repair: %s chunk %d: %w", it.object, it.chunk, err)
+	}
+	m.chunksRepaired.Add(1)
+	m.bytesRepaired.Add(int64(len(payload)))
+	m.repairNS.Add(int64(time.Since(start)))
+	return nil
+}

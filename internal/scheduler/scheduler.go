@@ -114,6 +114,76 @@ func (p *Picker) PickFrom(u float64) []int {
 	return out
 }
 
+// Excluding derives a picker that never selects nodes for which alive
+// returns false: the down nodes' probability mass is redistributed over the
+// surviving nodes proportionally (water-filling, so no marginal exceeds 1)
+// and the set size shrinks to the number of survivors when fewer remain
+// than the original draw needed. The receiver is not modified.
+//
+// This is the degraded-mode scheduling rule: until the optimizer has
+// re-planned against the reduced membership, requests keep the planned
+// relative preferences among live nodes but never target a down one.
+func (p *Picker) Excluding(alive func(node int) bool) *Picker {
+	nodes := make([]int, 0, len(p.nodes))
+	probs := make([]float64, 0, len(p.probs))
+	var aliveMass float64
+	excluded := false
+	for i, node := range p.nodes {
+		if !alive(node) {
+			excluded = true
+			continue
+		}
+		nodes = append(nodes, node)
+		probs = append(probs, p.probs[i])
+		aliveMass += p.probs[i]
+	}
+	if !excluded {
+		return p
+	}
+	setSize := p.setSize
+	if setSize > len(nodes) {
+		setSize = len(nodes)
+	}
+	if setSize == 0 || aliveMass <= 0 {
+		return &Picker{}
+	}
+	// Water-filling renormalisation: scale surviving probabilities so they
+	// sum to setSize, capping at 1 and redistributing the excess over the
+	// uncapped nodes until stable. Terminates because each round caps at
+	// least one more node, and setSize <= len(nodes) guarantees feasibility.
+	scaled := append([]float64(nil), probs...)
+	capped := make([]bool, len(scaled))
+	remaining := float64(setSize)
+	freeMass := aliveMass
+	for {
+		grew := false
+		for i := range scaled {
+			if capped[i] {
+				continue
+			}
+			v := probs[i] * remaining / freeMass
+			if v >= 1 {
+				scaled[i] = 1
+				capped[i] = true
+				remaining -= 1
+				freeMass -= probs[i]
+				grew = true
+			} else {
+				scaled[i] = v
+			}
+		}
+		if !grew || remaining <= 0 || freeMass <= 0 {
+			break
+		}
+	}
+	cum := make([]float64, len(scaled)+1)
+	for i, v := range scaled {
+		cum[i+1] = cum[i] + v
+	}
+	cum[len(cum)-1] = float64(setSize)
+	return &Picker{probs: scaled, nodes: nodes, cum: cum, setSize: setSize}
+}
+
 // Marginals returns the effective inclusion probability of every node index
 // up to the given length, for verification and testing.
 func (p *Picker) Marginals(numNodes int) []float64 {
@@ -155,6 +225,18 @@ func (a *Assignment) Pick(file int, rng *rand.Rand) []int {
 // a caller-supplied uniform draw; see Picker.PickFrom.
 func (a *Assignment) PickFrom(file int, u float64) []int {
 	return a.pickers[file].PickFrom(u)
+}
+
+// Excluding derives an assignment whose per-file pickers never select nodes
+// for which alive returns false; see Picker.Excluding. Pickers without any
+// excluded node are shared with the receiver (immutable), so deriving a
+// degraded assignment on a membership change is cheap.
+func (a *Assignment) Excluding(alive func(node int) bool) *Assignment {
+	pickers := make([]*Picker, len(a.pickers))
+	for i, p := range a.pickers {
+		pickers[i] = p.Excluding(alive)
+	}
+	return &Assignment{pickers: pickers}
 }
 
 // ChunksFromStorage returns how many chunks file i fetches from storage

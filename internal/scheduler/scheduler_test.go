@@ -179,3 +179,109 @@ func TestNewAssignmentPropagatesErrors(t *testing.T) {
 		t.Fatal("expected error from invalid per-file vector")
 	}
 }
+
+func TestPickerExcluding(t *testing.T) {
+	// pi sums to 2 over four nodes; exclude node 1 and check the surviving
+	// mass renormalises to 2 with caps respected.
+	p, err := NewPicker([]float64{0.8, 0.6, 0.4, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := func(n int) bool { return n != 1 }
+	ex := p.Excluding(alive)
+	if ex.SetSize() != 2 {
+		t.Fatalf("excluded set size %d, want 2", ex.SetSize())
+	}
+	m := ex.Marginals(4)
+	if m[1] != 0 {
+		t.Fatalf("down node kept probability %v", m[1])
+	}
+	var sum float64
+	for _, v := range m {
+		if v < 0 || v > 1+1e-9 {
+			t.Fatalf("marginal out of range: %v", m)
+		}
+		sum += v
+	}
+	if math.Abs(sum-2) > 1e-9 {
+		t.Fatalf("marginals sum to %v, want 2", sum)
+	}
+	// Empirical inclusion frequencies must match the renormalised marginals.
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]float64, 4)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		for _, n := range ex.PickFrom(rng.Float64()) {
+			counts[n]++
+		}
+	}
+	for n := range counts {
+		got := counts[n] / draws
+		if math.Abs(got-m[n]) > 0.01 {
+			t.Fatalf("node %d inclusion %v, want %v", n, got, m[n])
+		}
+	}
+	// A draw must never include the excluded node.
+	for i := 0; i < 1000; i++ {
+		for _, n := range ex.PickFrom(rng.Float64()) {
+			if n == 1 {
+				t.Fatal("excluded node selected")
+			}
+		}
+	}
+}
+
+func TestPickerExcludingCapsAtOne(t *testing.T) {
+	// Sum 2 over three nodes; excluding node 2 leaves mass 1.3 to scale to
+	// 2: node 0 caps at 1 and node 1 takes the rest.
+	p, err := NewPicker([]float64{0.9, 0.4, 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p.Excluding(func(n int) bool { return n != 2 })
+	m := ex.Marginals(3)
+	if math.Abs(m[0]-1) > 1e-9 || math.Abs(m[1]-1) > 1e-9 {
+		t.Fatalf("marginals %v, want [1 1 0]", m)
+	}
+}
+
+func TestPickerExcludingFewerSurvivorsThanSetSize(t *testing.T) {
+	p, err := NewPicker([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := p.Excluding(func(n int) bool { return n == 0 })
+	if ex.SetSize() != 1 {
+		t.Fatalf("set size %d, want 1 (single survivor)", ex.SetSize())
+	}
+	got := ex.PickFrom(0.5)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("pick = %v, want [0]", got)
+	}
+	// All nodes down: empty picker.
+	none := p.Excluding(func(int) bool { return false })
+	if none.SetSize() != 0 || none.PickFrom(0.3) != nil {
+		t.Fatal("all-down picker must select nothing")
+	}
+}
+
+func TestAssignmentExcludingSharesHealthyPickers(t *testing.T) {
+	a, err := NewAssignment([][]float64{
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := a.Excluding(func(n int) bool { return n != 0 })
+	// File 1 has no mass on node 0, so its picker is reused untouched.
+	if ex.pickers[1] != a.pickers[1] {
+		t.Fatal("unaffected picker was rebuilt")
+	}
+	if ex.pickers[0] == a.pickers[0] {
+		t.Fatal("affected picker was not rebuilt")
+	}
+	if got := ex.PickFrom(0, 0.5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("file 0 pick = %v, want [1]", got)
+	}
+}

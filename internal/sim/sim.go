@@ -54,6 +54,20 @@ type Config struct {
 	// HedgeExtra is the maximum number of extra hedged chunk reads per
 	// request.
 	HedgeExtra int
+	// Failures schedules node outages: between Down and Up (simulation
+	// seconds) the node serves nothing. Chunk reads already queued there are
+	// failed over to alive placement nodes; scheduler draws targeting a down
+	// node are likewise redirected. Up <= Down means the node never recovers
+	// within the horizon.
+	Failures []NodeFailure
+}
+
+// NodeFailure is one scheduled node outage, by node index into the
+// cluster's node list.
+type NodeFailure struct {
+	Node int
+	Down float64
+	Up   float64
 }
 
 // Result aggregates the simulation outputs.
@@ -73,7 +87,15 @@ type Result struct {
 	StorageChunks   int64     // chunks served from storage
 	HedgedChunks    int64     // extra chunk reads launched by hedging
 	CancelledChunks int64     // hedged/redundant reads cancelled before service
-	Slots           []SlotStats
+	// DegradedRequests counts requests that had at least one chunk read
+	// redirected off a down node; FailedRequests counts requests that could
+	// not gather enough chunks because too many placement nodes were down;
+	// ReassignedChunks counts chunk reads moved to another node by an
+	// outage.
+	DegradedRequests int64
+	FailedRequests   int64
+	ReassignedChunks int64
+	Slots            []SlotStats
 }
 
 // SlotStats is the per-slot request-split record used by Fig. 7.
@@ -94,6 +116,8 @@ const (
 	evArrival = iota
 	evNodeDone
 	evHedge
+	evFail
+	evRecover
 )
 
 type event struct {
@@ -132,6 +156,8 @@ type requestState struct {
 	needCache bool // a folded cache piece (worth d chunks) must also finish
 	cacheDone bool
 	finished  bool    // enough pieces have finished; leftovers are redundant
+	failed    bool    // too many nodes down to ever gather enough pieces
+	degraded  bool    // at least one chunk read was redirected off a down node
 	targets   []int   // node indices already fetching a chunk for this request
 	completed float64 // completion time of the slowest counted piece so far
 }
@@ -139,6 +165,7 @@ type requestState struct {
 type nodeState struct {
 	queue    []*chunkJob
 	busy     bool
+	down     bool
 	busyTime float64
 	served   int64
 }
@@ -201,6 +228,18 @@ func Run(cfg Config) (*Result, error) {
 	for j := range nodeStates {
 		nodeStates[j] = &nodeState{}
 	}
+	for _, fe := range cfg.Failures {
+		if fe.Node < 0 || fe.Node >= len(nodes) {
+			return nil, fmt.Errorf("sim: failure references unknown node %d", fe.Node)
+		}
+		if fe.Down < 0 || fe.Down >= cfg.Horizon {
+			continue
+		}
+		push(&event{time: fe.Down, kind: evFail, node: fe.Node})
+		if fe.Up > fe.Down && fe.Up < cfg.Horizon {
+			push(&event{time: fe.Up, kind: evRecover, node: fe.Node})
+		}
+	}
 
 	var latencies []float64
 	perFileSum := make([]float64, len(files))
@@ -228,7 +267,7 @@ func Run(cfg Config) (*Result, error) {
 	var cancelledChunks int64
 	startService := func(now float64, j int) {
 		ns := nodeStates[j]
-		if ns.busy {
+		if ns.busy || ns.down {
 			return
 		}
 		// Cancellation point: queued jobs whose request already finished are
@@ -270,10 +309,11 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// Placement of each file as node indices, for hedge target selection.
+	// Placement of each file as node indices, for hedge and failover target
+	// selection.
 	hedging := cfg.HedgeDelay > 0 && cfg.HedgeExtra > 0
 	var placementIdx [][]int
-	if hedging {
+	if hedging || len(cfg.Failures) > 0 {
 		idx := cfg.Cluster.NodeIndex()
 		placementIdx = make([][]int, len(files))
 		for i, f := range files {
@@ -286,6 +326,43 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	var hedgedChunks int64
+	var degradedRequests, failedRequests, reassignedChunks int64
+
+	// failoverNode picks the least-loaded alive placement node of the file
+	// not already fetching for the request, or -1 when none remains.
+	failoverNode := func(req *requestState) int {
+		targeted := make(map[int]bool, len(req.targets))
+		for _, j := range req.targets {
+			targeted[j] = true
+		}
+		best := -1
+		for _, j := range placementIdx[req.file] {
+			if targeted[j] || nodeStates[j].down {
+				continue
+			}
+			if best < 0 || len(nodeStates[j].queue) < len(nodeStates[best].queue) {
+				best = j
+			}
+		}
+		return best
+	}
+
+	// markDegraded flags a request whose chunk read was redirected off a
+	// down node; markFailed abandons one that can no longer gather enough
+	// pieces (its leftover jobs cancel at the service points).
+	markDegraded := func(req *requestState) {
+		if !req.degraded {
+			req.degraded = true
+			degradedRequests++
+		}
+	}
+	markFailed := func(req *requestState) {
+		if !req.finished {
+			req.finished = true
+			req.failed = true
+			failedRequests++
+		}
+	}
 
 	requests := 0
 	for q.Len() > 0 {
@@ -337,11 +414,32 @@ func Run(cfg Config) (*Result, error) {
 			if s := slotOf(now); s >= 0 {
 				slots[s].StorageChunks += int64(len(targets))
 			}
-			for _, j := range targets {
+			// Scheduler draws landing on a down node are redirected to an
+			// alive placement alternate; when none remains the request can
+			// never gather k chunks and is abandoned.
+			if len(cfg.Failures) > 0 {
+				for i, j := range req.targets {
+					if !nodeStates[j].down {
+						continue
+					}
+					alt := failoverNode(req)
+					if alt < 0 {
+						markFailed(req)
+						break
+					}
+					req.targets[i] = alt
+					reassignedChunks++
+					markDegraded(req)
+				}
+			}
+			if req.failed {
+				break
+			}
+			for _, j := range req.targets {
 				nodeStates[j].queue = append(nodeStates[j].queue, &chunkJob{req: req})
 				startService(now, j)
 			}
-			if hedging && len(targets) > 0 {
+			if hedging && len(req.targets) > 0 {
 				push(&event{time: now + cfg.HedgeDelay, kind: evHedge, file: ev.file, req: req})
 			}
 		case evHedge:
@@ -360,7 +458,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 			extra := make([]int, 0, len(placementIdx[ev.file]))
 			for _, j := range placementIdx[ev.file] {
-				if !targeted[j] {
+				if !targeted[j] && !nodeStates[j].down {
 					extra = append(extra, j)
 				}
 			}
@@ -380,6 +478,43 @@ func Run(cfg Config) (*Result, error) {
 				nodeStates[j].queue = append(nodeStates[j].queue, &chunkJob{req: req})
 				startService(now, j)
 			}
+		case evFail:
+			ns := nodeStates[ev.node]
+			ns.down = true
+			// The job in service (if any) completes — its data was already in
+			// flight. Everything still queued fails over to alive placement
+			// alternates, or abandons its request when none remains.
+			waiting := ns.queue
+			if ns.busy {
+				waiting = waiting[1:]
+				ns.queue = ns.queue[:1:1]
+			} else {
+				ns.queue = nil
+			}
+			for _, job := range waiting {
+				if job.req.finished {
+					cancelledChunks++
+					continue
+				}
+				alt := failoverNode(job.req)
+				if alt < 0 {
+					markFailed(job.req)
+					continue
+				}
+				for i, j := range job.req.targets {
+					if j == ev.node {
+						job.req.targets[i] = alt
+						break
+					}
+				}
+				reassignedChunks++
+				markDegraded(job.req)
+				nodeStates[alt].queue = append(nodeStates[alt].queue, job)
+				startService(now, alt)
+			}
+		case evRecover:
+			nodeStates[ev.node].down = false
+			startService(now, ev.node)
 		case evNodeDone:
 			if ev.node >= 0 {
 				ns := nodeStates[ev.node]
@@ -397,16 +532,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Requests:        requests,
-		Completed:       len(latencies),
-		PerFileLatency:  make([]float64, len(files)),
-		NodeUtilization: make([]float64, len(nodes)),
-		NodeChunks:      make([]int64, len(nodes)),
-		CacheChunks:     cacheChunks,
-		StorageChunks:   storageChunks,
-		HedgedChunks:    hedgedChunks,
-		CancelledChunks: cancelledChunks,
-		Slots:           slots,
+		Requests:         requests,
+		Completed:        len(latencies),
+		PerFileLatency:   make([]float64, len(files)),
+		NodeUtilization:  make([]float64, len(nodes)),
+		NodeChunks:       make([]int64, len(nodes)),
+		CacheChunks:      cacheChunks,
+		StorageChunks:    storageChunks,
+		HedgedChunks:     hedgedChunks,
+		CancelledChunks:  cancelledChunks,
+		DegradedRequests: degradedRequests,
+		FailedRequests:   failedRequests,
+		ReassignedChunks: reassignedChunks,
+		Slots:            slots,
 	}
 	for i := range files {
 		if perFileCount[i] > 0 {

@@ -395,3 +395,72 @@ func TestHedgeCannotSubstituteCachePiece(t *testing.T) {
 		t.Fatalf("mean latency %.4fs below the 20ms cache read: hedge substituted the cache piece", res.MeanLatency)
 	}
 }
+
+func TestNodeFailureFailover(t *testing.T) {
+	// Four nodes, one file reading k=2 of n=4 chunks. Node 0 is down for the
+	// middle half of the horizon: requests keep completing (failover to the
+	// other placement nodes), some are counted degraded, and node 0 serves
+	// nothing while down.
+	nodes := []cluster.Node{
+		{ID: 0, Service: queue.NewExponential(2)},
+		{ID: 1, Service: queue.NewExponential(2)},
+		{ID: 2, Service: queue.NewExponential(2)},
+		{ID: 3, Service: queue.NewExponential(2)},
+	}
+	c := &cluster.Cluster{
+		Nodes: nodes,
+		Files: []cluster.File{{
+			ID: 0, SizeBytes: 100, K: 2, N: 4, Placement: []int{0, 1, 2, 3}, Lambda: 0.5,
+		}},
+	}
+	pi := [][]float64{{0.5, 0.5, 0.5, 0.5}}
+	res, err := Run(Config{
+		Cluster:  c,
+		Pi:       pi,
+		Horizon:  4000,
+		Seed:     7,
+		Failures: []NodeFailure{{Node: 0, Down: 1000, Up: 3000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRequests != 0 {
+		t.Fatalf("%d failed requests despite 3 alive placement nodes", res.FailedRequests)
+	}
+	if res.DegradedRequests == 0 || res.ReassignedChunks == 0 {
+		t.Fatalf("expected degraded requests and reassigned chunks, got %d / %d",
+			res.DegradedRequests, res.ReassignedChunks)
+	}
+	if res.Completed != res.Requests {
+		t.Fatalf("completed %d of %d requests", res.Completed, res.Requests)
+	}
+	// With ~half the horizon down, node 0 should serve well under the share
+	// of the always-up nodes.
+	if res.NodeChunks[0] >= res.NodeChunks[1] {
+		t.Fatalf("down node served %d chunks vs %d on an always-up node",
+			res.NodeChunks[0], res.NodeChunks[1])
+	}
+}
+
+func TestAllPlacementNodesDownFailsRequests(t *testing.T) {
+	// One file on a single node that never recovers: arrivals during the
+	// outage fail rather than complete.
+	c := singleNodeCluster(1.0, 0.5)
+	res, err := Run(Config{
+		Cluster:  c,
+		Pi:       [][]float64{{1}},
+		Horizon:  2000,
+		Seed:     11,
+		Failures: []NodeFailure{{Node: 0, Down: 500}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FailedRequests == 0 {
+		t.Fatal("expected failed requests while the only placement node is down")
+	}
+	if res.Completed+int(res.FailedRequests) != res.Requests {
+		t.Fatalf("completed %d + failed %d != %d requests",
+			res.Completed, res.FailedRequests, res.Requests)
+	}
+}

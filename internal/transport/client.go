@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -10,6 +11,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sprout/internal/objstore"
 )
 
 // ClientConfig tunes the client's connection pool and retry behaviour.
@@ -225,6 +228,43 @@ func (c *Client) List(ctx context.Context, pool string) ([]string, error) {
 func (c *Client) Pools(ctx context.Context) ([]string, error) {
 	resp, err := c.call(ctx, Request{Op: OpPools})
 	return resp.Names, err
+}
+
+// DeleteChunk removes one coded chunk of an object from its hosting OSD.
+func (c *Client) DeleteChunk(ctx context.Context, pool, object string, chunk int) error {
+	_, err := c.call(ctx, Request{Op: OpDeleteChunk, Pool: pool, Object: object, Chunk: chunk})
+	return err
+}
+
+// Health returns the lifecycle state and health counters of every OSD in
+// the remote cluster.
+func (c *Client) Health(ctx context.Context) ([]objstore.OSDHealth, error) {
+	resp, err := c.call(ctx, Request{Op: OpHealth})
+	if err != nil {
+		return nil, err
+	}
+	var out []objstore.OSDHealth
+	if err := json.Unmarshal(resp.Data, &out); err != nil {
+		return nil, fmt.Errorf("transport: decoding health response: %w", err)
+	}
+	return out, nil
+}
+
+// FailOSD takes a remote OSD down, optionally dropping its chunks —
+// failure injection for drills against a live server.
+func (c *Client) FailOSD(ctx context.Context, osdID int, loseChunks bool) error {
+	var data []byte
+	if loseChunks {
+		data = []byte{1}
+	}
+	_, err := c.call(ctx, Request{Op: OpFailOSD, Chunk: osdID, Data: data})
+	return err
+}
+
+// RecoverOSD brings a remote OSD back from Down.
+func (c *Client) RecoverOSD(ctx context.Context, osdID int) error {
+	_, err := c.call(ctx, Request{Op: OpRecoverOSD, Chunk: osdID})
+	return err
 }
 
 // clientConn is one pooled connection: a write loop that encodes and

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -235,6 +236,32 @@ func (s *Server) handle(ctx context.Context, req *Request) Response {
 		return ok(Response{Names: pool.Objects()})
 	case OpPools:
 		return ok(Response{Names: s.cluster.PoolNames()})
+	case OpDeleteChunk:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pool.DeleteChunk(req.Object, req.Chunk); err != nil {
+			return fail(err)
+		}
+		return ok(Response{})
+	case OpHealth:
+		data, err := json.Marshal(s.cluster.Health())
+		if err != nil {
+			return fail(err)
+		}
+		return ok(Response{Data: data})
+	case OpFailOSD:
+		lose := len(req.Data) > 0 && req.Data[0] != 0
+		if err := s.cluster.FailOSDs(lose, req.Chunk); err != nil {
+			return fail(err)
+		}
+		return ok(Response{})
+	case OpRecoverOSD:
+		if err := s.cluster.RecoverOSDs(req.Chunk); err != nil {
+			return fail(err)
+		}
+		return ok(Response{})
 	default:
 		return Response{
 			ID:      req.ID,

@@ -497,3 +497,71 @@ func TestGobBaselineStillWorks(t *testing.T) {
 		t.Fatal("expected error for missing object over gob")
 	}
 }
+
+func TestHealthDeleteAndFailOpsOverTCP(t *testing.T) {
+	_, client, cluster := startServer(t)
+	ctx := context.Background()
+	payload := bytes.Repeat([]byte{7}, 3<<10)
+	if _, err := client.Put(ctx, "data", "obj", payload); err != nil {
+		t.Fatal(err)
+	}
+
+	health, err := client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(health) != 6 {
+		t.Fatalf("health reported %d OSDs, want 6", len(health))
+	}
+	for _, h := range health {
+		if h.State != objstore.StateUp {
+			t.Fatalf("osd %d state %v, want up", h.ID, h.State)
+		}
+	}
+
+	// Fail an OSD remotely (losing chunks) and observe it via health.
+	if err := client.FailOSD(ctx, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	health, err = client.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health[2].State != objstore.StateDown {
+		t.Fatalf("osd 2 state %v after FailOSD, want down", health[2].State)
+	}
+	// Chunk ops against the down OSD surface the typed sentinel; which chunk
+	// index maps to OSD 2 depends on placement, so probe until one hits it.
+	sawDown := false
+	for chunk := 0; chunk < 5; chunk++ {
+		if _, _, err := client.GetChunk(ctx, "data", "obj", chunk); errors.Is(err, objstore.ErrOSDDown) {
+			sawDown = true
+		}
+	}
+	osd2, err := cluster.OSD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostsChunk := osd2.Health().LostChunks > 0; hostsChunk && !sawDown {
+		t.Fatal("no GetChunk returned ErrOSDDown although OSD 2 hosted chunks")
+	}
+
+	// Recover and delete a chunk remotely; a direct read then misses it.
+	if err := client.RecoverOSD(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.DeleteChunk(ctx, "data", "obj", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.GetChunk(ctx, "data", "obj", 0); !errors.Is(err, objstore.ErrChunkMissing) {
+		t.Fatalf("GetChunk after DeleteChunk: err=%v, want ErrChunkMissing", err)
+	}
+	// The whole object still decodes from the remaining chunks.
+	got, _, err := client.Get(ctx, "data", "obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("object corrupted after chunk delete")
+	}
+}

@@ -41,13 +41,20 @@ import (
 // Op identifies a request type.
 type Op byte
 
-// Supported operations.
+// Supported operations. DeleteChunk removes one coded chunk (failed-put
+// cleanup and repair tests); Health returns the per-OSD lifecycle and
+// health counters; FailOSD/RecoverOSD inject membership transitions into
+// the emulated cluster for failure drills under live load.
 const (
 	OpPut Op = iota + 1
 	OpGet
 	OpGetChunk
 	OpList
 	OpPools
+	OpDeleteChunk
+	OpHealth
+	OpFailOSD
+	OpRecoverOSD
 )
 
 func (o Op) String() string {
@@ -62,6 +69,14 @@ func (o Op) String() string {
 		return "list"
 	case OpPools:
 		return "pools"
+	case OpDeleteChunk:
+		return "delete-chunk"
+	case OpHealth:
+		return "health"
+	case OpFailOSD:
+		return "fail-osd"
+	case OpRecoverOSD:
+		return "recover-osd"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
@@ -82,6 +97,7 @@ const (
 	codeChunkMissing   byte = 4
 	codeUnknownOp      byte = 5
 	codeOverloaded     byte = 6
+	codeOSDDown        byte = 7
 )
 
 // DefaultMaxFrameSize bounds a frame payload unless overridden in the
@@ -170,6 +186,8 @@ func codeForError(err error) byte {
 		return codePoolNotFound
 	case errors.Is(err, objstore.ErrChunkMissing):
 		return codeChunkMissing
+	case errors.Is(err, objstore.ErrOSDDown):
+		return codeOSDDown
 	default:
 		return codeError
 	}
@@ -198,6 +216,8 @@ func errorFromResponse(resp *Response) error {
 		return &wireError{msg: msg, sentinel: objstore.ErrPoolNotFound}
 	case codeChunkMissing:
 		return &wireError{msg: msg, sentinel: objstore.ErrChunkMissing}
+	case codeOSDDown:
+		return &wireError{msg: msg, sentinel: objstore.ErrOSDDown}
 	case codeOverloaded:
 		return &wireError{msg: msg, sentinel: ErrOverloaded}
 	default:

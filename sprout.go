@@ -21,8 +21,11 @@ import (
 	"sprout/internal/cluster"
 	"sprout/internal/core"
 	"sprout/internal/erasure"
+	"sprout/internal/objstore"
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
+	"sprout/internal/repair"
+	"sprout/internal/transport"
 )
 
 // Re-exported core types. Aliases keep the internal implementations and the
@@ -75,6 +78,49 @@ type (
 	// ServiceDist is a service-time distribution (mean, second and third
 	// moments plus a sampler).
 	ServiceDist = queue.Dist
+
+	// StorageCluster is the emulated Ceph-like object-store cluster: OSDs
+	// with lifecycle states, erasure-coded pools, and the cache tiers.
+	StorageCluster = objstore.Cluster
+	// StorageConfig describes an emulated storage cluster.
+	StorageConfig = objstore.ClusterConfig
+	// StoragePool is an erasure-coded pool with health-aware placement.
+	StoragePool = objstore.Pool
+	// OSD is one emulated object storage daemon.
+	OSD = objstore.OSD
+	// OSDState is an OSD lifecycle state (Up, Down, Recovering).
+	OSDState = objstore.NodeState
+	// OSDHealth is a snapshot of one OSD's lifecycle and health counters.
+	OSDHealth = objstore.OSDHealth
+	// ChunkLocation is the health-aware placement view of one coded chunk.
+	ChunkLocation = objstore.ChunkLocation
+	// DegradedObject describes an object with unreadable chunks.
+	DegradedObject = objstore.DegradedObject
+
+	// RepairManager is the self-healing plane: degradation scans, a
+	// fewest-survivors-first repair queue, and a bounded reconstruction
+	// worker pool.
+	RepairManager = repair.Manager
+	// RepairConfig tunes the repair manager.
+	RepairConfig = repair.Config
+	// RepairStats is a snapshot of the repair plane's progress counters.
+	RepairStats = repair.Stats
+	// FailureDetector turns per-node error/timeout streaks into membership
+	// transitions.
+	FailureDetector = repair.Detector
+	// DetectorConfig tunes the failure detector.
+	DetectorConfig = repair.DetectorConfig
+
+	// TransportStats is a snapshot of a transport client's or server's
+	// data-plane counters.
+	TransportStats = transport.TransportStats
+)
+
+// OSD lifecycle states.
+const (
+	OSDUp         = objstore.StateUp
+	OSDDown       = objstore.StateDown
+	OSDRecovering = objstore.StateRecovering
 )
 
 // NewController builds a Sprout controller for a cluster with a functional
@@ -119,3 +165,21 @@ func PaperServiceRates() []float64 {
 
 // Exponential returns an exponential service-time distribution with rate mu.
 func Exponential(mu float64) ServiceDist { return queue.NewExponential(mu) }
+
+// NewStorageCluster builds an emulated object-store cluster.
+func NewStorageCluster(cfg StorageConfig) (*StorageCluster, error) {
+	return objstore.NewCluster(cfg)
+}
+
+// NewRepairManager builds the repair plane over a pool; call Start to
+// launch its workers and periodic degradation scan.
+func NewRepairManager(pool *StoragePool, cfg RepairConfig) *RepairManager {
+	return repair.NewManager(pool, cfg)
+}
+
+// NewFailureDetector builds a consecutive-error failure detector; wire its
+// OnDown/OnUp callbacks to Controller.SetNodeDown/SetNodeUp to close the
+// detection-to-scheduling loop.
+func NewFailureDetector(cfg DetectorConfig) *FailureDetector {
+	return repair.NewDetector(cfg)
+}

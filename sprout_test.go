@@ -3,7 +3,9 @@ package sprout_test
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
+	"time"
 
 	"sprout"
 )
@@ -145,4 +147,106 @@ func mustBuild(t *testing.T) *sprout.Cluster {
 		t.Fatal(err)
 	}
 	return clu
+}
+
+// TestSelfHealingFacade drives the failure-handling surface purely through
+// the public facade: storage cluster, pool, controller over the pool's
+// topology, failure detector, and repair manager.
+func TestSelfHealingFacade(t *testing.T) {
+	ctx := context.Background()
+	oc, err := sprout.NewStorageCluster(sprout.StorageConfig{
+		NumOSDs:      10,
+		Services:     []sprout.ServiceDist{sprout.Exponential(5000)},
+		RefChunkSize: 1 << 10,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := oc.CreatePool("ec", 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{9}, 8<<10)
+	for i := 0; i < 6; i++ {
+		if err := pool.Put(ctx, fmt.Sprintf("obj-%d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lambdas := make([]float64, 6)
+	for i := range lambdas {
+		lambdas[i] = 0.01
+	}
+	view, err := pool.ClusterView(lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := sprout.NewController(view, 6, sprout.OptimizerOptions{MaxOuterIter: 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	fetcher := sprout.FetcherFunc(func(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+		return pool.GetChunk(ctx, fmt.Sprintf("obj-%d", fileID), chunkIndex)
+	})
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		t.Fatal(err)
+	}
+
+	det := sprout.NewFailureDetector(sprout.DetectorConfig{
+		ErrorThreshold: 1,
+		OnDown:         func(id int) { ctrl.SetNodeDown(id) },
+		OnUp:           func(id int) { ctrl.SetNodeUp(id) },
+	})
+	mgr := sprout.NewRepairManager(pool, sprout.RepairConfig{Workers: 2})
+	mgr.Start()
+	defer mgr.Close()
+
+	// Fail an OSD with loss, detect it, read degraded, repair, verify.
+	if err := oc.FailOSDs(true, 3); err != nil {
+		t.Fatal(err)
+	}
+	det.Observe(3, fmt.Errorf("probe failed"), 0)
+	if got := ctrl.DownNodes(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("detector did not propagate membership: %v", got)
+	}
+	for i := 0; i < 6; i++ {
+		got, err := ctrl.Read(ctx, i, fetcher)
+		if err != nil {
+			t.Fatalf("degraded read %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("file %d corrupted", i)
+		}
+	}
+	if n := mgr.ScanOnce(); n == 0 {
+		t.Fatal("scan found nothing to repair after chunk loss")
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := mgr.WaitIdle(waitCtx); err != nil {
+		t.Fatal(err)
+	}
+	if stats := mgr.Stats(); stats.ChunksRepaired == 0 {
+		t.Fatalf("repair stats: %+v", stats)
+	}
+	if deg := pool.DegradedObjects(); len(deg) != 0 {
+		t.Fatalf("still degraded after repair: %+v", deg)
+	}
+	// Health surface round trip.
+	var sawDown bool
+	for _, h := range oc.Health() {
+		if h.ID == 3 && h.State == sprout.OSDDown {
+			sawDown = true
+		}
+	}
+	if !sawDown {
+		t.Fatal("health snapshot missing the down OSD")
+	}
+	// TransportStats is addable through the facade.
+	var ts sprout.TransportStats
+	ts = ts.Add(sprout.TransportStats{FramesSent: 1})
+	if ts.FramesSent != 1 {
+		t.Fatal("TransportStats alias broken")
+	}
 }
