@@ -125,6 +125,13 @@ func experiments() []experiment {
 			}
 			return bench.DegradedTable(r), nil
 		}},
+		{"write", "ingest plane: central-encode puts vs striped client-side writes", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.WriteThroughput(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.WriteTable(r), nil
+		}},
 	}
 }
 

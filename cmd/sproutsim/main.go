@@ -19,13 +19,17 @@ import (
 
 func main() {
 	var (
-		files   = flag.Int("files", 200, "number of files")
-		cacheSz = flag.Int("cache", 100, "cache capacity in chunks")
-		horizon = flag.Float64("horizon", 20000, "simulated seconds")
-		seed    = flag.Int64("seed", 1, "random seed")
-		rate    = flag.Float64("rate", 0, "per-file arrival rate override (0 = paper rates)")
+		files     = flag.Int("files", 200, "number of files")
+		cacheSz   = flag.Int("cache", 100, "cache capacity in chunks")
+		horizon   = flag.Float64("horizon", 20000, "simulated seconds")
+		seed      = flag.Int64("seed", 1, "random seed")
+		rate      = flag.Float64("rate", 0, "per-file arrival rate override (0 = paper rates)")
+		writeFrac = flag.Float64("writefrac", 0, "fraction of arrivals that are full-stripe writes (0..1)")
 	)
 	flag.Parse()
+	if *writeFrac < 0 || *writeFrac > 1 {
+		fail(fmt.Errorf("-writefrac %v outside [0, 1]", *writeFrac))
+	}
 
 	cfg := cluster.PaperConfig()
 	cfg.NumFiles = *files
@@ -63,12 +67,17 @@ func main() {
 			Horizon:        *horizon,
 			Seed:           *seed,
 			WarmupFraction: 0.05,
+			WriteFrac:      *writeFrac,
 		})
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("%-12s requests=%d mean=%.3fs p95=%.3fs p99=%.3fs cacheChunks=%d storageChunks=%d\n",
 			name, res.Requests, res.MeanLatency, res.P95Latency, res.P99Latency, res.CacheChunks, res.StorageChunks)
+		if res.WriteRequests > 0 {
+			fmt.Printf("%-12s writes=%d writtenChunks=%d writeMean=%.3fs writeP99=%.3fs\n",
+				name, res.WriteRequests, res.WrittenChunks, res.MeanWriteLatency, res.P99WriteLatency)
+		}
 	}
 	run("functional", plan)
 	run("no-cache", noCachePlan)

@@ -53,10 +53,11 @@ func main() {
 		inflight = flag.Int("inflight", 0, "serve: max queued requests before overload responses (0 = default)")
 
 		// Client pool and load generation.
-		target   = flag.String("target", "", "load: server address to connect to")
-		clients  = flag.Int("clients", 16, "load/ctrl: concurrent client goroutines")
-		conns    = flag.Int("conns", 4, "load: pooled TCP connections")
-		duration = flag.Duration("duration", 3*time.Second, "load/ctrl: how long to drive requests")
+		target    = flag.String("target", "", "load: server address to connect to")
+		clients   = flag.Int("clients", 16, "load/ctrl: concurrent client goroutines")
+		conns     = flag.Int("conns", 4, "load: pooled TCP connections")
+		duration  = flag.Duration("duration", 3*time.Second, "load/ctrl: how long to drive requests")
+		writeFrac = flag.Float64("writefrac", 0, "load: fraction of requests that are striped writes (0..1)")
 
 		// Controller serving path (ctrl mode).
 		cacheChunks = flag.Int("cache", 0, "ctrl: functional-cache capacity in chunks (0 = 3 per object)")
@@ -79,7 +80,10 @@ func main() {
 		if *target == "" {
 			fail(fmt.Errorf("load mode needs -target host:port"))
 		}
-		runLoad(*target, *clients, *conns, *duration)
+		if *writeFrac < 0 || *writeFrac > 1 {
+			fail(fmt.Errorf("-writefrac %v outside [0, 1]", *writeFrac))
+		}
+		runLoad(*target, *clients, *conns, *duration, *writeFrac)
 		return
 	}
 
@@ -107,6 +111,9 @@ func main() {
 		srv := transport.NewServerWithConfig(cluster, transport.ServerConfig{
 			Workers:     *workers,
 			MaxInFlight: *inflight,
+			// Clients that die between BeginPut and CommitObject must not
+			// leak staged chunks on a long-running server.
+			StagedPutTTL: time.Minute,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, format+"\n", args...)
 			},
@@ -367,9 +374,12 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 	}
 }
 
-// runLoad drives GetChunk traffic at a remote server and reports throughput
-// and latency percentiles, writing a small working set first.
-func runLoad(target string, clients, conns int, duration time.Duration) {
+// runLoad drives mixed GetChunk/striped-write traffic at a remote server and
+// reports throughput and latency percentiles, writing a small working set
+// first. With writeFrac > 0 the given fraction of requests are full striped
+// writes — client-side encode, parallel staged chunks, two-phase commit —
+// overwriting the shared working set under the concurrent readers.
+func runLoad(target string, clients, conns int, duration time.Duration, writeFrac float64) {
 	client, err := transport.DialConfig(target, transport.ClientConfig{Conns: conns})
 	if err != nil {
 		fail(err)
@@ -384,31 +394,51 @@ func runLoad(target string, clients, conns int, duration time.Duration) {
 		fail(fmt.Errorf("server exposes no pools"))
 	}
 	pool := pools[0]
+	writer, err := transport.NewStripedWriter(ctx, client, pool)
+	if err != nil {
+		fail(err)
+	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	const loadObjects = 8
 	payload := make([]byte, 256<<10)
 	for i := 0; i < loadObjects; i++ {
 		rng.Read(payload)
-		if _, err := client.Put(ctx, pool, fmt.Sprintf("load-%02d", i), payload); err != nil {
+		if _, err := writer.Put(ctx, fmt.Sprintf("load-%02d", i), payload); err != nil {
 			fail(err)
 		}
 	}
-	fmt.Printf("sproutstore: driving %d clients over %d conns at %s (pool %q) for %v\n",
-		clients, conns, target, pool, duration)
+	fmt.Printf("sproutstore: driving %d clients over %d conns at %s (pool %q, writefrac %.2f) for %v\n",
+		clients, conns, target, pool, writeFrac, duration)
 
 	deadline := time.Now().Add(duration)
-	latencies := make([][]time.Duration, clients)
+	readLats := make([][]time.Duration, clients)
+	writeLats := make([][]time.Duration, clients)
+	for w := 0; w < clients; w++ {
+		readLats[w] = []time.Duration{}
+		writeLats[w] = []time.Duration{}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			var lats []time.Duration
+			r := rand.New(rand.NewSource(int64(w) + 77))
+			buf := make([]byte, len(payload))
 			for i := 0; time.Now().Before(deadline); i++ {
 				obj := fmt.Sprintf("load-%02d", (w+i)%loadObjects)
 				start := time.Now()
-				_, _, err := client.GetChunk(ctx, pool, obj, i%3)
-				if err != nil {
+				if writeFrac > 0 && r.Float64() < writeFrac {
+					r.Read(buf[:4096]) // vary a prefix; full refills would dominate
+					if _, err := writer.Put(ctx, obj, buf); err != nil {
+						if errors.Is(err, transport.ErrOverloaded) {
+							continue
+						}
+						fail(err)
+					}
+					writeLats[w] = append(writeLats[w], time.Since(start))
+					continue
+				}
+				if _, _, err := client.GetChunk(ctx, pool, obj, i%3); err != nil {
 					if errors.Is(err, transport.ErrOverloaded) {
 						// Shed requests are the backpressure working; the
 						// client already counts them in its stats.
@@ -416,26 +446,29 @@ func runLoad(target string, clients, conns int, duration time.Duration) {
 					}
 					fail(err)
 				}
-				lats = append(lats, time.Since(start))
+				readLats[w] = append(readLats[w], time.Since(start))
 			}
-			latencies[w] = lats
 		}(w)
 	}
 	wg.Wait()
 
-	var merged []time.Duration
-	for _, l := range latencies {
-		merged = append(merged, l...)
+	report := func(kind string, lats [][]time.Duration) {
+		var merged []time.Duration
+		for _, l := range lats {
+			merged = append(merged, l...)
+		}
+		if len(merged) == 0 {
+			return
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		pct := func(p float64) time.Duration { return merged[int(p*float64(len(merged)-1))] }
+		fmt.Printf("completed %d %s: %.0f ops/s, p50 %v, p99 %v\n",
+			len(merged), kind, float64(len(merged))/duration.Seconds(),
+			pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
-	if len(merged) == 0 {
-		fail(fmt.Errorf("no requests completed"))
-	}
-	pct := func(p float64) time.Duration { return merged[int(p*float64(len(merged)-1))] }
+	report("chunk reads", readLats)
+	report("striped writes", writeLats)
 	s := client.Stats()
-	fmt.Printf("completed %d chunk reads: %.0f ops/s, p50 %v, p99 %v\n",
-		len(merged), float64(len(merged))/duration.Seconds(),
-		pct(0.50).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	fmt.Printf("client stats: %d frames / %d KiB sent, %d frames / %d KiB received, %d retries, %d overload rejections\n",
 		s.FramesSent, s.BytesSent>>10, s.FramesReceived, s.BytesReceived>>10, s.Retries, s.OverloadRejections)
 }

@@ -200,10 +200,42 @@ func serveLive() {
 	}
 
 	// Halfway through, the coldest title goes viral: readers flip most of
-	// their traffic onto it and the auto-replanner must catch the drift.
+	// their traffic onto it and the auto-replanner must catch the drift —
+	// and the publisher re-ingests the title (a re-encode of the mezzanine)
+	// mid-run through Controller.Write, which stripes the new content into
+	// the store under a fresh version and refreshes the functional cache by
+	// write-through. Reads racing the re-ingest must return either cut in
+	// full, never a mix.
 	viral := titles - 1
 	var goneViral atomic.Bool
-	time.AfterFunc(*serveFor/2, func() { goneViral.Store(true) })
+	// allowedViral holds the payloads a viral-title read may legally return
+	// while the re-ingest is in flight.
+	var allowedViral atomic.Pointer[[][]byte]
+	allowedViral.Store(&[][]byte{originals[viral]})
+	var reingested atomic.Bool
+	storeWriter := sprout.ObjectWriterFunc(func(ctx context.Context, fileID int, data []byte) (uint64, error) {
+		meta := ctrl.Files()[fileID]
+		dataChunks, err := meta.Code.Split(data)
+		if err != nil {
+			return 0, err
+		}
+		coded, err := meta.Code.Encode(dataChunks)
+		if err != nil {
+			return 0, err
+		}
+		return store.SetFile(fileID, coded, len(data)), nil
+	})
+	time.AfterFunc(*serveFor/2, func() {
+		goneViral.Store(true)
+		newCut := make([]byte, titleSize)
+		rand.New(rand.NewSource(99)).Read(newCut)
+		allowedViral.Store(&[][]byte{originals[viral], newCut})
+		if err := ctrl.Write(ctx, viral, newCut, storeWriter); err != nil {
+			log.Fatal(err)
+		}
+		originals[viral] = newCut
+		reingested.Store(true)
+	})
 
 	stop := time.Now().Add(*serveFor)
 	picker := workload.NewRatePicker(lambdas)
@@ -223,7 +255,18 @@ func serveLive() {
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !bytes.Equal(got, originals[title]) {
+				if title == viral {
+					okAny := false
+					for _, want := range *allowedViral.Load() {
+						if bytes.Equal(got, want) {
+							okAny = true
+							break
+						}
+					}
+					if !okAny {
+						log.Fatalf("title %d served bytes matching neither cut (mixed stripe?)", title)
+					}
+				} else if !bytes.Equal(got, originals[title]) {
 					log.Fatalf("title %d content mismatch", title)
 				}
 				readsDone.Add(1)
@@ -233,11 +276,27 @@ func serveLive() {
 	wg.Wait()
 	ctrl.WaitFills()
 
+	// After the re-ingest committed, a fresh read must serve the new cut.
+	if reingested.Load() {
+		got, err := ctrl.Read(ctx, viral, store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, originals[viral]) {
+			log.Fatal("viral title still serves the old cut after re-ingest")
+		}
+	}
+
 	stats := ctrl.Stats()
 	lat := ctrl.ReadLatency()
 	fmt.Printf("  served %d reads (%.0f/s): %d auto-replans (%d rejected), %d background fills, %d hedges (%d wins)\n",
 		readsDone.Load(), float64(readsDone.Load())/serveFor.Seconds(),
 		stats.AutoReplans, stats.ReplanErrors, stats.LazyFills, stats.HedgesLaunched, stats.HedgeWins)
+	if reingested.Load() {
+		wlat := ctrl.WriteLatency()
+		fmt.Printf("  re-ingested viral title mid-run: %d write(s) in p50 %v, %d cache chunks invalidated, %d written through, %d stale-cache reloads, %d read retries\n",
+			stats.Writes, wlat.P50, stats.CacheInvalidations, stats.WriteThroughChunks, stats.StaleCacheReloads, stats.ReadRetries)
+	}
 	fmt.Printf("  cache-hit reads: %6d  p50 %8v  p99 %8v\n",
 		lat.CacheHit.Count, lat.CacheHit.P50, lat.CacheHit.P99)
 	fmt.Printf("  storage reads:   %6d  p50 %8v  p99 %8v\n",

@@ -35,9 +35,13 @@ type ReadResult struct {
 // LatencyStore serves precomputed coded chunks with an emulated storage
 // service time: a shifted-exponential base delay plus occasional stragglers,
 // honouring context cancellation so hedged fetches can be abandoned. It
-// backs the read experiment and the examples' live-serving demos.
+// backs the read experiment and the examples' live-serving demos. SetFile
+// replaces a file's stripe under a new version, emulating an ingest: the
+// store is version-aware (core.VersionedChunkFetcher), so controller reads
+// racing a re-ingest detect the flip instead of decoding a mixed stripe.
 type LatencyStore struct {
-	// Chunks holds the payloads: Chunks[fileID][chunkIndex].
+	// Chunks holds the payloads: Chunks[fileID][chunkIndex]. Mutated only by
+	// SetFile, under mu.
 	Chunks [][][]byte
 	// Shift is the minimum service time; Mean the mean of the exponential
 	// part on top of it.
@@ -48,8 +52,11 @@ type LatencyStore struct {
 	StragglerP float64
 	StragglerX float64
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu    sync.Mutex
+	rng   *rand.Rand
+	vers  []uint64
+	sizes []int
+	seq   uint64
 }
 
 // NewLatencyStore builds a store over the chunk corpus with the given delay
@@ -62,11 +69,33 @@ func NewLatencyStore(chunks [][][]byte, seed int64, shift, mean time.Duration, s
 		StragglerP: stragglerP,
 		StragglerX: stragglerX,
 		rng:        rand.New(rand.NewSource(seed)),
+		vers:       make([]uint64, len(chunks)),
+		sizes:      make([]int, len(chunks)),
 	}
 }
 
+// SetFile atomically replaces a file's coded chunks with a new stripe and
+// returns the stripe version readers will see (an emulated ingest/overwrite).
+func (s *LatencyStore) SetFile(fileID int, chunks [][]byte, size int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.Chunks[fileID] = chunks
+	s.seq++
+	s.vers[fileID] = s.seq
+	s.sizes[fileID] = size
+	return s.seq
+}
+
 // FetchChunk implements core.ChunkFetcher.
-func (s *LatencyStore) FetchChunk(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, error) {
+func (s *LatencyStore) FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+	data, _, err := s.FetchChunkV(ctx, fileID, chunkIndex, nodeID)
+	return data, err
+}
+
+// FetchChunkV implements core.VersionedChunkFetcher: the chunk payload and
+// the stripe version it belongs to are read under one lock, so a SetFile
+// racing the fetch can never pair new bytes with the old version.
+func (s *LatencyStore) FetchChunkV(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, core.StripeInfo, error) {
 	s.mu.Lock()
 	d := s.Shift + time.Duration(s.rng.ExpFloat64()*float64(s.Mean))
 	if s.StragglerP > 0 && s.rng.Float64() < s.StragglerP {
@@ -77,14 +106,16 @@ func (s *LatencyStore) FetchChunk(ctx context.Context, fileID, chunkIndex, _ int
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		return nil, core.StripeInfo{}, ctx.Err()
 	case <-t.C:
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	file := s.Chunks[fileID]
 	if chunkIndex >= len(file) {
-		return nil, fmt.Errorf("bench: no chunk %d of file %d", chunkIndex, fileID)
+		return nil, core.StripeInfo{}, fmt.Errorf("bench: no chunk %d of file %d", chunkIndex, fileID)
 	}
-	return file[chunkIndex], nil
+	return file[chunkIndex], core.StripeInfo{Version: s.vers[fileID], Size: s.sizes[fileID]}, nil
 }
 
 // instantStore serves the same chunks with no delay (used to prefetch warm

@@ -55,6 +55,52 @@ func (f FetcherFunc) FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID 
 	return f(ctx, fileID, chunkIndex, nodeID)
 }
 
+// StripeInfo identifies the stripe a chunk belongs to: the storage plane's
+// per-object version number and the object's byte size under that version.
+// The zero value means "unversioned" — a fetcher that cannot report versions
+// (legacy stores, synthetic tests) — and opts out of consistency checking.
+type StripeInfo struct {
+	Version uint64
+	Size    int
+}
+
+// VersionedChunkFetcher is implemented by fetchers that know which stripe
+// version each chunk belongs to (the object store's versioned read path).
+// The controller uses it to guarantee a read never decodes a mixed-version
+// stripe: if chunks from two different overwrites, or stale cached chunks
+// from before an overwrite, meet in one read, the read is retried against
+// the new version instead of returning garbage.
+type VersionedChunkFetcher interface {
+	ChunkFetcher
+	FetchChunkV(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, StripeInfo, error)
+}
+
+// ObjectWriter stores a complete object in the storage plane and returns the
+// committed stripe version (0 when the backend is unversioned). The
+// transport's StripedWriter — client-side SIMD encode, parallel staged chunk
+// writes, two-phase commit — is the production implementation; tests use
+// in-memory fakes.
+type ObjectWriter interface {
+	WriteObject(ctx context.Context, fileID int, data []byte) (uint64, error)
+}
+
+// ObjectWriterFunc adapts a function to the ObjectWriter interface.
+type ObjectWriterFunc func(ctx context.Context, fileID int, data []byte) (uint64, error)
+
+// WriteObject implements ObjectWriter.
+func (f ObjectWriterFunc) WriteObject(ctx context.Context, fileID int, data []byte) (uint64, error) {
+	return f(ctx, fileID, data)
+}
+
+// DataChunkWriter is an optional ObjectWriter fast path: a writer that can
+// consume the payload already split into k data chunks avoids re-splitting
+// it. Controller.Write splits once for the cache write-through and hands
+// the same chunks to the storage write when the writer supports it.
+type DataChunkWriter interface {
+	ObjectWriter
+	WriteDataChunks(ctx context.Context, fileID int, dataChunks [][]byte, size int) (uint64, error)
+}
+
 // FileMeta is the controller's view of one stored file.
 type FileMeta struct {
 	ID        int
@@ -178,6 +224,17 @@ type Controller struct {
 	rngPool sync.Pool
 	rngSeq  atomic.Int64
 
+	// fileSizes holds the current byte size of each file; writes may change
+	// it, so the read plane loads it atomically instead of trusting the
+	// construction-time FileMeta.SizeBytes.
+	fileSizes []atomic.Int64
+	// cacheInfo[fileID] records which stripe (version, size) the file's
+	// cached functional chunks were generated from; nil means unknown
+	// (unversioned backend or chunks installed before versioning). The read
+	// plane compares it against the versions reported by storage fetches and
+	// drops the cache when it turns out stale.
+	cacheInfo []atomic.Pointer[StripeInfo]
+
 	fillQ        chan fillJob
 	fillWG       sync.WaitGroup
 	fillInFlight sync.Map // fileID -> struct{}, dedupes queued fills
@@ -192,8 +249,9 @@ type Controller struct {
 	stopOnce  sync.Once
 	bgWG      sync.WaitGroup
 
-	stats counters
-	hist  readHist
+	stats     counters
+	hist      readHist
+	writeHist latencyHist
 }
 
 // Common errors.
@@ -242,9 +300,14 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 		opts:      opts,
 		serve:     serve,
 		nodeIdx:   idx,
+		fileSizes: make([]atomic.Int64, len(files)),
+		cacheInfo: make([]atomic.Pointer[StripeInfo], len(files)),
 		fillQ:     make(chan fillJob, serve.FillQueue),
 		replanNow: make(chan struct{}, 1),
 		stopCh:    make(chan struct{}),
+	}
+	for i := range files {
+		c.fileSizes[i].Store(int64(files[i].SizeBytes))
 	}
 	c.rngPool.New = func() any {
 		return rand.New(rand.NewSource(seed + c.rngSeq.Add(1)))
@@ -394,6 +457,16 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 	return plan, nil
 }
 
+// fetchChunkV fetches one chunk, reporting the stripe it belongs to when the
+// fetcher is version-aware (zero StripeInfo otherwise).
+func fetchChunkV(ctx context.Context, fetcher ChunkFetcher, fileID, chunkIndex, nodeID int) ([]byte, StripeInfo, error) {
+	if vf, ok := fetcher.(VersionedChunkFetcher); ok {
+		return vf.FetchChunkV(ctx, fileID, chunkIndex, nodeID)
+	}
+	data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeID)
+	return data, StripeInfo{}, err
+}
+
 // PrefetchCache eagerly materialises the planned cache content for every
 // file using the fetcher (the offline placement phase described in the
 // paper, typically run during low-load hours).
@@ -405,13 +478,21 @@ func (c *Controller) PrefetchCache(ctx context.Context, fetcher ChunkFetcher) er
 	for fileID := range ep.pending {
 		meta := c.files[fileID]
 		chunks := make([]erasure.Chunk, 0, meta.K)
+		var stripe StripeInfo
 		for chunkIndex, node := range meta.Placement {
 			if len(chunks) >= meta.K {
 				break
 			}
-			data, err := fetcher.FetchChunk(ctx, fileID, chunkIndex, nodeIDAt(ep.clu, node))
+			data, info, err := fetchChunkV(ctx, fetcher, fileID, chunkIndex, nodeIDAt(ep.clu, node))
 			if err != nil {
 				return fmt.Errorf("core: prefetch file %d: %w", fileID, err)
+			}
+			if info.Version != 0 {
+				if stripe.Version == 0 {
+					stripe = info
+				} else if stripe != info {
+					return fmt.Errorf("core: prefetch file %d: stripe version changed under the prefetch", fileID)
+				}
 			}
 			chunks = append(chunks, erasure.Chunk{Index: chunkIndex, Data: data})
 		}
@@ -419,7 +500,7 @@ func (c *Controller) PrefetchCache(ctx context.Context, fetcher ChunkFetcher) er
 		if err != nil {
 			return err
 		}
-		if err := c.installFill(fileID, dataChunks); err != nil {
+		if err := c.installFill(fileID, dataChunks, stripe); err != nil {
 			return err
 		}
 	}

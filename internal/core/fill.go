@@ -8,10 +8,14 @@ import (
 )
 
 // fillJob asks the background pool to materialise the pending cache
-// allocation of one file from its already-decoded data chunks.
+// allocation of one file from its already-decoded data chunks. stripe
+// records which stripe version the chunks were decoded from (zero when the
+// backend is unversioned), so a fill racing an overwrite never installs
+// chunks generated from superseded data.
 type fillJob struct {
 	fileID     int
 	dataChunks [][]byte
+	stripe     StripeInfo
 }
 
 // fillTracker counts queued plus running fill jobs so WaitFills can block
@@ -48,13 +52,13 @@ func (t *fillTracker) wait() {
 // enqueueFill hands a decoded file to the background materialisation pool.
 // At most one job per file is in flight; when the queue is full the job is
 // dropped and the file's next read re-enqueues it.
-func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte) {
+func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte, stripe StripeInfo) {
 	if _, loaded := c.fillInFlight.LoadOrStore(fileID, struct{}{}); loaded {
 		return
 	}
 	c.fills.add(1)
 	select {
-	case c.fillQ <- fillJob{fileID: fileID, dataChunks: dataChunks}:
+	case c.fillQ <- fillJob{fileID: fileID, dataChunks: dataChunks, stripe: stripe}:
 		c.stats.fillsEnqueued.Add(1)
 	default:
 		c.fillInFlight.Delete(fileID)
@@ -85,7 +89,7 @@ func (c *Controller) runFill(job fillJob) {
 		c.fillInFlight.Delete(job.fileID)
 		c.fills.add(-1)
 	}()
-	if err := c.installFill(job.fileID, job.dataChunks); err != nil {
+	if err := c.installFill(job.fileID, job.dataChunks, job.stripe); err != nil {
 		c.stats.fillErrors.Add(1)
 		if c.serve.Logf != nil {
 			c.serve.Logf("core: background fill of file %d: %v", job.fileID, err)
@@ -98,8 +102,10 @@ func (c *Controller) runFill(job fillJob) {
 // generation runs outside the control-plane mutex; the install revalidates
 // the pending target against the current epoch under the mutex, so fills
 // racing a plan change (e.g. an allocation that shrank again) never install
-// chunks beyond the live plan.
-func (c *Controller) installFill(fileID int, dataChunks [][]byte) error {
+// chunks beyond the live plan — and revalidates the stripe version, so a
+// fill holding data decoded before an overwrite never clobbers the cache
+// with superseded chunks.
+func (c *Controller) installFill(fileID int, dataChunks [][]byte, stripe StripeInfo) error {
 	meta := c.files[fileID]
 	for attempt := 0; attempt < 3; attempt++ {
 		target, ok := c.epoch.Load().pending[fileID]
@@ -128,9 +134,22 @@ func (c *Controller) installFill(fileID int, dataChunks [][]byte) error {
 			c.mu.Unlock()
 			continue
 		}
+		if have := c.cacheInfo[fileID].Load(); have != nil && have.Version != 0 &&
+			(stripe.Version == 0 || have.Version > stripe.Version) {
+			// The cache already holds chunks of a known stripe and this fill
+			// cannot prove it is at least as new (older version, or decoded
+			// before the store became versioned); installing it would
+			// resurrect stale data over a write-through refresh.
+			c.mu.Unlock()
+			return nil
+		}
 		for i, data := range cacheChunks {
 			key := cache.ChunkKey{FileID: fileID, ChunkIndex: meta.Code.CacheChunkIndex(i)}
 			c.cache.Put(key, data)
+		}
+		if stripe.Version != 0 {
+			info := stripe
+			c.cacheInfo[fileID].Store(&info)
 		}
 		c.swapEpochLocked(func(e *epoch) { delete(e.pending, fileID) })
 		c.stats.lazyFills.Add(1)

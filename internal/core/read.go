@@ -9,6 +9,12 @@ import (
 	"sprout/internal/erasure"
 )
 
+// readMaxAttempts bounds how often a read is retried after it observed an
+// inconsistent stripe (a concurrent overwrite committed mid-read, or the
+// cached chunks turned out stale). Each retry re-reads the live epoch and
+// cache, so a retry only repeats while writes keep landing on the same file.
+const readMaxAttempts = 4
+
 // Read serves a complete file: cached functional chunks are combined with
 // chunks fetched (via the fetcher) from storage nodes selected by the
 // probabilistic scheduler, and the file is decoded. If the file's cache
@@ -17,25 +23,56 @@ import (
 // the read path.
 //
 // Read is lock-free with respect to the controller: it works off the
-// current epoch snapshot and never blocks on PlanTimeBin, fills, or other
-// reads.
+// current epoch snapshot and never blocks on PlanTimeBin, fills, writes, or
+// other reads. When the fetcher is version-aware, every chunk of the decoded
+// stripe is verified to come from one committed version — a read racing
+// Controller.Write (or an external overwrite of the backing object) retries
+// against the new stripe instead of decoding mixed bytes, and cached chunks
+// found stale are dropped and refreshed.
 func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
 	start := time.Now()
 	if fileID < 0 || fileID >= len(c.files) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
 	}
-	ep := c.epoch.Load()
-	if ep.plan == nil {
+	if c.epoch.Load().plan == nil {
 		return nil, ErrNoPlan
 	}
 	if c.est != nil {
 		c.est.Observe(fileID)
 	}
+	var lastErr error
+	for attempt := 0; attempt < readMaxAttempts; attempt++ {
+		payload, retryable, err := c.readOnce(ctx, fileID, fetcher, start)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			return nil, err
+		}
+		c.stats.readRetries.Add(1)
+	}
+	return nil, lastErr
+}
+
+// readOnce performs one read attempt. It reports whether a failure is worth
+// retrying: stripe-version mismatches and decode errors can be caused by an
+// overwrite committing mid-read and usually resolve on the next attempt.
+func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetcher, start time.Time) ([]byte, bool, error) {
+	ep := c.epoch.Load()
+	if ep.plan == nil {
+		return nil, false, ErrNoPlan
+	}
 	meta := c.files[fileID]
 
 	// Gather chunks from the cache first. Any k distinct coded chunks decode,
 	// so cached chunks always count toward k — including while a fill for a
-	// grown allocation is still pending.
+	// grown allocation is still pending. The stripe record is loaded BEFORE
+	// visiting the cache and re-checked after the storage fetches: if a
+	// write swaps the cache contents in between, the records differ and the
+	// read retries instead of mixing old cached chunks with new storage
+	// chunks under the new record.
+	cacheStripe := c.cacheInfo[fileID].Load()
 	chunks := make([]erasure.Chunk, 0, meta.K)
 	c.cache.VisitFile(fileID, func(idx int, data []byte) bool {
 		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
@@ -45,25 +82,69 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 
 	need := meta.K - fromCache
 	fetchErrs := 0
+	var stripe StripeInfo
+	sawUnversioned := false
 	if need > 0 {
-		fetched, errs, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need)
+		fetched, infos, errs, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		fetchErrs = errs
+		// Every storage chunk must come from one stripe version; a mix means
+		// an overwrite committed between two fetches of this read. A chunk
+		// with no version next to versioned siblings also means a mix: the
+		// backend became versioned between the two fetches.
+		for _, info := range infos {
+			if info.Version == 0 {
+				sawUnversioned = true
+				continue
+			}
+			if stripe.Version == 0 {
+				stripe = info
+			} else if stripe != info {
+				return nil, true, fmt.Errorf("core: file %d: fetched chunks span stripe versions %d and %d", fileID, stripe.Version, info.Version)
+			}
+		}
+		if sawUnversioned && stripe.Version != 0 {
+			return nil, true, fmt.Errorf("core: file %d: fetched chunks mix versioned and unversioned stripes", fileID)
+		}
 		chunks = append(chunks, fetched...)
 	}
+	// The cache contents must not have been swapped while we were reading
+	// (a concurrent Write or Invalidate publishes a new stripe record).
+	if fromCache > 0 && c.cacheInfo[fileID].Load() != cacheStripe {
+		return nil, true, fmt.Errorf("core: file %d: cache refreshed mid-read", fileID)
+	}
+	// Cached chunks must belong to the same stripe as the fetched ones; when
+	// they do not — or when their provenance is unknown while storage serves
+	// a versioned stripe — the cache may predate an overwrite (e.g. one that
+	// bypassed Controller.Write) and is dropped before the retry re-fetches
+	// from storage.
+	if fromCache > 0 && stripe.Version != 0 && (cacheStripe == nil || *cacheStripe != stripe) {
+		c.dropStaleCache(fileID, cacheStripe)
+		if cacheStripe == nil {
+			return nil, true, fmt.Errorf("core: file %d: cached chunks of unknown stripe cannot join versioned stripe v%d", fileID, stripe.Version)
+		}
+		return nil, true, fmt.Errorf("core: file %d: cached chunks are from stripe v%d, storage serves v%d", fileID, cacheStripe.Version, stripe.Version)
+	}
 	if len(chunks) < meta.K {
-		return nil, fmt.Errorf("core: only %d of %d chunks available for file %d", len(chunks), meta.K, fileID)
+		return nil, false, fmt.Errorf("core: only %d of %d chunks available for file %d", len(chunks), meta.K, fileID)
 	}
 
 	dataChunks, err := meta.Code.Reconstruct(chunks)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
-	payload, err := meta.Code.Join(dataChunks, meta.SizeBytes)
+	size := int(c.fileSizes[fileID].Load())
+	switch {
+	case stripe.Size != 0:
+		size = stripe.Size
+	case fromCache > 0 && cacheStripe != nil && cacheStripe.Size != 0:
+		size = cacheStripe.Size
+	}
+	payload, err := meta.Code.Join(dataChunks, size)
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 
 	// A read is degraded when any storage fetch failed under it (whether or
@@ -98,9 +179,26 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 	c.hist.observe(time.Since(start), cacheOnly, degraded)
 
 	if _, ok := ep.pending[fileID]; ok {
-		c.enqueueFill(fileID, dataChunks)
+		fillStripe := stripe
+		if fillStripe.Version == 0 && cacheStripe != nil {
+			fillStripe = *cacheStripe
+		}
+		c.enqueueFill(fileID, dataChunks, fillStripe)
 	}
-	return payload, nil
+	return payload, false, nil
+}
+
+// dropStaleCache evicts the file's cached chunks if they still belong to the
+// stale stripe (a concurrent write may already have refreshed them).
+func (c *Controller) dropStaleCache(fileID int, stale *StripeInfo) {
+	c.mu.Lock()
+	if c.cacheInfo[fileID].Load() == stale {
+		evicted := c.cache.DeleteFile(fileID)
+		c.cacheInfo[fileID].Store(nil)
+		c.stats.cacheInvalidations.Add(int64(evicted))
+		c.stats.staleCacheReloads.Add(1)
+	}
+	c.mu.Unlock()
 }
 
 // fetchCandidate is one possible storage source for a chunk the read still
@@ -144,7 +242,7 @@ func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) 
 	return cands
 }
 
-func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need int) ([]erasure.Chunk, int, error) {
+func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need int) ([]erasure.Chunk, []StripeInfo, int, error) {
 	cands := c.candidates(ep, meta, have)
 	if c.serve.SequentialFetch {
 		return c.fetchSequential(ctx, fetcher, meta.ID, cands, need)
@@ -154,16 +252,18 @@ func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *
 
 // fetchSequential is the seed's serialised fetch loop, kept as the measured
 // A/B baseline: one chunk at a time, moving to the next candidate on error.
-// It returns the chunks and the number of fetch errors the read absorbed.
-func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, int, error) {
+// It returns the chunks, their stripe infos, and the number of fetch errors
+// the read absorbed.
+func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, []StripeInfo, int, error) {
 	chunks := make([]erasure.Chunk, 0, need)
+	infos := make([]StripeInfo, 0, need)
 	fetchErrs := 0
 	var lastErr error
 	for _, cand := range cands {
 		if len(chunks) >= need {
 			break
 		}
-		data, err := fetcher.FetchChunk(ctx, fileID, cand.chunkIndex, cand.nodeID)
+		data, info, err := fetchChunkV(ctx, fetcher, fileID, cand.chunkIndex, cand.nodeID)
 		if err != nil {
 			lastErr = fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)
 			fetchErrs++
@@ -171,15 +271,17 @@ func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, 
 			continue
 		}
 		chunks = append(chunks, erasure.Chunk{Index: cand.chunkIndex, Data: data})
+		infos = append(infos, info)
 	}
 	if len(chunks) < need {
-		return nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
+		return nil, nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
 	}
-	return chunks, fetchErrs, nil
+	return chunks, infos, fetchErrs, nil
 }
 
 type fetchResult struct {
 	chunk  erasure.Chunk
+	info   StripeInfo
 	hedged bool
 	err    error
 }
@@ -190,7 +292,7 @@ type fetchResult struct {
 // to HedgeExtra additional candidates are launched and the fastest
 // responses win; once enough chunks are in hand the shared context is
 // cancelled so losing fetches stop early.
-func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, int, error) {
+func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, []StripeInfo, int, error) {
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -198,12 +300,12 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 	launch := func(i int, hedged bool) {
 		cand := cands[i]
 		go func() {
-			data, err := fetcher.FetchChunk(fctx, fileID, cand.chunkIndex, cand.nodeID)
+			data, info, err := fetchChunkV(fctx, fetcher, fileID, cand.chunkIndex, cand.nodeID)
 			if err != nil {
 				results <- fetchResult{hedged: hedged, err: fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)}
 				return
 			}
-			results <- fetchResult{chunk: erasure.Chunk{Index: cand.chunkIndex, Data: data}, hedged: hedged}
+			results <- fetchResult{chunk: erasure.Chunk{Index: cand.chunkIndex, Data: data}, info: info, hedged: hedged}
 		}()
 	}
 
@@ -221,6 +323,7 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 	}
 
 	chunks := make([]erasure.Chunk, 0, need)
+	infos := make([]StripeInfo, 0, need)
 	fetchErrs := 0
 	var lastErr error
 	for len(chunks) < need && outstanding > 0 {
@@ -229,7 +332,7 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 			outstanding--
 			if res.err != nil {
 				if ctx.Err() != nil {
-					return nil, fetchErrs, ctx.Err()
+					return nil, nil, fetchErrs, ctx.Err()
 				}
 				lastErr = res.err
 				// Count every failure (degraded-read classification) even
@@ -245,6 +348,7 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 				continue
 			}
 			chunks = append(chunks, res.chunk)
+			infos = append(infos, res.info)
 			if res.hedged {
 				c.stats.hedgeWins.Add(1)
 			}
@@ -257,13 +361,13 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 				c.stats.hedgesLaunched.Add(1)
 			}
 		case <-ctx.Done():
-			return nil, fetchErrs, ctx.Err()
+			return nil, nil, fetchErrs, ctx.Err()
 		}
 	}
 	if len(chunks) < need {
-		return nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
+		return nil, nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
 	}
-	return chunks, fetchErrs, nil
+	return chunks, infos, fetchErrs, nil
 }
 
 func fetchShortfallError(fileID, got, need int, lastErr error) error {

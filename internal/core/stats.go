@@ -27,6 +27,14 @@ type counters struct {
 	degradedReads     atomic.Int64
 	cacheRescues      atomic.Int64
 	membershipChanges atomic.Int64
+
+	writes             atomic.Int64
+	writeErrors        atomic.Int64
+	writeBytes         atomic.Int64
+	cacheInvalidations atomic.Int64
+	writeThroughChunks atomic.Int64
+	staleCacheReloads  atomic.Int64
+	readRetries        atomic.Int64
 }
 
 // Stats exposes counters for observability and the evaluation harness.
@@ -65,6 +73,25 @@ type Stats struct {
 	CacheRescues  int64
 	// MembershipChanges counts SetNodeDown/SetNodeUp transitions applied.
 	MembershipChanges int64
+
+	// Writes counts Controller.Write ingests that committed; WriteErrors
+	// counts writes that failed (storage write or cache-chunk generation);
+	// WriteBytes is the committed payload volume.
+	Writes      int64
+	WriteErrors int64
+	WriteBytes  int64
+	// CacheInvalidations counts functional cache chunks evicted because
+	// their file was overwritten (write-through refreshes, Invalidate calls,
+	// and stale caches detected by the read plane's version check).
+	CacheInvalidations int64
+	// WriteThroughChunks counts cache chunks installed directly from
+	// just-written data, saving the storage round trip a lazy fill would pay.
+	WriteThroughChunks int64
+	// StaleCacheReloads counts reads that caught the cache serving chunks
+	// from a superseded stripe version and dropped it; ReadRetries counts
+	// read attempts repeated after any stripe-consistency violation.
+	StaleCacheReloads int64
+	ReadRetries       int64
 }
 
 // Stats returns a snapshot of the controller counters.
@@ -88,6 +115,14 @@ func (c *Controller) Stats() Stats {
 		DegradedReads:     c.stats.degradedReads.Load(),
 		CacheRescues:      c.stats.cacheRescues.Load(),
 		MembershipChanges: c.stats.membershipChanges.Load(),
+
+		Writes:             c.stats.writes.Load(),
+		WriteErrors:        c.stats.writeErrors.Load(),
+		WriteBytes:         c.stats.writeBytes.Load(),
+		CacheInvalidations: c.stats.cacheInvalidations.Load(),
+		WriteThroughChunks: c.stats.writeThroughChunks.Load(),
+		StaleCacheReloads:  c.stats.staleCacheReloads.Load(),
+		ReadRetries:        c.stats.readRetries.Load(),
 	}
 }
 
@@ -231,4 +266,11 @@ func (c *Controller) ReadLatency() ReadLatencyStats {
 		Storage:  c.hist.storage.snapshot(),
 		Degraded: c.hist.degraded.snapshot(),
 	}
+}
+
+// WriteLatency returns the percentile snapshot of Controller.Write latency
+// end to end: storage write (encode, staged chunk fan-out, commit) plus the
+// write-through cache refresh.
+func (c *Controller) WriteLatency() LatencySnapshot {
+	return c.writeHist.snapshot()
 }

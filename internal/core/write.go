@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sprout/internal/cache"
+)
+
+// Write ingests new content for a file: the writer stores the object in the
+// storage plane (the transport's StripedWriter encodes client-side and
+// two-phase-commits the chunks), and the controller then brings its serving
+// state up to date in one control-plane step — the file's stale functional
+// cache chunks are invalidated and the optimizer's target allocation is
+// re-materialised by write-through from the just-encoded data (no storage
+// round trip), the byte size is updated for future decodes, any pending
+// lazy fill is cancelled, and the workload estimator observes the request
+// so the auto-replanner sees write traffic.
+//
+// Reads concurrent with Write stay lock-free and safe: the storage plane
+// serves either the old or the new committed stripe (never a mix, thanks to
+// versioned chunk keys), and the read plane's stripe-version check retries
+// any read that catches the flip between its chunk fetches.
+func (c *Controller) Write(ctx context.Context, fileID int, data []byte, writer ObjectWriter) error {
+	start := time.Now()
+	if fileID < 0 || fileID >= len(c.files) {
+		return fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
+	}
+	meta := c.files[fileID]
+	if c.est != nil {
+		c.est.Observe(fileID)
+	}
+	// The optimizer's target allocation decides whether the payload needs
+	// splitting at all; files with no cache allocation skip it entirely —
+	// invalidation alone suffices.
+	target := 0
+	if ep := c.epoch.Load(); ep.plan != nil && fileID < len(ep.plan.D) {
+		target = ep.plan.D[fileID]
+		if target > meta.K {
+			target = meta.K
+		}
+	}
+	var dataChunks [][]byte
+	if target > 0 {
+		var err error
+		if dataChunks, err = meta.Code.Split(data); err != nil {
+			c.stats.writeErrors.Add(1)
+			return err
+		}
+	}
+	var version uint64
+	var err error
+	if dw, ok := writer.(DataChunkWriter); ok && dataChunks != nil {
+		// Hand the split chunks to the storage write so it does not split
+		// the same payload again.
+		version, err = dw.WriteDataChunks(ctx, fileID, dataChunks, len(data))
+	} else {
+		version, err = writer.WriteObject(ctx, fileID, data)
+	}
+	if err != nil {
+		c.stats.writeErrors.Add(1)
+		return err
+	}
+
+	// The storage plane now serves the new stripe; generate the target cache
+	// chunks from the new data before taking the control-plane mutex
+	// (generation is the expensive part).
+	var cacheChunks [][]byte
+	if target > 0 {
+		if cacheChunks, err = meta.Code.CacheChunks(dataChunks, target); err != nil {
+			c.stats.writeErrors.Add(1)
+			return fmt.Errorf("core: generating cache chunks for file %d: %w", fileID, err)
+		}
+	}
+
+	c.mu.Lock()
+	evicted, installed := 0, 0
+	if existing := c.cacheInfo[fileID].Load(); version != 0 && existing != nil && existing.Version > version {
+		// Superseded: a concurrent Write committed a newer stripe and already
+		// refreshed the cache and size; installing this write's chunks would
+		// resurrect content the storage plane has discarded.
+	} else {
+		c.fileSizes[fileID].Store(int64(len(data)))
+		evicted = c.cache.DeleteFile(fileID)
+		for i, chunk := range cacheChunks {
+			key := cache.ChunkKey{FileID: fileID, ChunkIndex: meta.Code.CacheChunkIndex(i)}
+			if c.cache.Put(key, chunk) {
+				installed++
+			}
+		}
+		var info *StripeInfo
+		if version != 0 {
+			info = &StripeInfo{Version: version, Size: len(data)}
+		}
+		c.cacheInfo[fileID].Store(info)
+	}
+	// The write-through satisfied (or obsoleted) any pending lazy fill.
+	c.swapEpochLocked(func(e *epoch) { delete(e.pending, fileID) })
+	c.mu.Unlock()
+
+	c.stats.writes.Add(1)
+	c.stats.writeBytes.Add(int64(len(data)))
+	c.stats.cacheInvalidations.Add(int64(evicted))
+	c.stats.writeThroughChunks.Add(int64(installed))
+	c.writeHist.observe(time.Since(start))
+	return nil
+}
+
+// Invalidate drops the file's functional cache chunks and stripe record. It
+// is the escape hatch for content overwritten outside Controller.Write by an
+// unversioned backend; with a versioned backend the read plane detects the
+// stale cache on its own. It returns the number of chunks evicted.
+func (c *Controller) Invalidate(fileID int) (int, error) {
+	if fileID < 0 || fileID >= len(c.files) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
+	}
+	c.mu.Lock()
+	evicted := c.cache.DeleteFile(fileID)
+	c.cacheInfo[fileID].Store(nil)
+	c.mu.Unlock()
+	c.stats.cacheInvalidations.Add(int64(evicted))
+	return evicted, nil
+}

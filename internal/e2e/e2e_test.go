@@ -1,0 +1,397 @@
+// Package e2e wires the full stack together — emulated OSD cluster, binary
+// transport, striped client-side writes, Sprout controller, repair plane —
+// and runs table-driven failure/overwrite scenarios against it. Run with
+// -race in CI: the scenarios are deliberately concurrent.
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprout/internal/core"
+	"sprout/internal/objstore"
+	"sprout/internal/optimizer"
+	"sprout/internal/queue"
+	"sprout/internal/repair"
+	"sprout/internal/transport"
+)
+
+const (
+	e2eObjects = 6
+	e2eSize    = 16 << 10
+	e2eOSDs    = 12
+	e2eN       = 7
+	e2eK       = 4
+)
+
+// harness is one fully wired stack: cluster + pool + TCP server + pooled
+// client + striped writer + remote fetcher + controller + repair manager.
+type harness struct {
+	cluster   *objstore.Cluster
+	pool      *objstore.Pool
+	writer    *transport.StripedWriter
+	fetcher   *transport.RemoteFetcher
+	ctrl      *core.Controller
+	repair    *repair.Manager
+	payloads  [][]byte // last payload written per file, guarded by payloadMu
+	payloadMu sync.Mutex
+}
+
+func (h *harness) objName(fileID int) string { return fmt.Sprintf("file-%04d", fileID) }
+
+func (h *harness) payload(fileID int) []byte {
+	h.payloadMu.Lock()
+	defer h.payloadMu.Unlock()
+	return h.payloads[fileID]
+}
+
+func (h *harness) setPayload(fileID int, data []byte) {
+	h.payloadMu.Lock()
+	h.payloads[fileID] = data
+	h.payloadMu.Unlock()
+}
+
+// write ingests new content for a file through the controller (striped
+// client-side write over the transport + functional-cache refresh).
+func (h *harness) write(ctx context.Context, fileID int, data []byte) error {
+	if err := h.ctrl.Write(ctx, fileID, data, h.writer); err != nil {
+		return err
+	}
+	h.setPayload(fileID, data)
+	return nil
+}
+
+// fail takes OSDs down (losing their chunks) in both the storage plane and
+// the controller's membership view, then kicks the repair plane.
+func (h *harness) fail(t *testing.T, ids ...int) {
+	t.Helper()
+	if err := h.cluster.FailOSDs(true, ids...); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		h.ctrl.SetNodeDown(id)
+	}
+	h.repair.Kick()
+}
+
+func (h *harness) recover(t *testing.T, ids ...int) {
+	t.Helper()
+	if err := h.cluster.RecoverOSDs(ids...); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		h.ctrl.SetNodeUp(id)
+	}
+	h.repair.Kick()
+}
+
+// newHarness boots the stack: objects ingested with striped writes over
+// TCP, controller planned + prefetched over the remote fetcher, repair
+// workers running.
+func newHarness(t *testing.T, serve core.ServeOptions) *harness {
+	t.Helper()
+	ctx := context.Background()
+	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
+		NumOSDs:      e2eOSDs,
+		Services:     []queue.Dist{queue.Deterministic{Value: 0.0003}},
+		RefChunkSize: e2eSize / e2eK,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cluster.CreatePool("ec", e2eN, e2eK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServerWithConfig(cluster, transport.ServerConfig{StagedPutTTL: time.Minute})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := transport.DialConfig(addr, transport.ClientConfig{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	writer, err := transport.NewStripedWriter(ctx, client, "ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{
+		cluster:  cluster,
+		pool:     pool,
+		writer:   writer,
+		fetcher:  &transport.RemoteFetcher{Client: client, Pool: "ec"},
+		payloads: make([][]byte, e2eObjects),
+	}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < e2eObjects; i++ {
+		h.payloads[i] = make([]byte, e2eSize)
+		rng.Read(h.payloads[i])
+		if _, err := writer.Put(ctx, h.objName(i), h.payloads[i]); err != nil {
+			t.Fatalf("initial striped ingest of %s: %v", h.objName(i), err)
+		}
+	}
+
+	lambdas := make([]float64, e2eObjects)
+	for i := range lambdas {
+		lambdas[i] = 2.0
+	}
+	clu, err := pool.ClusterView(lambdas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.NewControllerWith(clu, 2*e2eObjects, optimizer.Options{MaxOuterIter: 6}, serve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ctrl.Close() })
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.PrefetchCache(ctx, h.fetcher); err != nil {
+		t.Fatal(err)
+	}
+	h.ctrl = ctrl
+
+	mgr := repair.NewManager(pool, repair.Config{Workers: 2, ScanInterval: 20 * time.Millisecond})
+	mgr.Start()
+	t.Cleanup(mgr.Close)
+	h.repair = mgr
+	return h
+}
+
+// readAndCheck reads fileID through the controller and verifies the bytes
+// against the allowed payload set.
+func (h *harness) readAndCheck(ctx context.Context, fileID int, allowed ...[]byte) error {
+	got, err := h.ctrl.Read(ctx, fileID, h.fetcher)
+	if err != nil {
+		return fmt.Errorf("read file %d: %w", fileID, err)
+	}
+	for _, want := range allowed {
+		if bytes.Equal(got, want) {
+			return nil
+		}
+	}
+	return fmt.Errorf("read file %d: bytes match none of the %d allowed payloads (mixed stripe?)", fileID, len(allowed))
+}
+
+func TestScenarios(t *testing.T) {
+	scenarios := []struct {
+		name  string
+		serve core.ServeOptions
+		run   func(t *testing.T, h *harness)
+	}{
+		{name: "overwrite-under-load", run: scenarioOverwriteUnderLoad},
+		{name: "write-during-osd-failure", run: scenarioWriteDuringFailure},
+		{name: "write-then-degraded-read", run: scenarioWriteThenDegradedRead},
+		{
+			name:  "hedged-read-during-repair",
+			serve: core.ServeOptions{HedgeDelay: 2 * time.Millisecond, HedgeExtra: 2},
+			run:   scenarioHedgedReadDuringRepair,
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			sc.run(t, newHarness(t, sc.serve))
+		})
+	}
+}
+
+// scenarioOverwriteUnderLoad overwrites one hot file repeatedly while
+// readers hammer the whole set: every read of the hot file must return a
+// complete committed cut, and after the writer quiesces a fresh read serves
+// the last one.
+func scenarioOverwriteUnderLoad(t *testing.T, h *harness) {
+	ctx := context.Background()
+	const hot = 0
+	const overwrites = 10
+
+	initial := h.payload(hot)
+	cuts := make([][]byte, 0, overwrites+1)
+	cuts = append(cuts, initial)
+	var cutMu sync.Mutex
+	allowedCuts := func() [][]byte {
+		cutMu.Lock()
+		defer cutMu.Unlock()
+		return append([][]byte(nil), cuts...)
+	}
+
+	var wg sync.WaitGroup
+	var writerDone atomic.Bool
+	errCh := make(chan error, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer writerDone.Store(true)
+		for i := 0; i < overwrites; i++ {
+			cut := make([]byte, e2eSize)
+			for j := range cut {
+				cut[j] = byte(i+1) ^ byte(j*5)
+			}
+			cutMu.Lock()
+			cuts = append(cuts, cut)
+			cutMu.Unlock()
+			if err := h.write(ctx, hot, cut); err != nil {
+				errCh <- fmt.Errorf("overwrite %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if writerDone.Load() && i > 3 {
+					return
+				}
+				fileID := i % e2eObjects
+				if fileID == hot {
+					if err := h.readAndCheck(ctx, hot, allowedCuts()...); err != nil {
+						errCh <- fmt.Errorf("reader %d: %w", r, err)
+						return
+					}
+					continue
+				}
+				if err := h.readAndCheck(ctx, fileID, h.payload(fileID)); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	h.ctrl.WaitFills()
+	if err := h.readAndCheck(ctx, hot, h.payload(hot)); err != nil {
+		t.Fatalf("after quiesce: %v", err)
+	}
+	if stats := h.ctrl.Stats(); stats.Writes != overwrites {
+		t.Fatalf("controller recorded %d writes, want %d", stats.Writes, overwrites)
+	}
+}
+
+// scenarioWriteDuringFailure ingests new content while two OSDs are down
+// with chunk loss: staging re-places the affected chunks on live OSDs, the
+// write commits, and the new content reads back both degraded and after
+// repair heals the pool.
+func scenarioWriteDuringFailure(t *testing.T, h *harness) {
+	ctx := context.Background()
+	h.fail(t, 3, 8)
+
+	cut := make([]byte, e2eSize)
+	for j := range cut {
+		cut[j] = 0xAB ^ byte(j*11)
+	}
+	if err := h.write(ctx, 1, cut); err != nil {
+		t.Fatalf("write during OSD failure: %v", err)
+	}
+	if err := h.readAndCheck(ctx, 1, cut); err != nil {
+		t.Fatalf("degraded read of fresh write: %v", err)
+	}
+	// Every chunk of the new stripe must be on a live OSD (staging dodged
+	// the down ones).
+	locs, err := h.pool.ChunkLocations(h.objName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range locs {
+		if !loc.Alive || !loc.Present {
+			t.Fatalf("chunk %d of fresh write landed unreadable (osd %d)", loc.Chunk, loc.OSD.ID)
+		}
+	}
+
+	// Recovery + repair restores full redundancy for the files that lost
+	// chunks; the fresh write stays intact throughout.
+	h.recover(t, 3, 8)
+	waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := h.repair.WaitIdle(waitCtx); err != nil {
+		t.Fatalf("repair did not drain: %v", err)
+	}
+	if err := h.readAndCheck(ctx, 1, cut); err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+}
+
+// scenarioWriteThenDegradedRead writes new content, then loses n−k OSDs:
+// the controller must still decode the new stripe from the survivors (plus
+// cache), never the old bytes.
+func scenarioWriteThenDegradedRead(t *testing.T, h *harness) {
+	ctx := context.Background()
+	cut := make([]byte, e2eSize)
+	for j := range cut {
+		cut[j] = 0x5C ^ byte(j*13)
+	}
+	if err := h.write(ctx, 2, cut); err != nil {
+		t.Fatal(err)
+	}
+	h.fail(t, 1, 5, 9) // n−k = 3 OSDs down, chunks lost
+	for i := 0; i < 4; i++ {
+		if err := h.readAndCheck(ctx, 2, cut); err != nil {
+			t.Fatalf("degraded read %d: %v", i, err)
+		}
+	}
+	// Reads of every other file must also survive the triple failure.
+	for fileID := 0; fileID < e2eObjects; fileID++ {
+		if err := h.readAndCheck(ctx, fileID, h.payload(fileID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// scenarioHedgedReadDuringRepair loses two OSDs and reads under hedging
+// while the repair plane reconstructs the lost chunks concurrently; after
+// repair drains, the pool is fully redundant and all content intact.
+func scenarioHedgedReadDuringRepair(t *testing.T, h *harness) {
+	ctx := context.Background()
+	h.fail(t, 2, 6)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				fileID := (r + i) % e2eObjects
+				if err := h.readAndCheck(ctx, fileID, h.payload(fileID)); err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	waitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := h.repair.WaitIdle(waitCtx); err != nil {
+		t.Fatalf("repair did not drain: %v", err)
+	}
+	if left := len(h.pool.DegradedObjects()); left != 0 {
+		t.Fatalf("%d objects still degraded after repair", left)
+	}
+	for fileID := 0; fileID < e2eObjects; fileID++ {
+		if err := h.readAndCheck(ctx, fileID, h.payload(fileID)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

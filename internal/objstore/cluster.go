@@ -82,6 +82,11 @@ func (c *Cluster) CreatePool(name string, n, k int) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.cacheTier != nil {
+		// An overwrite must never leave the previous object bytes in the LRU
+		// cache tier: invalidate on every committed put.
+		p.OnCommit(c.cacheTier.Remove)
+	}
 	c.pools[name] = p
 	return p, nil
 }

@@ -154,12 +154,12 @@ func (p *Pool) ChunkLocations(object string) ([]ChunkLocation, error) {
 	}
 	locs := make([]ChunkLocation, p.N)
 	for i := 0; i < p.N; i++ {
-		osd := p.osdForChunk(meta.pg, object, i)
+		osd := p.osdForChunk(meta.pg, object, meta.version, i)
 		locs[i] = ChunkLocation{
 			Chunk:   i,
 			OSD:     osd,
 			Alive:   osd.Alive(),
-			Present: osd.HasChunk(p.chunkKey(object, i)),
+			Present: osd.HasChunk(p.chunkKey(object, meta.version, i)),
 		}
 	}
 	return locs, nil
@@ -234,13 +234,13 @@ func (p *Pool) PlaceChunk(ctx context.Context, object string, chunk int, data []
 	if chunk < 0 || chunk >= p.N {
 		return nil, fmt.Errorf("%w: chunk %d", ErrChunkMissing, chunk)
 	}
-	key := p.chunkKey(object, chunk)
+	key := p.chunkKey(object, meta.version, chunk)
 	// Choose the target and reserve it in the override map under the pool
 	// lock, so two repairs placing different chunks of the same object can
 	// never pick the same OSD.
 	p.mu.Lock()
 	resolve := func(c int) *OSD {
-		if osd, ok := p.overrides[p.chunkKey(object, c)]; ok {
+		if osd, ok := p.overrides[p.chunkKey(object, meta.version, c)]; ok {
 			return osd
 		}
 		return p.pgOSDs[meta.pg][c]
@@ -287,6 +287,17 @@ func (p *Pool) PlaceChunk(ctx context.Context, object string, chunk int, data []
 		p.mu.Unlock()
 		return nil, err
 	}
+	// An overwrite may have flipped the stripe version while the chunk was
+	// being written; the repaired chunk then belongs to a dead stripe and
+	// must not linger as an orphan.
+	p.mu.Lock()
+	if cur, ok := p.objects[object]; !ok || cur.version != meta.version {
+		delete(p.overrides, key)
+		p.mu.Unlock()
+		_ = target.DeleteChunk(key)
+		return target, nil
+	}
+	p.mu.Unlock()
 	return target, nil
 }
 
@@ -327,7 +338,7 @@ func (p *Pool) ClusterView(lambdas []float64) (*cluster.Cluster, error) {
 		p.mu.RUnlock()
 		placement := make([]int, p.N)
 		for c := 0; c < p.N; c++ {
-			placement[c] = p.osdForChunk(meta.pg, object, c).ID
+			placement[c] = p.osdForChunk(meta.pg, object, meta.version, c).ID
 		}
 		lambda := 0.0
 		if lambdas != nil {

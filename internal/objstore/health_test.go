@@ -104,28 +104,45 @@ func TestPutRollsBackPartialWrites(t *testing.T) {
 	c, pool := healthTestCluster(t)
 	ctx := context.Background()
 
-	// Fail one OSD so some Put chunk-writes fail; the successful siblings
-	// must be rolled back and no orphan chunks remain anywhere.
+	// One OSD down: the staging path re-places its chunks onto live OSDs, so
+	// every put still succeeds and lands one chunk per live OSD.
 	osd, err := c.OSD(3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	osd.Fail(false)
 	payload := make([]byte, 8<<10)
-	// Write objects until one's placement includes the down OSD (the
-	// CRUSH-like mapping spreads over all OSDs, so this happens quickly).
-	var failedPut bool
-	for i := 0; i < 32; i++ {
-		err := pool.Put(ctx, fmt.Sprintf("leak-%02d", i), payload)
-		if err != nil {
-			if !errors.Is(err, ErrOSDDown) {
-				t.Fatalf("unexpected put error: %v", err)
-			}
-			failedPut = true
+	for i := 0; i < 8; i++ {
+		if err := pool.Put(ctx, fmt.Sprintf("leak-%02d", i), payload); err != nil {
+			t.Fatalf("put with one OSD down: %v", err)
 		}
 	}
-	if !failedPut {
-		t.Fatal("no put hit the down OSD; test assumption broken")
+	if osd.NumChunks() != 0 {
+		t.Fatalf("down OSD received %d staged chunks", osd.NumChunks())
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := pool.Get(ctx, fmt.Sprintf("leak-%02d", i)); err != nil {
+			t.Fatalf("reading object written during outage: %v", err)
+		}
+	}
+
+	// Too few live OSDs for a full stripe: staging cannot find targets, the
+	// put fails, and the aborted chunks leave no orphans anywhere.
+	for _, id := range []int{4, 5, 6} {
+		o, err := c.OSD(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Fail(false)
+	}
+	for i := 0; i < 4; i++ {
+		err := pool.Put(ctx, fmt.Sprintf("fail-%02d", i), payload)
+		if !errors.Is(err, ErrNoRepairTarget) && !errors.Is(err, ErrOSDDown) {
+			t.Fatalf("put with 6 of 10 OSDs: err %v, want staging failure", err)
+		}
+	}
+	if staged := pool.StagedPuts(); staged != 0 {
+		t.Fatalf("%d staged puts left after aborts", staged)
 	}
 	// Every stored chunk must belong to a successfully written object.
 	okObjects := make(map[string]bool)

@@ -177,7 +177,7 @@ func TestReadThroughLRUCachesObjects(t *testing.T) {
 	if err := pool.Put(ctx, "hot", payload); err != nil {
 		t.Fatal(err)
 	}
-	data, missLatency, err := c.ReadThroughLRU(ctx, pool, "hot")
+	data, _, err := c.ReadThroughLRU(ctx, pool, "hot")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,15 +187,34 @@ func TestReadThroughLRUCachesObjects(t *testing.T) {
 	if !c.CacheTier().Contains("hot") {
 		t.Fatal("object should be promoted into the cache tier after a miss")
 	}
-	data, hitLatency, err := c.ReadThroughLRU(ctx, pool, "hot")
+	// A hit must be served from the cache tier alone: no OSD serves a chunk
+	// for it. (Comparing wall-clock latencies here is flaky on loaded
+	// machines — sub-millisecond timer sleeps overshoot under contention.)
+	// Let the miss read's two cancelled straggler fetches drain first so
+	// their completions don't land between the snapshots.
+	time.Sleep(20 * time.Millisecond)
+	servedBefore := int64(0)
+	for _, osd := range c.OSDs() {
+		served, _ := osd.Stats()
+		servedBefore += served
+	}
+	data, _, err = c.ReadThroughLRU(ctx, pool, "hot")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(data, payload) {
 		t.Fatal("hit read returned wrong data")
 	}
-	if hitLatency >= missLatency {
-		t.Fatalf("cache hit latency %v should be below miss latency %v", hitLatency, missLatency)
+	servedAfter := int64(0)
+	for _, osd := range c.OSDs() {
+		served, _ := osd.Stats()
+		servedAfter += served
+	}
+	if servedAfter != servedBefore {
+		t.Fatalf("cache hit read %d chunks from OSDs, want 0", servedAfter-servedBefore)
+	}
+	if hits, _, _ := c.CacheTier().Stats(); hits == 0 {
+		t.Fatal("cache tier recorded no hit")
 	}
 }
 

@@ -60,6 +60,14 @@ type Config struct {
 	// node are likewise redirected. Up <= Down means the node never recovers
 	// within the horizon.
 	Failures []NodeFailure
+	// WriteFrac turns the fraction of arrivals into writes (the ingest
+	// plane's striped client-side puts): a write dispatches one chunk-write
+	// job to every alive placement node of the file — the full n-chunk
+	// stripe, no cache piece — and completes when the slowest chunk write
+	// finishes (fork-join over n instead of k−d). Writes targeting down
+	// nodes skip them (the staging path re-places chunks on live OSDs);
+	// a write with no alive placement node fails.
+	WriteFrac float64
 }
 
 // NodeFailure is one scheduled node outage, by node index into the
@@ -72,6 +80,9 @@ type NodeFailure struct {
 
 // Result aggregates the simulation outputs.
 type Result struct {
+	// Requests counts read arrivals; write arrivals are reported separately
+	// in WriteRequests, and the latency/per-file statistics cover reads
+	// only (write latencies have their own mean/p99 below).
 	Requests int
 	// Completed counts requests whose latency was recorded (arrivals after
 	// the warmup cutoff that finished); with no warmup it equals Requests.
@@ -95,6 +106,18 @@ type Result struct {
 	DegradedRequests int64
 	FailedRequests   int64
 	ReassignedChunks int64
+	// WriteRequests counts arrivals that were writes; WrittenChunks counts
+	// the chunk-write jobs they dispatched. Write latencies are kept apart
+	// from read latencies: a write's fork-join spans the full n-chunk
+	// stripe. DegradedWrites counts writes that skipped down placement
+	// nodes or had chunk jobs reassigned; FailedWrites counts writes with
+	// no alive placement node left.
+	WriteRequests    int64
+	WrittenChunks    int64
+	DegradedWrites   int64
+	FailedWrites     int64
+	MeanWriteLatency float64
+	P99WriteLatency  float64
 	Slots            []SlotStats
 }
 
@@ -151,6 +174,7 @@ func (q *eventQueue) Pop() interface{} {
 type requestState struct {
 	file      int
 	arrival   float64
+	isWrite   bool // full-stripe chunk writes instead of a k−d chunk read
 	required  int  // storage pieces that must finish (hedged reads substitute)
 	done      int  // storage pieces finished so far (hedged extras count too)
 	needCache bool // a folded cache piece (worth d chunks) must also finish
@@ -242,9 +266,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var latencies []float64
+	var writeLatencies []float64
 	perFileSum := make([]float64, len(files))
 	perFileCount := make([]int64, len(files))
 	var cacheChunks, storageChunks int64
+	var writeRequests, writtenChunks int64
 	var slots []SlotStats
 	if cfg.SlotLength > 0 {
 		numSlots := int(math.Ceil(cfg.Horizon / cfg.SlotLength))
@@ -302,18 +328,22 @@ func Run(cfg Config) (*Result, error) {
 			req.finished = true
 			lat := req.completed - req.arrival
 			if req.arrival >= warmup {
-				latencies = append(latencies, lat)
-				perFileSum[req.file] += lat
-				perFileCount[req.file]++
+				if req.isWrite {
+					writeLatencies = append(writeLatencies, lat)
+				} else {
+					latencies = append(latencies, lat)
+					perFileSum[req.file] += lat
+					perFileCount[req.file]++
+				}
 			}
 		}
 	}
 
 	// Placement of each file as node indices, for hedge and failover target
-	// selection.
+	// selection, and for the full-stripe dispatch of writes.
 	hedging := cfg.HedgeDelay > 0 && cfg.HedgeExtra > 0
 	var placementIdx [][]int
-	if hedging || len(cfg.Failures) > 0 {
+	if hedging || len(cfg.Failures) > 0 || cfg.WriteFrac > 0 {
 		idx := cfg.Cluster.NodeIndex()
 		placementIdx = make([][]int, len(files))
 		for i, f := range files {
@@ -347,20 +377,31 @@ func Run(cfg Config) (*Result, error) {
 		return best
 	}
 
-	// markDegraded flags a request whose chunk read was redirected off a
+	// markDegraded flags a request whose chunk job was redirected off a
 	// down node; markFailed abandons one that can no longer gather enough
-	// pieces (its leftover jobs cancel at the service points).
+	// pieces (its leftover jobs cancel at the service points). Reads and
+	// writes are accounted separately so the degraded-read metric stays a
+	// read metric under mixed workloads.
+	var degradedWrites, failedWrites int64
 	markDegraded := func(req *requestState) {
 		if !req.degraded {
 			req.degraded = true
-			degradedRequests++
+			if req.isWrite {
+				degradedWrites++
+			} else {
+				degradedRequests++
+			}
 		}
 	}
 	markFailed := func(req *requestState) {
 		if !req.finished {
 			req.finished = true
 			req.failed = true
-			failedRequests++
+			if req.isWrite {
+				failedWrites++
+			} else {
+				failedRequests++
+			}
 		}
 	}
 
@@ -370,6 +411,31 @@ func Run(cfg Config) (*Result, error) {
 		now := ev.time
 		switch ev.kind {
 		case evArrival:
+			if cfg.WriteFrac > 0 && rng.Float64() < cfg.WriteFrac {
+				// Write: dispatch the full n-chunk stripe to the file's alive
+				// placement nodes; fork-join over all of them, no cache piece.
+				targets := make([]int, 0, len(placementIdx[ev.file]))
+				for _, j := range placementIdx[ev.file] {
+					if !nodeStates[j].down {
+						targets = append(targets, j)
+					}
+				}
+				writeRequests++
+				req := &requestState{file: ev.file, arrival: now, isWrite: true, required: len(targets), targets: targets}
+				if len(targets) == 0 {
+					markFailed(req)
+					break
+				}
+				if len(targets) < len(placementIdx[ev.file]) {
+					markDegraded(req)
+				}
+				writtenChunks += int64(len(targets))
+				for _, j := range targets {
+					nodeStates[j].queue = append(nodeStates[j].queue, &chunkJob{req: req})
+					startService(now, j)
+				}
+				break
+			}
 			requests++
 			f := files[ev.file]
 			targets := assignment.Pick(ev.file, rng)
@@ -544,6 +610,10 @@ func Run(cfg Config) (*Result, error) {
 		DegradedRequests: degradedRequests,
 		FailedRequests:   failedRequests,
 		ReassignedChunks: reassignedChunks,
+		WriteRequests:    writeRequests,
+		WrittenChunks:    writtenChunks,
+		DegradedWrites:   degradedWrites,
+		FailedWrites:     failedWrites,
 		Slots:            slots,
 	}
 	for i := range files {
@@ -570,6 +640,15 @@ func Run(cfg Config) (*Result, error) {
 		res.P95Latency = quantile(latencies, 0.95)
 		res.P99Latency = quantile(latencies, 0.99)
 		res.MaxLatency = latencies[len(latencies)-1]
+	}
+	if len(writeLatencies) > 0 {
+		sort.Float64s(writeLatencies)
+		var sum float64
+		for _, l := range writeLatencies {
+			sum += l
+		}
+		res.MeanWriteLatency = sum / float64(len(writeLatencies))
+		res.P99WriteLatency = quantile(writeLatencies, 0.99)
 	}
 	return res, nil
 }

@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -216,6 +217,65 @@ func (c *Client) Get(ctx context.Context, pool, object string) ([]byte, time.Dur
 func (c *Client) GetChunk(ctx context.Context, pool, object string, chunk int) ([]byte, time.Duration, error) {
 	resp, err := c.call(ctx, Request{Op: OpGetChunk, Pool: pool, Object: object, Chunk: chunk})
 	return resp.Data, resp.Latency, err
+}
+
+// GetChunkV reads a single coded chunk and additionally reports the stripe
+// version and object size it belongs to, so callers assembling a stripe from
+// several chunk reads can detect a concurrent overwrite instead of decoding
+// a mixed-version stripe.
+func (c *Client) GetChunkV(ctx context.Context, pool, object string, chunk int) ([]byte, uint64, int64, error) {
+	resp, err := c.call(ctx, Request{Op: OpGetChunk, Pool: pool, Object: object, Chunk: chunk})
+	return resp.Data, resp.Version, resp.Size, err
+}
+
+// BeginPut opens a two-phase put of an object and returns the stripe version
+// chunks must be staged under. The staged stripe is invisible to readers
+// until CommitObject.
+func (c *Client) BeginPut(ctx context.Context, pool, object string) (uint64, error) {
+	resp, err := c.call(ctx, Request{Op: OpBeginPut, Pool: pool, Object: object})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// PutChunk stages one locally encoded chunk of a two-phase put on its target
+// OSD. Re-sending the same chunk (a retry) overwrites the staged payload.
+func (c *Client) PutChunk(ctx context.Context, pool, object string, version uint64, chunk int, data []byte) (time.Duration, error) {
+	resp, err := c.call(ctx, Request{Op: OpPutChunk, Pool: pool, Object: object, Version: version, Chunk: chunk, Data: data})
+	return resp.Latency, err
+}
+
+// CommitObject atomically flips the object to the staged stripe version; the
+// put becomes visible to readers only when this returns. size is the byte
+// length of the original object. Replaying a commit that already succeeded
+// is a no-op.
+func (c *Client) CommitObject(ctx context.Context, pool, object string, version uint64, size int) error {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(size))
+	_, err := c.call(ctx, Request{Op: OpCommitObject, Pool: pool, Object: object, Version: version, Data: buf[:]})
+	return err
+}
+
+// AbortPut discards a staged put and deletes its staged chunks; a failed put
+// is invisible to readers. Aborting an unknown put is a no-op.
+func (c *Client) AbortPut(ctx context.Context, pool, object string, version uint64) error {
+	_, err := c.call(ctx, Request{Op: OpAbortPut, Pool: pool, Object: object, Version: version})
+	return err
+}
+
+// PoolInfo reports the erasure-code geometry of a remote pool, so a client
+// can build the matching coder for striped writes.
+func (c *Client) PoolInfo(ctx context.Context, pool string) (n, k int, err error) {
+	resp, err := c.call(ctx, Request{Op: OpPoolInfo, Pool: pool})
+	if err != nil {
+		return 0, 0, err
+	}
+	var info struct{ N, K int }
+	if err := json.Unmarshal(resp.Data, &info); err != nil {
+		return 0, 0, fmt.Errorf("transport: decoding pool-info response: %w", err)
+	}
+	return info.N, info.K, nil
 }
 
 // List returns the object names in a pool.

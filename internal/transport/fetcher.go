@@ -21,18 +21,30 @@ type RemoteFetcher struct {
 	ObjectName func(fileID int) string
 }
 
-var _ core.ChunkFetcher = (*RemoteFetcher)(nil)
+var _ core.VersionedChunkFetcher = (*RemoteFetcher)(nil)
 
 // FetchChunk retrieves one coded chunk of a file from the remote pool. The
 // node ID is ignored: placement is resolved server-side by the pool's
 // CRUSH-like mapping.
 func (f *RemoteFetcher) FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+	data, _, err := f.fetch(ctx, fileID, chunkIndex)
+	return data, err
+}
+
+// FetchChunkV retrieves one coded chunk together with the stripe version and
+// object size it belongs to, so the controller's read plane can detect
+// concurrent overwrites instead of decoding mixed-version stripes.
+func (f *RemoteFetcher) FetchChunkV(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, core.StripeInfo, error) {
+	return f.fetch(ctx, fileID, chunkIndex)
+}
+
+func (f *RemoteFetcher) fetch(ctx context.Context, fileID, chunkIndex int) ([]byte, core.StripeInfo, error) {
 	name := f.objectName(fileID)
-	data, _, err := f.Client.GetChunk(ctx, f.Pool, name, chunkIndex)
+	data, version, size, err := f.Client.GetChunkV(ctx, f.Pool, name, chunkIndex)
 	if err != nil {
-		return nil, fmt.Errorf("transport: fetch chunk %d of %s/%s: %w", chunkIndex, f.Pool, name, err)
+		return nil, core.StripeInfo{}, fmt.Errorf("transport: fetch chunk %d of %s/%s: %w", chunkIndex, f.Pool, name, err)
 	}
-	return data, nil
+	return data, core.StripeInfo{Version: version, Size: int(size)}, nil
 }
 
 func (f *RemoteFetcher) objectName(fileID int) string {

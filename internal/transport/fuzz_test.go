@@ -15,7 +15,8 @@ func body(frame []byte) []byte { return frame[4:] }
 // successfully, re-encoding it must reproduce the payload byte for byte
 // (so decode and encode agree on the wire format).
 func FuzzDecodeFrame(f *testing.F) {
-	// Valid request frames across every op.
+	// Valid request frames across every op, including the ingest plane's
+	// staged-write ops with stripe versions.
 	for _, req := range []Request{
 		{ID: 1, Op: OpPut, Pool: "ec", Object: "obj-1", Data: []byte("payload")},
 		{ID: 2, Op: OpGet, Pool: "ec", Object: "obj-1"},
@@ -27,11 +28,18 @@ func FuzzDecodeFrame(f *testing.F) {
 		{ID: 8, Op: OpFailOSD, Chunk: 3, Data: []byte{1}},
 		{ID: 9, Op: OpRecoverOSD, Chunk: 3},
 		{ID: 10, Op: OpGetChunk, Pool: "", Object: "", Chunk: -1},
+		{ID: 11, Op: OpBeginPut, Pool: "ec", Object: "obj-1"},
+		{ID: 12, Op: OpPutChunk, Pool: "ec", Object: "obj-1", Version: 7, Chunk: 4, Data: []byte("coded-chunk")},
+		{ID: 13, Op: OpCommitObject, Pool: "ec", Object: "obj-1", Version: 7, Data: []byte{0, 0, 0, 0, 0, 0, 16, 0}},
+		{ID: 14, Op: OpAbortPut, Pool: "ec", Object: "obj-1", Version: 7},
+		{ID: 15, Op: OpPoolInfo, Pool: "ec"},
+		{ID: 16, Op: OpPutChunk, Pool: "ec", Object: "obj-1", Version: ^uint64(0), Chunk: -1},
 	} {
 		req := req
 		f.Add(body(appendRequest(nil, &req)))
 	}
-	// Valid response frames: success, typed errors, names, data.
+	// Valid response frames: success, typed errors, names, data, and
+	// version/size-bearing chunk reads.
 	for _, resp := range []Response{
 		{ID: 1, Code: codeOK, Data: []byte("chunk-bytes"), Latency: 42 * time.Microsecond},
 		{ID: 2, Code: codeObjectNotFound, Err: "objstore: object not found"},
@@ -39,6 +47,10 @@ func FuzzDecodeFrame(f *testing.F) {
 		{ID: 4, Code: codeOverloaded, Err: "transport: server overloaded"},
 		{ID: 5, Code: codeOSDDown, Err: "objstore: osd down"},
 		{ID: 6, Code: codeOK},
+		{ID: 7, Code: codeOK, Version: 9, Size: 1 << 20, Data: []byte("versioned-chunk")},
+		{ID: 8, Code: codeOK, Version: 3},
+		{ID: 9, Code: codeNoStagedPut, Err: "objstore: no staged put for object version"},
+		{ID: 10, Code: codeOK, Version: ^uint64(0), Size: -1},
 	} {
 		resp := resp
 		f.Add(body(appendResponse(nil, &resp)))

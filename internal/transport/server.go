@@ -3,6 +3,7 @@ package transport
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -29,6 +30,18 @@ type ServerConfig struct {
 	// MaxFrameSize bounds accepted frame payloads. Default:
 	// DefaultMaxFrameSize.
 	MaxFrameSize int
+	// NICBandwidth, when positive, emulates the storage fabric as a shared
+	// link of this many bytes per second: request and response payload bytes
+	// occupy the link serially, and the primary-encode put path (OpPut)
+	// additionally pays for re-distributing its n−1 encoded chunks to the
+	// other OSDs — the traffic a loopback benchmark hides but a real cluster
+	// pays. Zero disables the emulation (default).
+	NICBandwidth int64
+	// StagedPutTTL, when positive, starts a janitor that aborts staged puts
+	// older than the TTL in every pool, so clients that die between BeginPut
+	// and CommitObject cannot leak staged chunks forever. Zero disables the
+	// janitor (default).
+	StagedPutTTL time.Duration
 	// Logf, when set, receives connection-level protocol errors (malformed
 	// frames, unexpected disconnects) that would otherwise only show up in
 	// the DecodeErrors counter.
@@ -60,6 +73,7 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	work   chan task
+	nic    *netMeter
 
 	counters transportCounters
 
@@ -87,7 +101,7 @@ func NewServer(cluster *objstore.Cluster) *Server {
 func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cluster: cluster,
 		cfg:     cfg,
 		ctx:     ctx,
@@ -95,6 +109,10 @@ func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 		work:    make(chan task, cfg.MaxInFlight),
 		conns:   make(map[*serverConn]struct{}),
 	}
+	if cfg.NICBandwidth > 0 {
+		s.nic = &netMeter{bandwidth: cfg.NICBandwidth}
+	}
+	return s
 }
 
 // Stats returns a snapshot of the server's transport counters.
@@ -126,6 +144,10 @@ func (s *Server) Listen(addr string) (string, error) {
 		for i := 0; i < s.cfg.Workers; i++ {
 			s.workerWG.Add(1)
 			go s.worker()
+		}
+		if s.cfg.StagedPutTTL > 0 {
+			s.workerWG.Add(1)
+			go s.stagedJanitor()
 		}
 	}
 	s.mu.Unlock()
@@ -174,6 +196,8 @@ func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.work {
 		resp := s.handle(s.ctx, &t.req)
+		// Response payload bytes cross the emulated fabric back out.
+		s.nicWait(s.ctx, int64(len(resp.Data)))
 		if !responseFits(&resp, s.cfg.MaxFrameSize) {
 			// Sending a frame the client would reject kills the session;
 			// degrade to an in-band error instead.
@@ -198,12 +222,19 @@ func (s *Server) handle(ctx context.Context, req *Request) Response {
 		resp.Latency = time.Since(start)
 		return resp
 	}
+	// Request payload bytes crossed the emulated fabric to reach us.
+	s.nicWait(ctx, int64(len(req.Data)))
 	switch req.Op {
 	case OpPut:
 		pool, err := s.cluster.Pool(req.Pool)
 		if err != nil {
 			return fail(err)
 		}
+		// Primary-encode path: the primary OSD re-distributes the encoded
+		// chunks it does not store itself over the same fabric — the real
+		// cost of central encoding that loopback would hide.
+		chunkSize := (len(req.Data) + pool.K - 1) / pool.K
+		s.nicWait(ctx, int64(chunkSize)*int64(pool.N-1))
 		if err := pool.Put(ctx, req.Object, req.Data); err != nil {
 			return fail(err)
 		}
@@ -217,13 +248,67 @@ func (s *Server) handle(ctx context.Context, req *Request) Response {
 		if err != nil {
 			return fail(err)
 		}
+		// The gathering OSD pulled k−1 chunks it does not host itself.
+		chunkSize := (len(data) + pool.K - 1) / pool.K
+		s.nicWait(ctx, int64(chunkSize)*int64(pool.K-1))
 		return ok(Response{Data: data})
 	case OpGetChunk:
 		pool, err := s.cluster.Pool(req.Pool)
 		if err != nil {
 			return fail(err)
 		}
-		data, err := pool.GetChunk(ctx, req.Object, req.Chunk)
+		data, version, size, err := pool.GetChunkV(ctx, req.Object, req.Chunk)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(Response{Data: data, Version: version, Size: int64(size)})
+	case OpBeginPut:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		version, err := pool.BeginPut(req.Object)
+		if err != nil {
+			return fail(err)
+		}
+		return ok(Response{Version: version})
+	case OpPutChunk:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pool.StageChunk(ctx, req.Object, req.Version, req.Chunk, req.Data); err != nil {
+			return fail(err)
+		}
+		return ok(Response{Version: req.Version})
+	case OpCommitObject:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		if len(req.Data) != 8 {
+			return fail(fmt.Errorf("%w: commit payload must be the 8-byte object size", objstore.ErrStagedStripe))
+		}
+		size := int64(binary.BigEndian.Uint64(req.Data))
+		if err := pool.CommitObject(req.Object, req.Version, int(size)); err != nil {
+			return fail(err)
+		}
+		return ok(Response{Version: req.Version})
+	case OpAbortPut:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pool.AbortPut(req.Object, req.Version); err != nil {
+			return fail(err)
+		}
+		return ok(Response{})
+	case OpPoolInfo:
+		pool, err := s.cluster.Pool(req.Pool)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := json.Marshal(struct{ N, K int }{pool.N, pool.K})
 		if err != nil {
 			return fail(err)
 		}
@@ -446,4 +531,85 @@ func (sc *serverConn) writeBatch(bw *bufio.Writer, buf []byte, resp *Response) (
 func isDisconnect(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
 		errors.Is(err, net.ErrClosed) || errors.Is(err, syscall.ECONNRESET)
+}
+
+// netMeter emulates a shared fabric link of fixed bandwidth with a
+// virtual-time token bucket: each transfer occupies the link for
+// bytes/bandwidth seconds, transfers serialise in arrival order, and the
+// caller sleeps until its transfer slot has drained. It stands for the
+// cluster's aggregate network capacity the same way the OSD service-time
+// distributions stand for its disks.
+type netMeter struct {
+	bandwidth int64 // bytes per second
+
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+func (m *netMeter) wait(ctx context.Context, bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	d := time.Duration(float64(bytes) / float64(m.bandwidth) * float64(time.Second))
+	now := time.Now()
+	m.mu.Lock()
+	start := m.nextFree
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(d)
+	m.nextFree = end
+	m.mu.Unlock()
+	_ = sleepCtxTransport(ctx, end.Sub(now))
+}
+
+func sleepCtxTransport(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// nicWait charges one transfer against the emulated fabric; a no-op when the
+// emulation is disabled.
+func (s *Server) nicWait(ctx context.Context, bytes int64) {
+	if s.nic != nil {
+		s.nic.wait(ctx, bytes)
+	}
+}
+
+// stagedJanitor periodically aborts staged puts that outlived StagedPutTTL
+// in every pool — a client that died between BeginPut and CommitObject must
+// not leak staged chunks on the OSDs forever.
+func (s *Server) stagedJanitor() {
+	defer s.workerWG.Done()
+	interval := s.cfg.StagedPutTTL / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for _, name := range s.cluster.PoolNames() {
+			pool, err := s.cluster.Pool(name)
+			if err != nil {
+				continue
+			}
+			if aborted := pool.AbortStaleStaged(s.cfg.StagedPutTTL); aborted > 0 {
+				s.logf("transport: aborted %d stale staged puts in pool %q", aborted, name)
+			}
+		}
+	}
 }

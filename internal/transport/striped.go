@@ -1,0 +1,122 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+
+	"sprout/internal/erasure"
+)
+
+// StripedWriter is the client-side ingest path: it encodes objects locally
+// with the SIMD erasure coder and fans the n chunk writes out in parallel
+// over the client's pooled connections, wrapped in a two-phase commit —
+// stage every chunk under a fresh stripe version, then flip the object
+// metadata with CommitObject. A failed put is aborted and stays invisible
+// to readers. Compared with the central-encode OpPut path (ship the whole
+// object to one primary that encodes and re-distributes n−1 chunks), the
+// striped path moves n/k×S bytes instead of (1+(n−1)/k)×S and spends the
+// encode CPU at the client instead of the storage tier.
+type StripedWriter struct {
+	// Client is the pooled transport client the chunk writes multiplex over.
+	Client *Client
+	// Pool is the remote erasure-coded pool to write into.
+	Pool string
+	// Code is the erasure coder; its (n, k) must match the remote pool.
+	Code *erasure.Code
+	// ObjectName maps a controller file ID to the remote object name for
+	// WriteObject. Defaults to "file-%04d", matching cluster.Config.Build
+	// naming and transport.RemoteFetcher.
+	ObjectName func(fileID int) string
+}
+
+// NewStripedWriter builds a striped writer for a remote pool, querying the
+// pool's (n, k) and constructing the matching coder.
+func NewStripedWriter(ctx context.Context, client *Client, pool string) (*StripedWriter, error) {
+	n, k, err := client.PoolInfo(ctx, pool)
+	if err != nil {
+		return nil, fmt.Errorf("transport: querying pool %q: %w", pool, err)
+	}
+	code, err := erasure.New(n, k)
+	if err != nil {
+		return nil, fmt.Errorf("transport: coder for pool %q: %w", pool, err)
+	}
+	return &StripedWriter{Client: client, Pool: pool, Code: code}, nil
+}
+
+// Put writes an object through the striped two-phase path and returns the
+// committed stripe version: split + encode locally, BeginPut, stage all n
+// chunks concurrently (one pipelined round trip per chunk batch), commit.
+// Any failure aborts the staged chunks; the previously committed stripe, if
+// one exists, remains fully readable throughout.
+func (w *StripedWriter) Put(ctx context.Context, object string, data []byte) (uint64, error) {
+	dataChunks, err := w.Code.Split(data)
+	if err != nil {
+		return 0, err
+	}
+	return w.putChunks(ctx, object, dataChunks, len(data))
+}
+
+// putChunks encodes pre-split data chunks and runs the staged write.
+func (w *StripedWriter) putChunks(ctx context.Context, object string, dataChunks [][]byte, size int) (uint64, error) {
+	storage, err := w.Code.Encode(dataChunks)
+	if err != nil {
+		return 0, err
+	}
+	version, err := w.Client.BeginPut(ctx, w.Pool, object)
+	if err != nil {
+		return 0, err
+	}
+	n := w.Code.N()
+	errs := make(chan error, n)
+	stageCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := w.Client.PutChunk(stageCtx, w.Pool, object, version, i, storage[i])
+			errs <- err
+		}(i)
+	}
+	var firstErr error
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+			cancel() // abandon the remaining chunk writes
+		}
+	}
+	if firstErr == nil {
+		if err := w.Client.CommitObject(ctx, w.Pool, object, version, size); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		w.abort(ctx, object, version)
+		return 0, firstErr
+	}
+	return version, nil
+}
+
+// abort discards the staged put, using a fresh context so cleanup still
+// happens when the put failed because ctx was cancelled.
+func (w *StripedWriter) abort(ctx context.Context, object string, version uint64) {
+	_ = w.Client.AbortPut(context.WithoutCancel(ctx), w.Pool, object, version)
+}
+
+// WriteObject implements the controller's ObjectWriter: it maps the file ID
+// to its remote object name and performs a striped put.
+func (w *StripedWriter) WriteObject(ctx context.Context, fileID int, data []byte) (uint64, error) {
+	return w.Put(ctx, w.objectName(fileID), data)
+}
+
+// WriteDataChunks implements the controller's DataChunkWriter fast path:
+// the controller already split the payload for its cache write-through, so
+// the striped write encodes straight from the shared data chunks.
+func (w *StripedWriter) WriteDataChunks(ctx context.Context, fileID int, dataChunks [][]byte, size int) (uint64, error) {
+	return w.putChunks(ctx, w.objectName(fileID), dataChunks, size)
+}
+
+func (w *StripedWriter) objectName(fileID int) string {
+	if w.ObjectName != nil {
+		return w.ObjectName(fileID)
+	}
+	return fmt.Sprintf("file-%04d", fileID)
+}

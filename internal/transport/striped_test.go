@@ -1,0 +1,176 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sprout/internal/objstore"
+	"sprout/internal/queue"
+)
+
+func stripedTestServer(t *testing.T) (*objstore.Cluster, *objstore.Pool, *Client) {
+	t.Helper()
+	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
+		NumOSDs:      10,
+		Services:     []queue.Dist{queue.Deterministic{Value: 0}},
+		RefChunkSize: 1 << 10,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := cluster.CreatePool("ec", 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerWithConfig(cluster, ServerConfig{StagedPutTTL: time.Minute})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	client, err := DialConfig(addr, ClientConfig{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return cluster, pool, client
+}
+
+func TestStripedWriterRoundTrip(t *testing.T) {
+	_, pool, client := stripedTestServer(t)
+	ctx := context.Background()
+
+	writer, err := NewStripedWriter(ctx, client, "ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writer.Code.N() != 7 || writer.Code.K() != 4 {
+		t.Fatalf("PoolInfo coder (%d,%d), want (7,4)", writer.Code.N(), writer.Code.K())
+	}
+
+	payload := make([]byte, 64<<10)
+	rand.New(rand.NewSource(1)).Read(payload)
+	v1, err := writer.Put(ctx, "obj", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client.Get(ctx, "ec", "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("get after striped put: err %v", err)
+	}
+
+	// Overwrite: the version advances and readers see the new bytes; the
+	// chunk-read path reports the committed version and size.
+	payload2 := make([]byte, 48<<10)
+	rand.New(rand.NewSource(2)).Read(payload2)
+	v2, err := writer.Put(ctx, "obj", payload2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 <= v1 {
+		t.Fatalf("overwrite version %d not beyond %d", v2, v1)
+	}
+	got, _, err = client.Get(ctx, "ec", "obj")
+	if err != nil || !bytes.Equal(got, payload2) {
+		t.Fatalf("get after overwrite: err %v", err)
+	}
+	chunk, version, size, err := client.GetChunkV(ctx, "ec", "obj", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != v2 || size != int64(len(payload2)) {
+		t.Fatalf("GetChunkV reported v%d size %d, want v%d size %d", version, size, v2, len(payload2))
+	}
+	// Chunk 0 of a systematic code is the first data slice.
+	chunkSize := (len(payload2) + 3) / 4
+	if !bytes.Equal(chunk, payload2[:chunkSize]) {
+		t.Fatal("chunk 0 does not match the new payload")
+	}
+	if staged := pool.StagedPuts(); staged != 0 {
+		t.Fatalf("%d staged puts left after committed writes", staged)
+	}
+}
+
+func TestStripedWriterAbortOnFailure(t *testing.T) {
+	cluster, pool, client := stripedTestServer(t)
+	ctx := context.Background()
+
+	writer, err := NewStripedWriter(ctx, client, "ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := make([]byte, 32<<10)
+	rand.New(rand.NewSource(4)).Read(old)
+	if _, err := writer.Put(ctx, "obj", old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take down so many OSDs that a full stripe cannot be staged: the put
+	// must fail, the staged chunks must be aborted, and the old stripe must
+	// stay fully readable.
+	if err := cluster.FailOSDs(false, 0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	newPayload := make([]byte, 32<<10)
+	rand.New(rand.NewSource(5)).Read(newPayload)
+	if _, err := writer.Put(ctx, "obj", newPayload); err == nil {
+		t.Fatal("striped put succeeded with only 6 of 10 OSDs alive and a 7-chunk stripe")
+	}
+	if staged := pool.StagedPuts(); staged != 0 {
+		t.Fatalf("%d staged puts leaked by failed write", staged)
+	}
+	if err := cluster.RecoverOSDs(0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := client.Get(ctx, "ec", "obj")
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatalf("old payload damaged by failed striped put: err %v", err)
+	}
+}
+
+func TestStripedWriterDuringOSDFailure(t *testing.T) {
+	cluster, pool, client := stripedTestServer(t)
+	ctx := context.Background()
+
+	writer, err := NewStripedWriter(ctx, client, "ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two OSDs down (chunks lost), staging re-places the affected
+	// chunks on live OSDs; the write succeeds and reads back intact.
+	if err := cluster.FailOSDs(true, 2, 5); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 40<<10)
+	rand.New(rand.NewSource(6)).Read(payload)
+	if _, err := writer.Put(ctx, "obj", payload); err != nil {
+		t.Fatalf("striped put with 2 OSDs down: %v", err)
+	}
+	got, _, err := client.Get(ctx, "ec", "obj")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("read of write-during-failure: err %v", err)
+	}
+	locs, err := pool.ChunkLocations("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loc := range locs {
+		if !loc.Alive || !loc.Present {
+			t.Fatalf("chunk %d on osd %d not readable after degraded write", loc.Chunk, loc.OSD.ID)
+		}
+	}
+}
+
+func TestCommitUnknownVersionFails(t *testing.T) {
+	_, _, client := stripedTestServer(t)
+	ctx := context.Background()
+	err := client.CommitObject(ctx, "ec", "ghost", 42, 1024)
+	if !errors.Is(err, objstore.ErrNoStagedPut) {
+		t.Fatalf("commit of unknown staged put: %v, want ErrNoStagedPut across the wire", err)
+	}
+}

@@ -13,15 +13,23 @@
 // Every frame is a 4-byte big-endian payload length followed by the payload.
 // Request payloads:
 //
-//	kind(1=request) | id uint64 | op byte | chunk uint32 |
+//	kind(1=request) | id uint64 | op byte | chunk uint32 | version uint64 |
 //	pool (uint16 len + bytes) | object (uint16 len + bytes) |
 //	data (uint32 len + bytes)
 //
 // Response payloads:
 //
 //	kind(2=response) | id uint64 | code byte | latency int64 (ns) |
+//	version uint64 | size int64 |
 //	errmsg (uint16 len + bytes) | names (uint16 count × uint16 len + bytes) |
 //	data (uint32 len + bytes)
+//
+// The version fields carry the stripe version of the ingest plane: requests
+// staging or committing a two-phase put name the version they operate on,
+// and chunk-read responses report the version (and object size) the served
+// chunk belongs to, so clients assembling a stripe from several GetChunk
+// calls can detect a concurrent overwrite instead of decoding a
+// mixed-version stripe.
 //
 // Code 0 means success; non-zero codes map back to typed errors on the
 // client (objstore.ErrObjectNotFound, objstore.ErrPoolNotFound,
@@ -44,7 +52,12 @@ type Op byte
 // Supported operations. DeleteChunk removes one coded chunk (failed-put
 // cleanup and repair tests); Health returns the per-OSD lifecycle and
 // health counters; FailOSD/RecoverOSD inject membership transitions into
-// the emulated cluster for failure drills under live load.
+// the emulated cluster for failure drills under live load. The ingest ops
+// drive client-side striped writes: BeginPut opens a two-phase put and
+// returns the stripe version, PutChunk stages one locally encoded chunk
+// under it, CommitObject atomically flips the object to the staged version,
+// and AbortPut discards the staged chunks. PoolInfo reports a pool's (n, k)
+// so clients can build the matching erasure coder.
 const (
 	OpPut Op = iota + 1
 	OpGet
@@ -55,6 +68,11 @@ const (
 	OpHealth
 	OpFailOSD
 	OpRecoverOSD
+	OpBeginPut
+	OpPutChunk
+	OpCommitObject
+	OpAbortPut
+	OpPoolInfo
 )
 
 func (o Op) String() string {
@@ -77,6 +95,16 @@ func (o Op) String() string {
 		return "fail-osd"
 	case OpRecoverOSD:
 		return "recover-osd"
+	case OpBeginPut:
+		return "begin-put"
+	case OpPutChunk:
+		return "put-chunk"
+	case OpCommitObject:
+		return "commit-object"
+	case OpAbortPut:
+		return "abort-put"
+	case OpPoolInfo:
+		return "pool-info"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
@@ -98,6 +126,7 @@ const (
 	codeUnknownOp      byte = 5
 	codeOverloaded     byte = 6
 	codeOSDDown        byte = 7
+	codeNoStagedPut    byte = 8
 )
 
 // DefaultMaxFrameSize bounds a frame payload unless overridden in the
@@ -108,8 +137,14 @@ const DefaultMaxFrameSize = 64 << 20
 const maxString16 = 1<<16 - 1
 
 // requestOverhead is the fixed encoding cost of a request frame beyond the
-// pool, object, and data bytes (kind, id, op, chunk, three length fields).
-const requestOverhead = 1 + 8 + 1 + 4 + 2 + 2 + 4
+// pool, object, and data bytes (kind, id, op, chunk, version, three length
+// fields).
+const requestOverhead = 1 + 8 + 1 + 4 + 8 + 2 + 2 + 4
+
+// responseOverhead is the fixed encoding cost of a response frame beyond
+// the error message, names, and data bytes (kind, id, code, latency,
+// version, size, three length fields).
+const responseOverhead = 1 + 8 + 1 + 8 + 8 + 8 + 2 + 2 + 4
 
 // ErrRequestTooLarge is returned before sending a request whose frame would
 // exceed the configured MaxFrameSize, or whose pool/object name exceeds the
@@ -135,7 +170,7 @@ func responseFits(resp *Response, maxFrame int) bool {
 	if len(resp.Names) > maxString16 {
 		return false
 	}
-	size := 1 + 8 + 1 + 8 + 2 + len(resp.Err) + 2 + 4 + len(resp.Data)
+	size := responseOverhead + len(resp.Err) + len(resp.Data)
 	for _, n := range resp.Names {
 		if len(n) > maxString16 {
 			return false
@@ -154,20 +189,27 @@ var ErrOverloaded = errors.New("transport: server overloaded")
 // connection died before a response arrived; the client retries these.
 var errConnBroken = errors.New("transport: connection broken")
 
-// Request is one client request.
+// Request is one client request. Version names the stripe version a staged
+// put operates on (BeginPut allocates it; PutChunk, CommitObject, and
+// AbortPut carry it back).
 type Request struct {
-	ID     uint64
-	Op     Op
-	Chunk  int
-	Pool   string
-	Object string
-	Data   []byte
+	ID      uint64
+	Op      Op
+	Chunk   int
+	Version uint64
+	Pool    string
+	Object  string
+	Data    []byte
 }
 
-// Response is one server reply.
+// Response is one server reply. Version and Size report the stripe version
+// and object size a served chunk belongs to (GetChunk), and the allocated
+// version for BeginPut.
 type Response struct {
 	ID      uint64
 	Code    byte
+	Version uint64
+	Size    int64
 	Err     string
 	Names   []string
 	Data    []byte
@@ -188,6 +230,8 @@ func codeForError(err error) byte {
 		return codeChunkMissing
 	case errors.Is(err, objstore.ErrOSDDown):
 		return codeOSDDown
+	case errors.Is(err, objstore.ErrNoStagedPut):
+		return codeNoStagedPut
 	default:
 		return codeError
 	}
@@ -218,6 +262,8 @@ func errorFromResponse(resp *Response) error {
 		return &wireError{msg: msg, sentinel: objstore.ErrChunkMissing}
 	case codeOSDDown:
 		return &wireError{msg: msg, sentinel: objstore.ErrOSDDown}
+	case codeNoStagedPut:
+		return &wireError{msg: msg, sentinel: objstore.ErrNoStagedPut}
 	case codeOverloaded:
 		return &wireError{msg: msg, sentinel: ErrOverloaded}
 	default:
@@ -227,13 +273,14 @@ func errorFromResponse(resp *Response) error {
 
 // appendRequest encodes req as a complete frame (length prefix included).
 func appendRequest(buf []byte, req *Request) []byte {
-	payload := 1 + 8 + 1 + 4 + 2 + len(req.Pool) + 2 + len(req.Object) + 4 + len(req.Data)
+	payload := requestOverhead + len(req.Pool) + len(req.Object) + len(req.Data)
 	buf = append(buf, 0, 0, 0, 0)
 	binary.BigEndian.PutUint32(buf[len(buf)-4:], uint32(payload))
 	buf = append(buf, frameRequest)
 	buf = binary.BigEndian.AppendUint64(buf, req.ID)
 	buf = append(buf, byte(req.Op))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(req.Chunk))
+	buf = binary.BigEndian.AppendUint64(buf, req.Version)
 	buf = appendString16(buf, req.Pool)
 	buf = appendString16(buf, req.Object)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Data)))
@@ -247,7 +294,7 @@ func appendResponse(buf []byte, resp *Response) []byte {
 	if len(resp.Err) > maxString16 {
 		resp.Err = resp.Err[:maxString16]
 	}
-	payload := 1 + 8 + 1 + 8 + 2 + len(resp.Err) + 2 + 4 + len(resp.Data)
+	payload := responseOverhead + len(resp.Err) + len(resp.Data)
 	for _, n := range resp.Names {
 		payload += 2 + len(n)
 	}
@@ -257,6 +304,8 @@ func appendResponse(buf []byte, resp *Response) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, resp.ID)
 	buf = append(buf, resp.Code)
 	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Latency))
+	buf = binary.BigEndian.AppendUint64(buf, resp.Version)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(resp.Size))
 	buf = appendString16(buf, resp.Err)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(resp.Names)))
 	for _, n := range resp.Names {
@@ -387,6 +436,9 @@ func decodeRequest(payload []byte) (Request, error) {
 		return req, err
 	}
 	req.Chunk = int(int32(chunk))
+	if req.Version, err = r.u64(); err != nil {
+		return req, err
+	}
 	if req.Pool, err = r.string16(); err != nil {
 		return req, err
 	}
@@ -425,6 +477,14 @@ func decodeResponse(payload []byte) (Response, error) {
 		return resp, err
 	}
 	resp.Latency = time.Duration(lat)
+	if resp.Version, err = r.u64(); err != nil {
+		return resp, err
+	}
+	size, err := r.u64()
+	if err != nil {
+		return resp, err
+	}
+	resp.Size = int64(size)
 	if resp.Err, err = r.string16(); err != nil {
 		return resp, err
 	}

@@ -37,6 +37,17 @@ type (
 	ChunkFetcher = core.ChunkFetcher
 	// FetcherFunc adapts a function to the ChunkFetcher interface.
 	FetcherFunc = core.FetcherFunc
+	// VersionedChunkFetcher is a ChunkFetcher that reports the stripe version
+	// each chunk belongs to, letting the controller detect concurrent
+	// overwrites instead of decoding mixed-version stripes.
+	VersionedChunkFetcher = core.VersionedChunkFetcher
+	// StripeInfo names one committed stripe: object version and byte size.
+	StripeInfo = core.StripeInfo
+	// ObjectWriter stores a complete object for Controller.Write (the ingest
+	// path); the transport's StripedWriter is the production implementation.
+	ObjectWriter = core.ObjectWriter
+	// ObjectWriterFunc adapts a function to the ObjectWriter interface.
+	ObjectWriterFunc = core.ObjectWriterFunc
 	// FileMeta describes one erasure-coded file.
 	FileMeta = core.FileMeta
 	// ControllerStats are the controller's observability counters.
@@ -114,6 +125,9 @@ type (
 	// TransportStats is a snapshot of a transport client's or server's
 	// data-plane counters.
 	TransportStats = transport.TransportStats
+	// StripedWriter is the client-side ingest path: local SIMD encode,
+	// parallel staged chunk writes over pooled connections, two-phase commit.
+	StripedWriter = transport.StripedWriter
 )
 
 // OSD lifecycle states.
