@@ -132,6 +132,13 @@ func experiments() []experiment {
 			}
 			return bench.WriteTable(r), nil
 		}},
+		{"chaos", "resilience plane A/B: slow+flaky and overload chaos with breakers/backoff off vs on", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.ChaosResilience(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.ChaosTable(r), nil
+		}},
 	}
 }
 

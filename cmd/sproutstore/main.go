@@ -9,6 +9,7 @@
 // Usage:
 //
 //	sproutstore -mode serve -addr 127.0.0.1:7440 -workers 16 -inflight 512
+//	sproutstore -mode serve -chaos "2:lat=30ms;2:err=0.2;5:stall=1s;7:drop"
 //	sproutstore -mode load -target 127.0.0.1:7440 -clients 64 -conns 4
 //	sproutstore -mode demo
 //	sproutstore -mode ctrl -clients 8 -duration 3s -hedge-delay 10ms -replan-every 500ms
@@ -48,9 +49,10 @@ func main() {
 		objects = flag.Int("objects", 20, "demo/ctrl: objects written into the pools")
 		objSize = flag.Int("size", 1<<20, "demo/ctrl: object size in bytes")
 
-		// Server admission control.
-		workers  = flag.Int("workers", 0, "serve: handler pool size (0 = default)")
-		inflight = flag.Int("inflight", 0, "serve: max queued requests before overload responses (0 = default)")
+		// Server admission control and fault injection.
+		workers   = flag.Int("workers", 0, "serve: handler pool size (0 = default)")
+		inflight  = flag.Int("inflight", 0, "serve: max queued requests before overload responses (0 = default)")
+		chaosSpec = flag.String("chaos", "", "serve: per-OSD fault rules, e.g. \"2:lat=30ms;2:err=0.2;5:stall=1s;7:drop\"")
 
 		// Client pool and load generation.
 		target    = flag.String("target", "", "load: server address to connect to")
@@ -108,9 +110,14 @@ func main() {
 
 	switch *mode {
 	case "serve":
+		chaos, err := parseChaosRules(*chaosSpec)
+		if err != nil {
+			fail(fmt.Errorf("-chaos: %w", err))
+		}
 		srv := transport.NewServerWithConfig(cluster, transport.ServerConfig{
 			Workers:     *workers,
 			MaxInFlight: *inflight,
+			Chaos:       chaos,
 			// Clients that die between BeginPut and CommitObject must not
 			// leak staged chunks on a long-running server.
 			StagedPutTTL: time.Minute,
@@ -123,6 +130,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("sproutstore: serving object store on %s (pools: ec-7-4, eq-0..eq-3)\n", bound)
+		if chaos != nil {
+			fmt.Printf("sproutstore: chaos rules active: %s\n", *chaosSpec)
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
@@ -131,6 +141,11 @@ func main() {
 		fmt.Printf("sproutstore: served %d requests, %d frames in / %d out, %d KiB in / %d out, %d overload rejections, %d decode errors\n",
 			s.Requests, s.FramesReceived, s.FramesSent, s.BytesReceived>>10, s.BytesSent>>10,
 			s.OverloadRejections, s.DecodeErrors)
+		if chaos != nil {
+			cs := chaos.Stats()
+			fmt.Printf("sproutstore: chaos injected %d delays, %d errors, %d stalls; dropped %d requests / %d replies\n",
+				cs.DelaysInjected, cs.ErrorsInjected, cs.Stalls, cs.RequestsDropped, cs.RepliesDropped)
+		}
 	case "demo":
 		runDemo(cluster, pools, *objects, *objSize)
 	case "ctrl":
@@ -220,6 +235,63 @@ func parseOSDEvents(spec string) ([]osdEvent, error) {
 		out = append(out, osdEvent{after: d, ids: ids})
 	}
 	return out, nil
+}
+
+// parseChaosRules parses "2:lat=30ms;2:err=0.2;5:stall=1s;7:drop" into a
+// chaos harness with one merged rule per OSD. Returns nil for an empty spec
+// so an unfaulted server carries no chaos layer at all. The returned harness
+// stays runtime-controllable: callers embedding sproutstore can keep the
+// pointer and SetRule/ClearRule while the server runs.
+func parseChaosRules(spec string) (*transport.Chaos, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	rules := map[int]transport.ChaosRule{}
+	for _, part := range strings.Split(spec, ";") {
+		idStr, what, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("rule %q: want osd:kind[=value]", part)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(idStr))
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", part, err)
+		}
+		rule := rules[id]
+		kind, val, _ := strings.Cut(what, "=")
+		switch kind {
+		case "lat":
+			if rule.Latency, err = time.ParseDuration(val); err != nil {
+				return nil, fmt.Errorf("rule %q: %w", part, err)
+			}
+		case "jitter":
+			if rule.Jitter, err = time.ParseDuration(val); err != nil {
+				return nil, fmt.Errorf("rule %q: %w", part, err)
+			}
+		case "stall":
+			if rule.Stall, err = time.ParseDuration(val); err != nil {
+				return nil, fmt.Errorf("rule %q: %w", part, err)
+			}
+		case "err":
+			if rule.ErrorRate, err = strconv.ParseFloat(val, 64); err != nil {
+				return nil, fmt.Errorf("rule %q: %w", part, err)
+			}
+			if rule.ErrorRate < 0 || rule.ErrorRate > 1 {
+				return nil, fmt.Errorf("rule %q: error rate outside [0, 1]", part)
+			}
+		case "drop":
+			rule.DropRequests = true
+		case "dropreply":
+			rule.DropReplies = true
+		default:
+			return nil, fmt.Errorf("rule %q: unknown kind %q (want lat, jitter, stall, err, drop, dropreply)", part, kind)
+		}
+		rules[id] = rule
+	}
+	chaos := transport.NewChaos(1)
+	for id, rule := range rules {
+		chaos.SetRule(id, rule)
+	}
+	return chaos, nil
 }
 
 // runCtrl serves Zipf-distributed reads through a Sprout controller whose

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"sprout/internal/resilience"
+)
+
+// saturatedError is ErrSaturated's concrete type; it unwraps to
+// resilience.ErrOverload so a saturation shed classifies as load shedding
+// (never counted against node health, retryable by patient callers).
+type saturatedError struct{}
+
+func (saturatedError) Error() string { return "core: controller saturated, read shed" }
+func (saturatedError) Unwrap() error { return resilience.ErrOverload }
+
+// ErrSaturated is returned by Read when the admission gate is in its
+// deepest brownout level and the read was shed: it targeted a low-value
+// file and could not be served from cache alone.
+var ErrSaturated error = saturatedError{}
+
+// AdmissionConfig tunes the controller's saturation gate. The gate scores
+// pressure as max(inflight/MaxInFlight, p99/LatencyTarget) and degrades
+// service in levels as the score rises:
+//
+//	level 1 (score ≥ NoHedgeAt):   hedged fetches are suppressed
+//	level 2 (score ≥ CacheOnlyAt): background cache fills are suppressed
+//	level 3 (score ≥ ShedAt):      reads of low-value files that need
+//	                               storage fetches are shed (ErrSaturated)
+//
+// Cheap capacity is given up first (speculative hedges), then background
+// work, and only then actual reads — and only the reads the plan values
+// least. Cache-served reads always pass: shedding work the cache absorbs
+// for free would reduce goodput without relieving storage.
+type AdmissionConfig struct {
+	// MaxInFlight is the in-flight read count considered full pressure.
+	// Default 256.
+	MaxInFlight int
+	// LatencyTarget is the read p99 considered full pressure. Zero disables
+	// the latency signal (queue depth alone drives the gate).
+	LatencyTarget time.Duration
+	// NoHedgeAt, CacheOnlyAt, ShedAt are the scores at which each brownout
+	// level engages. Defaults 0.75, 1.0, 1.25.
+	NoHedgeAt   float64
+	CacheOnlyAt float64
+	ShedAt      float64
+	// Alpha is the EWMA weight of the p99 tracker. Default 0.2.
+	Alpha float64
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.NoHedgeAt <= 0 {
+		c.NoHedgeAt = 0.75
+	}
+	if c.CacheOnlyAt <= 0 {
+		c.CacheOnlyAt = 1.0
+	}
+	if c.ShedAt <= 0 {
+		c.ShedAt = 1.25
+	}
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.2
+	}
+	return c
+}
+
+// admissionGate is the lock-free saturation tracker behind the brownout
+// levels: an in-flight read counter plus a stochastic EWMA estimate of the
+// read-latency p99.
+type admissionGate struct {
+	cfg      AdmissionConfig
+	inflight atomic.Int64
+	p99bits  atomic.Uint64 // math.Float64bits of the p99 estimate in ns
+}
+
+func newAdmissionGate(cfg AdmissionConfig) *admissionGate {
+	return &admissionGate{cfg: cfg.withDefaults()}
+}
+
+func (g *admissionGate) enter() { g.inflight.Add(1) }
+
+func (g *admissionGate) leave() { g.inflight.Add(-1) }
+
+// observe folds one served-read latency into the p99 estimate using the
+// asymmetric-EWMA quantile tracker: samples above the estimate pull it up
+// with weight alpha, samples below push it down with weight alpha/99, so
+// the estimate settles near the 99th percentile without keeping a
+// histogram. Shed reads are not observed — their fast failures would drag
+// the estimate down and make the gate flap open.
+func (g *admissionGate) observe(d time.Duration) {
+	sample := float64(d)
+	for {
+		old := g.p99bits.Load()
+		est := math.Float64frombits(old)
+		var next float64
+		if sample > est {
+			next = est + g.cfg.Alpha*(sample-est)
+		} else {
+			next = est + g.cfg.Alpha/99*(sample-est)
+		}
+		if g.p99bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// score is the saturation pressure: the worse of the queue-depth and
+// latency signals.
+func (g *admissionGate) score() float64 {
+	s := float64(g.inflight.Load()) / float64(g.cfg.MaxInFlight)
+	if g.cfg.LatencyTarget > 0 {
+		if ls := math.Float64frombits(g.p99bits.Load()) / float64(g.cfg.LatencyTarget); ls > s {
+			s = ls
+		}
+	}
+	return s
+}
+
+// level maps the current score to a brownout level (0 = healthy).
+func (g *admissionGate) level() int {
+	switch s := g.score(); {
+	case s >= g.cfg.ShedAt:
+		return 3
+	case s >= g.cfg.CacheOnlyAt:
+		return 2
+	case s >= g.cfg.NoHedgeAt:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SaturationLevel reports the admission gate's current brownout level:
+// 0 healthy, 1 hedging suppressed, 2 background fills suppressed, 3 shedding
+// low-value storage reads. Always 0 when admission control is off.
+func (c *Controller) SaturationLevel() int {
+	if c.adm == nil {
+		return 0
+	}
+	return c.adm.level()
+}
+
+// SaturationScore reports the gate's raw pressure score (≥ 1 means at least
+// one signal is past its target); 0 when admission control is off.
+func (c *Controller) SaturationScore() float64 {
+	if c.adm == nil {
+		return 0
+	}
+	return c.adm.score()
+}
+
+// lowValueFiles marks the files whose planned arrival rate is strictly
+// below the median — the reads the deepest brownout level sheds first,
+// because the plan assigns them the least latency value. With uniform
+// rates nothing is marked and level 3 sheds nothing.
+func lowValueFiles(lambdas []float64) []bool {
+	if len(lambdas) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), lambdas...)
+	// Insertion sort: plans are per time bin, n is the file count; avoiding
+	// the sort import keeps this allocation-only.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	median := sorted[len(sorted)/2]
+	low := make([]bool, len(lambdas))
+	for i, l := range lambdas {
+		low[i] = l < median
+	}
+	return low
+}

@@ -32,6 +32,7 @@ import (
 	"sprout/internal/cluster"
 	"sprout/internal/erasure"
 	"sprout/internal/optimizer"
+	"sprout/internal/resilience"
 	"sprout/internal/scheduler"
 	"sprout/internal/workload"
 )
@@ -148,6 +149,20 @@ type ServeOptions struct {
 	// ReplanAlpha is the EWMA weight of the newest interval. Default 0.3.
 	ReplanAlpha float64
 
+	// Breakers, when set, holds per-node circuit breakers consulted by the
+	// read plane. Nodes whose breaker is open are demoted to the tail of the
+	// candidate order — avoided while healthier replicas exist, but still
+	// reachable as a last resort (a breaker is "avoid", the membership down
+	// set is "gone"). Every fetch outcome is observed, so overload and
+	// latency streaks open breakers without touching node health.
+	Breakers *resilience.BreakerSet
+
+	// Admission, when set, enables the saturation gate in front of Read:
+	// as pressure rises the controller first stops hedging, then suppresses
+	// background cache fills, and finally sheds low-value reads that would
+	// need storage fetches (ErrSaturated).
+	Admission *AdmissionConfig
+
 	// Logf, when set, receives diagnostics from the background planes
 	// (auto-replan failures). Never called on the read path.
 	Logf func(format string, args ...any)
@@ -197,6 +212,10 @@ type epoch struct {
 	// allocation grew in the current time bin and has not been materialised
 	// yet (background fill after the next read).
 	pending map[int]int
+	// lowValue[fileID] marks files whose planned arrival rate is below the
+	// bin's median — the reads shed first under deep saturation. Immutable;
+	// shared across epoch copies. Nil until a plan is computed.
+	lowValue []bool
 }
 
 // alive is the membership predicate handed to scheduler.Excluding.
@@ -248,6 +267,9 @@ type Controller struct {
 	stopCh    chan struct{}
 	stopOnce  sync.Once
 	bgWG      sync.WaitGroup
+
+	// adm is the saturation gate; nil when admission control is off.
+	adm *admissionGate
 
 	stats     counters
 	hist      readHist
@@ -308,6 +330,9 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 	}
 	for i := range files {
 		c.fileSizes[i].Store(int64(files[i].SizeBytes))
+	}
+	if serve.Admission != nil {
+		c.adm = newAdmissionGate(*serve.Admission)
 	}
 	c.rngPool.New = func() any {
 		return rand.New(rand.NewSource(seed + c.rngSeq.Add(1)))
@@ -381,6 +406,7 @@ func (c *Controller) swapEpochLocked(mutate func(*epoch)) {
 		assignment: cur.assignment,
 		down:       make(map[int]bool, len(cur.down)),
 		pending:    make(map[int]int, len(cur.pending)),
+		lowValue:   cur.lowValue,
 	}
 	for k, v := range cur.down {
 		next.down[k] = v
@@ -442,11 +468,12 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 	// Membership may have moved while the optimizer ran: carry the current
 	// down set and re-derive the effective assignment against it.
 	next := &epoch{
-		clu:     clu,
-		plan:    plan,
-		base:    base,
-		down:    c.epoch.Load().down,
-		pending: pending,
+		clu:      clu,
+		plan:     plan,
+		base:     base,
+		down:     c.epoch.Load().down,
+		pending:  pending,
+		lowValue: lowValueFiles(lambdas),
 	}
 	next.assignment = base.Excluding(next.alive)
 	c.epoch.Store(next)

@@ -29,6 +29,11 @@ const readMaxAttempts = 4
 // Controller.Write (or an external overwrite of the backing object) retries
 // against the new stripe instead of decoding mixed bytes, and cached chunks
 // found stale are dropped and refreshed.
+//
+// When admission control is on, Read consults the saturation gate once at
+// entry: under pressure it progressively drops hedging, then background
+// fills, and at the deepest level sheds low-value reads that would need
+// storage fetches with ErrSaturated.
 func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
 	start := time.Now()
 	if fileID < 0 || fileID >= len(c.files) {
@@ -40,10 +45,22 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 	if c.est != nil {
 		c.est.Observe(fileID)
 	}
+	level := 0
+	if c.adm != nil {
+		c.adm.enter()
+		defer c.adm.leave()
+		level = c.adm.level()
+		if level > 0 {
+			c.stats.brownoutReads.Add(1)
+		}
+	}
 	var lastErr error
 	for attempt := 0; attempt < readMaxAttempts; attempt++ {
-		payload, retryable, err := c.readOnce(ctx, fileID, fetcher, start)
+		payload, retryable, err := c.readOnce(ctx, fileID, fetcher, start, level)
 		if err == nil {
+			if c.adm != nil {
+				c.adm.observe(time.Since(start))
+			}
 			return payload, nil
 		}
 		lastErr = err
@@ -58,7 +75,7 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 // readOnce performs one read attempt. It reports whether a failure is worth
 // retrying: stripe-version mismatches and decode errors can be caused by an
 // overwrite committing mid-read and usually resolve on the next attempt.
-func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetcher, start time.Time) ([]byte, bool, error) {
+func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetcher, start time.Time, level int) ([]byte, bool, error) {
 	ep := c.epoch.Load()
 	if ep.plan == nil {
 		return nil, false, ErrNoPlan
@@ -81,11 +98,18 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 	fromCache := len(chunks)
 
 	need := meta.K - fromCache
+	// Deepest brownout level: reads the plan values least are shed when they
+	// cannot be served from cache alone. Cache-complete reads always pass —
+	// they cost storage nothing.
+	if level >= 3 && need > 0 && fileID < len(ep.lowValue) && ep.lowValue[fileID] {
+		c.stats.shedReads.Add(1)
+		return nil, false, fmt.Errorf("core: file %d: %w", fileID, ErrSaturated)
+	}
 	fetchErrs := 0
 	var stripe StripeInfo
 	sawUnversioned := false
 	if need > 0 {
-		fetched, infos, errs, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need)
+		fetched, infos, errs, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need, level)
 		if err != nil {
 			return nil, false, err
 		}
@@ -179,11 +203,17 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 	c.hist.observe(time.Since(start), cacheOnly, degraded)
 
 	if _, ok := ep.pending[fileID]; ok {
-		fillStripe := stripe
-		if fillStripe.Version == 0 && cacheStripe != nil {
-			fillStripe = *cacheStripe
+		// Level 2 brownout: background materialisation is deferred until the
+		// saturation clears — the next read of the file re-triggers the fill.
+		if level >= 2 {
+			c.stats.fillsSuppressed.Add(1)
+		} else {
+			fillStripe := stripe
+			if fillStripe.Version == 0 && cacheStripe != nil {
+				fillStripe = *cacheStripe
+			}
+			c.enqueueFill(fileID, dataChunks, fillStripe)
 		}
-		c.enqueueFill(fileID, dataChunks, fillStripe)
 	}
 	return payload, false, nil
 }
@@ -214,7 +244,7 @@ type fetchCandidate struct {
 // when fetches fail, and as hedge targets). Down nodes are skipped
 // entirely — fetching from them would only burn a failover. haveIdx are
 // chunk indices already in hand (from the cache).
-func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) []fetchCandidate {
+func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) ([]fetchCandidate, int) {
 	used := make(map[int]bool, len(have))
 	for _, ch := range have {
 		used[ch.Index] = true
@@ -239,15 +269,54 @@ func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) 
 		}
 		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
 	}
-	return cands
+	return c.demoteTripped(cands)
 }
 
-func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need int) ([]erasure.Chunk, []StripeInfo, int, error) {
-	cands := c.candidates(ep, meta, have)
+// demoteTripped reorders candidates so nodes whose circuit breaker rejects
+// traffic sink to the tail: they are avoided while healthier sources exist
+// but remain reachable when nothing else is left — unlike down nodes, which
+// candidates() excludes outright. Order within each group is preserved. The
+// second return is the number of non-demoted candidates at the head: the
+// boundary hedging must not cross, because speculative fetches into a
+// tripped node waste the very capacity the breaker is protecting (and, on
+// an emulated or real store, tie up a server worker for the full stall).
+func (c *Controller) demoteTripped(cands []fetchCandidate) ([]fetchCandidate, int) {
+	br := c.serve.Breakers
+	if br == nil || len(cands) < 2 {
+		return cands, len(cands)
+	}
+	var demoted []fetchCandidate
+	kept := cands[:0]
+	for _, cand := range cands {
+		if br.Allow(cand.nodeID) {
+			kept = append(kept, cand)
+		} else {
+			demoted = append(demoted, cand)
+		}
+	}
+	if len(demoted) > 0 {
+		c.stats.breakerDemotions.Add(int64(len(demoted)))
+	}
+	healthy := len(kept)
+	return append(kept, demoted...), healthy
+}
+
+// fetchChunkObserved fetches one chunk and reports the outcome to the
+// node's circuit breaker (latency included, so slow nodes trip breakers
+// with a latency threshold even while answering correctly).
+func (c *Controller) fetchChunkObserved(ctx context.Context, fetcher ChunkFetcher, fileID int, cand fetchCandidate) ([]byte, StripeInfo, error) {
+	t0 := time.Now()
+	data, info, err := fetchChunkV(ctx, fetcher, fileID, cand.chunkIndex, cand.nodeID)
+	c.serve.Breakers.Observe(cand.nodeID, err, time.Since(t0))
+	return data, info, err
+}
+
+func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need, level int) ([]erasure.Chunk, []StripeInfo, int, error) {
+	cands, healthy := c.candidates(ep, meta, have)
 	if c.serve.SequentialFetch {
 		return c.fetchSequential(ctx, fetcher, meta.ID, cands, need)
 	}
-	return c.fetchParallel(ctx, fetcher, meta.ID, cands, need)
+	return c.fetchParallel(ctx, fetcher, meta.ID, cands, healthy, need, level)
 }
 
 // fetchSequential is the seed's serialised fetch loop, kept as the measured
@@ -263,7 +332,7 @@ func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, 
 		if len(chunks) >= need {
 			break
 		}
-		data, info, err := fetchChunkV(ctx, fetcher, fileID, cand.chunkIndex, cand.nodeID)
+		data, info, err := c.fetchChunkObserved(ctx, fetcher, fileID, cand)
 		if err != nil {
 			lastErr = fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)
 			fetchErrs++
@@ -291,8 +360,15 @@ type fetchResult struct {
 // hedging is enabled and the read is still incomplete after HedgeDelay, up
 // to HedgeExtra additional candidates are launched and the fastest
 // responses win; once enough chunks are in hand the shared context is
-// cancelled so losing fetches stop early.
-func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, []StripeInfo, int, error) {
+// cancelled so losing fetches stop early. Brownout level >= 1 suppresses
+// hedging: speculative load is the first capacity given back under
+// saturation. Hedges only target the first `healthy` (non-breaker-demoted)
+// candidates — failover may fall back to a tripped node when nothing else
+// is left, but speculative work never should. The one exception: a read
+// already forced below the healthy boundary at launch (healthy < need) has
+// a required fetch running on a suspect node, so hedging over the
+// remaining demoted candidates is rescue, not waste.
+func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, healthy, need, level int) ([]erasure.Chunk, []StripeInfo, int, error) {
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -300,7 +376,7 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 	launch := func(i int, hedged bool) {
 		cand := cands[i]
 		go func() {
-			data, info, err := fetchChunkV(fctx, fetcher, fileID, cand.chunkIndex, cand.nodeID)
+			data, info, err := c.fetchChunkObserved(fctx, fetcher, fileID, cand)
 			if err != nil {
 				results <- fetchResult{hedged: hedged, err: fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)}
 				return
@@ -315,11 +391,19 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 	}
 	outstanding := next
 
+	hedgeBound := healthy
+	if healthy < need {
+		hedgeBound = len(cands)
+	}
 	var hedgeC <-chan time.Time
-	if c.serve.HedgeDelay > 0 && c.serve.HedgeExtra > 0 && next < len(cands) {
-		timer := time.NewTimer(c.serve.HedgeDelay)
-		defer timer.Stop()
-		hedgeC = timer.C
+	if c.serve.HedgeDelay > 0 && c.serve.HedgeExtra > 0 && next < hedgeBound {
+		if level >= 1 {
+			c.stats.hedgesSuppressed.Add(1)
+		} else {
+			timer := time.NewTimer(c.serve.HedgeDelay)
+			defer timer.Stop()
+			hedgeC = timer.C
+		}
 	}
 
 	chunks := make([]erasure.Chunk, 0, need)
@@ -354,7 +438,7 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 			}
 		case <-hedgeC:
 			hedgeC = nil
-			for extra := 0; extra < c.serve.HedgeExtra && next < len(cands); extra++ {
+			for extra := 0; extra < c.serve.HedgeExtra && next < hedgeBound; extra++ {
 				launch(next, true)
 				next++
 				outstanding++

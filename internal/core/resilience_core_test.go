@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"sprout/internal/optimizer"
+	"sprout/internal/resilience"
+)
+
+// failingNodeFetcher wraps a fakeStore and fails every fetch aimed at one
+// node, regardless of file or chunk.
+func failingNodeFetcher(store *fakeStore, node int, fail error) FetcherFunc {
+	return func(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+		if nodeID == node {
+			return nil, fail
+		}
+		return store.FetchChunk(ctx, fileID, chunkIndex, nodeID)
+	}
+}
+
+// buildControllerWith mirrors buildController but with explicit serve options.
+func buildControllerWith(t *testing.T, numFiles, capacity int, lambda float64, serve ServeOptions) (*Controller, *fakeStore) {
+	t.Helper()
+	clu := testCluster(numFiles, lambda)
+	ctrl, err := NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 6}, serve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := newFakeStore()
+	for _, meta := range ctrl.Files() {
+		payload := make([]byte, meta.SizeBytes)
+		for i := range payload {
+			payload[i] = byte(meta.ID + i)
+		}
+		store.addFile(t, meta, payload)
+	}
+	return ctrl, store
+}
+
+// TestBreakerDemotesFlakyNode drives reads against a node that fails every
+// fetch: its breaker must open, later reads must demote it to the tail of
+// the candidate order (counted in BreakerDemotions), and every read must
+// still succeed — a breaker avoids a node, it never makes data unreachable.
+func TestBreakerDemotesFlakyNode(t *testing.T) {
+	breakers := resilience.NewBreakerSet(resilience.BreakerConfig{
+		ErrorThreshold: 2,
+		OpenFor:        time.Minute, // stays open for the whole test
+	})
+	ctrl, store := buildControllerWith(t, 4, 0, 0.05, ServeOptions{Breakers: breakers})
+	defer ctrl.Close()
+	if _, err := ctrl.PlanTimeBin(ctrlLambdas(ctrl)); err != nil {
+		t.Fatal(err)
+	}
+	const flaky = 2
+	fetcher := failingNodeFetcher(store, flaky, errors.New("injected: node misbehaving"))
+
+	for round := 0; round < 20; round++ {
+		for fileID := 0; fileID < 4; fileID++ {
+			if _, err := ctrl.Read(context.Background(), fileID, fetcher); err != nil {
+				t.Fatalf("round %d file %d: %v", round, fileID, err)
+			}
+		}
+	}
+	if st := breakers.State(flaky); st != resilience.BreakerOpen {
+		t.Fatalf("flaky node breaker state = %v, want open", st)
+	}
+	stats := ctrl.Stats()
+	if stats.BreakerDemotions == 0 {
+		t.Fatal("open breaker never demoted the node in candidate ordering")
+	}
+	if stats.FetchFailovers == 0 {
+		t.Fatal("expected failovers while the breaker was still closed")
+	}
+}
+
+// TestOverloadPropagatesThroughFailover is the controller half of the
+// ErrOverloaded-propagation coverage: an overloaded node is failed over
+// (the read succeeds), and when every source is overloaded the surfaced
+// error still classifies as overload for upstream planes.
+func TestOverloadPropagatesThroughFailover(t *testing.T) {
+	ctrl, store := buildController(t, 4, 0, 0.05)
+	defer ctrl.Close()
+	if _, err := ctrl.PlanTimeBin(ctrlLambdas(ctrl)); err != nil {
+		t.Fatal(err)
+	}
+	overload := fmt.Errorf("transport: server overloaded: %w", resilience.ErrOverload)
+
+	// One overloaded node: reads fail over and succeed.
+	fetcher := failingNodeFetcher(store, 1, overload)
+	for fileID := 0; fileID < 4; fileID++ {
+		if _, err := ctrl.Read(context.Background(), fileID, fetcher); err != nil {
+			t.Fatalf("file %d with one overloaded node: %v", fileID, err)
+		}
+	}
+
+	// Every node overloaded: the read must fail and the error must keep its
+	// overload classification across the failover wrapping.
+	allOverloaded := FetcherFunc(func(context.Context, int, int, int) ([]byte, error) {
+		return nil, overload
+	})
+	_, err := ctrl.Read(context.Background(), 0, allOverloaded)
+	if err == nil {
+		t.Fatal("read with every node overloaded should fail")
+	}
+	if !resilience.IsOverload(err) {
+		t.Fatalf("surfaced error %v lost its overload classification", err)
+	}
+}
+
+// saturate pushes the admission gate's p99 estimate far past the target so
+// subsequent reads observe the deepest brownout level.
+func saturate(t *testing.T, ctrl *Controller) {
+	t.Helper()
+	if ctrl.adm == nil {
+		t.Fatal("admission gate not configured")
+	}
+	for i := 0; i < 8; i++ {
+		ctrl.adm.observe(time.Second)
+	}
+	if lvl := ctrl.SaturationLevel(); lvl != 3 {
+		t.Fatalf("saturation level = %d, want 3", lvl)
+	}
+}
+
+// TestSaturationShedsLowValueReads plans a bin with skewed rates and forces
+// the gate to level 3: reads of the below-median file are shed with
+// ErrSaturated (which classifies as overload), reads of high-value files
+// still pass, and the shed/brownout counters account for both.
+func TestSaturationShedsLowValueReads(t *testing.T) {
+	ctrl, store := buildControllerWith(t, 3, 0, 0.05, ServeOptions{
+		Admission: &AdmissionConfig{LatencyTarget: time.Millisecond},
+	})
+	defer ctrl.Close()
+	// File 0 is strictly below the median rate — the shed target.
+	if _, err := ctrl.PlanTimeBin([]float64{0.01, 0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, ctrl)
+
+	_, err := ctrl.Read(context.Background(), 0, store)
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("low-value read = %v, want ErrSaturated", err)
+	}
+	if !resilience.IsOverload(err) {
+		t.Fatal("ErrSaturated must classify as overload")
+	}
+	if _, err := ctrl.Read(context.Background(), 1, store); err != nil {
+		t.Fatalf("high-value read under saturation: %v", err)
+	}
+	stats := ctrl.Stats()
+	if stats.ShedReads == 0 || stats.BrownoutReads == 0 {
+		t.Fatalf("stats = %+v, want shed and brownout reads counted", stats)
+	}
+	if ctrl.SaturationScore() < 1 {
+		t.Fatalf("saturation score = %v, want >= 1 under pressure", ctrl.SaturationScore())
+	}
+}
+
+// TestBrownoutSuppressesHedging pins level >= 1 behaviour: a saturated
+// controller with hedging configured must not arm the hedge timer, and must
+// count the withheld hedges.
+func TestBrownoutSuppressesHedging(t *testing.T) {
+	ctrl, store := buildControllerWith(t, 3, 0, 0.05, ServeOptions{
+		HedgeDelay: time.Nanosecond, // would fire instantly if armed
+		HedgeExtra: 1,
+		Admission:  &AdmissionConfig{LatencyTarget: time.Millisecond},
+	})
+	defer ctrl.Close()
+	if _, err := ctrl.PlanTimeBin(ctrlLambdas(ctrl)); err != nil {
+		t.Fatal(err)
+	}
+	saturate(t, ctrl)
+	for fileID := 0; fileID < 3; fileID++ {
+		if _, err := ctrl.Read(context.Background(), fileID, store); err != nil {
+			t.Fatalf("file %d: %v", fileID, err)
+		}
+	}
+	stats := ctrl.Stats()
+	if stats.HedgesSuppressed == 0 {
+		t.Fatalf("stats = %+v, want hedges suppressed under brownout", stats)
+	}
+	if stats.HedgesLaunched != 0 {
+		t.Fatalf("launched %d hedges while saturated", stats.HedgesLaunched)
+	}
+}
+
+// TestAdmissionGateLevels pins the gate arithmetic: the queue-depth signal
+// crosses the three brownout thresholds as in-flight reads rise, and the
+// latency signal takes over when it is the worse of the two.
+func TestAdmissionGateLevels(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxInFlight: 4, LatencyTarget: time.Second})
+	if lvl := g.level(); lvl != 0 {
+		t.Fatalf("idle level = %d, want 0", lvl)
+	}
+	for i := 0; i < 3; i++ {
+		g.enter()
+	}
+	if lvl := g.level(); lvl != 1 { // 3/4 = 0.75
+		t.Fatalf("level at 3/4 inflight = %d, want 1", lvl)
+	}
+	g.enter()
+	if lvl := g.level(); lvl != 2 { // 4/4 = 1.0
+		t.Fatalf("level at 4/4 inflight = %d, want 2", lvl)
+	}
+	g.enter()
+	if lvl := g.level(); lvl != 3 { // 5/4 = 1.25
+		t.Fatalf("level at 5/4 inflight = %d, want 3", lvl)
+	}
+	for i := 0; i < 5; i++ {
+		g.leave()
+	}
+	if lvl := g.level(); lvl != 0 {
+		t.Fatalf("level after drain = %d, want 0", lvl)
+	}
+	// Latency signal: pushing the p99 estimate past the target saturates the
+	// gate even with zero in-flight reads; fast reads pull it back down.
+	for i := 0; i < 8; i++ {
+		g.observe(10 * time.Second)
+	}
+	if lvl := g.level(); lvl != 3 {
+		t.Fatalf("level under slow p99 = %d, want 3", lvl)
+	}
+	for i := 0; i < 5000; i++ {
+		g.observe(time.Microsecond)
+	}
+	if lvl := g.level(); lvl != 0 {
+		t.Fatalf("level after recovery = %d, want 0 (score %v)", lvl, g.score())
+	}
+}
+
+// TestLowValueFiles pins the shed-priority rule: strictly below-median rates
+// are low-value, uniform rates mark nothing.
+func TestLowValueFiles(t *testing.T) {
+	low := lowValueFiles([]float64{0.01, 0.5, 0.2})
+	if !low[0] || low[1] || low[2] {
+		t.Fatalf("lowValueFiles = %v, want only the below-median file marked", low)
+	}
+	for i, v := range lowValueFiles([]float64{0.3, 0.3, 0.3}) {
+		if v {
+			t.Fatalf("uniform rates marked file %d low-value", i)
+		}
+	}
+	if lowValueFiles(nil) != nil {
+		t.Fatal("no rates should yield no marks")
+	}
+}
+
+// TestResilienceConcurrentReads hammers a controller that has breakers,
+// admission control, hedging, and a flaky node all enabled at once — the
+// race detector checks the new paths, and every failure must be a
+// saturation shed, never a correctness error.
+func TestResilienceConcurrentReads(t *testing.T) {
+	breakers := resilience.NewBreakerSet(resilience.BreakerConfig{ErrorThreshold: 3})
+	ctrl, store := buildControllerWith(t, 4, 0, 0.05, ServeOptions{
+		HedgeDelay: 100 * time.Microsecond,
+		HedgeExtra: 1,
+		Breakers:   breakers,
+		Admission:  &AdmissionConfig{MaxInFlight: 4, LatencyTarget: 50 * time.Millisecond},
+	})
+	defer ctrl.Close()
+	if _, err := ctrl.PlanTimeBin([]float64{0.01, 0.1, 0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	fetcher := failingNodeFetcher(store, 3, errors.New("injected: flaky"))
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8*50)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := ctrl.Read(context.Background(), (g+i)%4, fetcher); err != nil {
+					errCh <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if !errors.Is(err, ErrSaturated) {
+			t.Fatalf("concurrent read failed with non-shed error: %v", err)
+		}
+	}
+}

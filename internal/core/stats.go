@@ -35,6 +35,12 @@ type counters struct {
 	writeThroughChunks atomic.Int64
 	staleCacheReloads  atomic.Int64
 	readRetries        atomic.Int64
+
+	breakerDemotions atomic.Int64
+	brownoutReads    atomic.Int64
+	hedgesSuppressed atomic.Int64
+	fillsSuppressed  atomic.Int64
+	shedReads        atomic.Int64
 }
 
 // Stats exposes counters for observability and the evaluation harness.
@@ -92,6 +98,19 @@ type Stats struct {
 	// read attempts repeated after any stripe-consistency violation.
 	StaleCacheReloads int64
 	ReadRetries       int64
+
+	// BreakerDemotions counts fetch candidates pushed to the tail of the
+	// candidate order because their node's circuit breaker was open.
+	BreakerDemotions int64
+	// BrownoutReads counts reads admitted while the saturation gate was at
+	// any brownout level; HedgesSuppressed, FillsSuppressed, and ShedReads
+	// break down what each level gave up — withheld hedge timers (level 1),
+	// deferred background fills (level 2), and low-value reads rejected with
+	// ErrSaturated (level 3).
+	BrownoutReads    int64
+	HedgesSuppressed int64
+	FillsSuppressed  int64
+	ShedReads        int64
 }
 
 // Stats returns a snapshot of the controller counters.
@@ -123,6 +142,12 @@ func (c *Controller) Stats() Stats {
 		WriteThroughChunks: c.stats.writeThroughChunks.Load(),
 		StaleCacheReloads:  c.stats.staleCacheReloads.Load(),
 		ReadRetries:        c.stats.readRetries.Load(),
+
+		BreakerDemotions: c.stats.breakerDemotions.Load(),
+		BrownoutReads:    c.stats.brownoutReads.Load(),
+		HedgesSuppressed: c.stats.hedgesSuppressed.Load(),
+		FillsSuppressed:  c.stats.fillsSuppressed.Load(),
+		ShedReads:        c.stats.shedReads.Load(),
 	}
 }
 

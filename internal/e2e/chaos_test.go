@@ -1,0 +1,294 @@
+package e2e
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sprout/internal/core"
+	"sprout/internal/resilience"
+	"sprout/internal/transport"
+)
+
+// All chaos scenarios run under `go test -run TestChaos ./internal/e2e`
+// (the CI chaos job). They wire the full stack with the transport chaos
+// harness attached and assert — loosely, with generous slack, because they
+// share CI machines — the resilience-plane acceptance behaviour: bounded
+// tail latency next to a slow node, zero read errors next to a flaky node,
+// availability across an asymmetric partition during repair, and graceful
+// shed-and-recover under overload.
+
+// quantileDur returns the q-quantile of the samples (q in [0,1]).
+func quantileDur(samples []time.Duration, q float64) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// readRounds reads every file `rounds` times through the controller,
+// returning per-read latencies; any read error fails the test.
+func readRounds(t *testing.T, h *harness, rounds int) []time.Duration {
+	t.Helper()
+	ctx := context.Background()
+	durs := make([]time.Duration, 0, rounds*e2eObjects)
+	for r := 0; r < rounds; r++ {
+		for fileID := 0; fileID < e2eObjects; fileID++ {
+			start := time.Now()
+			if err := h.readAndCheck(ctx, fileID, h.payload(fileID)); err != nil {
+				t.Fatalf("round %d: %v", r, err)
+			}
+			durs = append(durs, time.Since(start))
+		}
+	}
+	return durs
+}
+
+// TestChaosSlowNode injects 10×-baseline latency into one OSD. With
+// latency-aware breakers and hedging on, the read plane must learn to avoid
+// it: after the breaker opens, read p99 stays within 2× the healthy
+// baseline (plus scheduling slack) and no read errors occur.
+func TestChaosSlowNode(t *testing.T) {
+	chaos := transport.NewChaos(7)
+	// HedgeDelay must exceed LatencyThreshold: a fetch through the slow node
+	// loses to the hedge and is cancelled at roughly the hedge delay, and
+	// only an already-overdue cancel registers as a slow observation.
+	breakers := resilience.NewBreakerSet(resilience.BreakerConfig{
+		ErrorThreshold: 3,
+		// Wide enough that benign scheduling noise (race detector, shared CI
+		// cores) cannot trip healthy nodes, while the 30ms fault still does.
+		LatencyThreshold: 10 * time.Millisecond,
+		OpenFor:          time.Minute, // no half-open probes during measurement
+	})
+	h, _ := newHarnessWith(t,
+		core.ServeOptions{HedgeDelay: 12 * time.Millisecond, HedgeExtra: 2, Breakers: breakers},
+		transport.ServerConfig{StagedPutTTL: time.Minute, Chaos: chaos},
+		transport.ClientConfig{Conns: 3})
+
+	// The plan concentrates fetches on a fixed subset of OSDs (cache serves
+	// the rest), so slowing an arbitrary OSD may perturb nothing. Probe with
+	// a harmless 1µs rule to find an OSD that actually takes fetch traffic.
+	slow := -1
+	for osd := 0; osd < e2eOSDs; osd++ {
+		before := chaos.Stats().DelaysInjected
+		chaos.SetRule(osd, transport.ChaosRule{Latency: time.Microsecond})
+		readRounds(t, h, 1)
+		chaos.ClearRule(osd)
+		if chaos.Stats().DelaysInjected > before {
+			slow = osd
+			break
+		}
+	}
+	if slow < 0 {
+		t.Fatal("no OSD receives fetch traffic — harness wiring broken")
+	}
+
+	healthy := quantileDur(readRounds(t, h, 8), 0.99)
+
+	delaysBefore := chaos.Stats().DelaysInjected
+	chaos.SetRule(slow, transport.ChaosRule{Latency: 30 * time.Millisecond})
+	// Warm up until the slow node's breaker opens: each read that touches it
+	// either absorbs the 30ms delay or loses to the hedge with an overdue
+	// cancel, and both register as slow observations.
+	deadline := time.Now().Add(15 * time.Second)
+	for breakers.State(slow) != resilience.BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Fatalf("slow OSD %d never tripped its breaker despite taking fetch traffic", slow)
+		}
+		readRounds(t, h, 1)
+	}
+
+	p99 := quantileDur(readRounds(t, h, 12), 0.99)
+	// Loose bound: 2× healthy p99 plus fixed slack, well below the 30ms
+	// injected latency a read would absorb if it still touched the slow node.
+	if limit := 2*healthy + 10*time.Millisecond; p99 > limit {
+		t.Fatalf("p99 with slow node = %v, want <= %v (healthy p99 %v)", p99, limit, healthy)
+	}
+	if h.ctrl.Stats().BreakerDemotions == 0 {
+		t.Fatal("open breaker never demoted the slow node")
+	}
+	if st := chaos.Stats(); st.DelaysInjected == delaysBefore {
+		t.Fatal("chaos harness injected no delays — scenario did not exercise the slow node")
+	}
+}
+
+// TestChaosFlakyNode makes one OSD fail every request. Reads must see zero
+// errors — failover and breaker demotion absorb the faults — and the flaky
+// node's breaker must open so later reads stop burning failovers on it.
+func TestChaosFlakyNode(t *testing.T) {
+	chaos := transport.NewChaos(3)
+	breakers := resilience.NewBreakerSet(resilience.BreakerConfig{
+		ErrorThreshold: 3,
+		OpenFor:        time.Minute,
+	})
+	h, _ := newHarnessWith(t,
+		core.ServeOptions{Breakers: breakers},
+		transport.ServerConfig{StagedPutTTL: time.Minute, Chaos: chaos},
+		transport.ClientConfig{Conns: 3})
+
+	const flaky = 3
+	chaos.SetRule(flaky, transport.ChaosRule{ErrorRate: 1})
+	deadline := time.Now().Add(15 * time.Second)
+	for breakers.State(flaky) != resilience.BreakerOpen {
+		if time.Now().After(deadline) {
+			t.Skipf("scheduler never routed enough reads through OSD %d to trip its breaker", flaky)
+		}
+		readRounds(t, h, 1) // fails the test on any read error
+	}
+	failoversAtOpen := h.ctrl.Stats().FetchFailovers
+	if failoversAtOpen == 0 {
+		t.Fatal("flaky node tripped its breaker without any failover being counted")
+	}
+
+	readRounds(t, h, 10)
+	stats := h.ctrl.Stats()
+	if stats.BreakerDemotions == 0 {
+		t.Fatal("open breaker never demoted the flaky node")
+	}
+	// Demotion keeps the flaky node out of the first-choice picks, so
+	// failovers should nearly stop once the breaker is open. Allow a little
+	// slack for reads already in flight at the transition.
+	if grown := stats.FetchFailovers - failoversAtOpen; grown > failoversAtOpen {
+		t.Fatalf("failovers kept growing after breaker opened: %d before, %d after", failoversAtOpen, grown)
+	}
+}
+
+// TestChaosPartitionDuringRepair loses one OSD (chunk loss, repair starts)
+// and asymmetrically partitions another — its requests vanish without a
+// response. Hedged reads must complete around the black hole, repair must
+// converge, and healing the partition restores a clean pool.
+func TestChaosPartitionDuringRepair(t *testing.T) {
+	chaos := transport.NewChaos(5)
+	h, _ := newHarnessWith(t,
+		core.ServeOptions{HedgeDelay: 3 * time.Millisecond, HedgeExtra: 2},
+		transport.ServerConfig{StagedPutTTL: time.Minute, Chaos: chaos},
+		transport.ClientConfig{Conns: 3})
+
+	h.fail(t, 2)
+	const partitioned = 6
+	chaos.SetRule(partitioned, transport.ChaosRule{DropRequests: true})
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				rctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := h.readAndCheck(rctx, (r+i)%e2eObjects, h.payload((r+i)%e2eObjects))
+				cancel()
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	waitCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := h.repair.WaitIdle(waitCtx); err != nil {
+		t.Fatalf("repair did not drain during the partition: %v", err)
+	}
+	if st := chaos.Stats(); st.RequestsDropped == 0 {
+		t.Fatal("partition dropped no requests — scenario did not exercise the black hole")
+	}
+
+	chaos.Reset()
+	h.recover(t, 2)
+	waitCtx2, cancel2 := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel2()
+	if err := h.repair.WaitIdle(waitCtx2); err != nil {
+		t.Fatalf("repair did not drain after healing: %v", err)
+	}
+	readRounds(t, h, 2)
+}
+
+// TestChaosOverloadRecovery drives a tiny server far past its capacity with
+// admission control and budgeted retries on: every failure must classify as
+// overload or a saturation shed (never a correctness error), the retry
+// budget must keep wire amplification under 1.2×, and once the surge stops
+// the gate must reopen — a full round of reads succeeds immediately.
+func TestChaosOverloadRecovery(t *testing.T) {
+	h, client := newHarnessWith(t,
+		core.ServeOptions{Admission: &core.AdmissionConfig{MaxInFlight: 8}},
+		transport.ServerConfig{StagedPutTTL: time.Minute, Workers: 2, MaxInFlight: 8},
+		transport.ClientConfig{
+			Conns:   2,
+			Retries: 8,
+			Backoff: resilience.Backoff{Base: 2 * time.Millisecond, Max: 50 * time.Millisecond},
+		})
+	// Skew the rates so the plan marks low-value files — the deepest
+	// brownout level needs something it is allowed to shed.
+	if _, err := h.ctrl.PlanTimeBin([]float64{0.5, 4, 4, 4, 4, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	const readers = 16
+	var wg sync.WaitGroup
+	var successes, overloads atomic.Int64
+	errCh := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 12; i++ {
+				err := h.readAndCheck(context.Background(), (r+i)%e2eObjects, h.payload((r+i)%e2eObjects))
+				switch {
+				case err == nil:
+					successes.Add(1)
+				case errors.Is(err, core.ErrSaturated) || resilience.IsOverload(err):
+					overloads.Add(1)
+				default:
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("non-overload error under 2x load: %v", err)
+	}
+	if successes.Load() == 0 {
+		t.Fatal("no reads succeeded under overload")
+	}
+	_ = overloads.Load() // sheds are legitimate; zero is also fine if capacity held
+	if h.ctrl.Stats().BrownoutReads == 0 {
+		t.Fatal("admission gate never engaged under 2x concurrency")
+	}
+
+	// Retry amplification: wire requests divided by first-attempt requests.
+	cs := client.Stats()
+	if cs.Requests > 0 {
+		amp := float64(cs.Requests) / float64(cs.Requests-cs.Retries)
+		if amp >= 1.2 {
+			t.Fatalf("retry amplification %.3f, want < 1.2 (requests %d, retries %d)", amp, cs.Requests, cs.Retries)
+		}
+	}
+
+	// Recovery: the surge is gone, the queue-depth signal drops instantly,
+	// and a full round of reads (including the low-value file) succeeds.
+	if lvl := h.ctrl.SaturationLevel(); lvl != 0 {
+		t.Fatalf("saturation level %d after the surge drained, want 0", lvl)
+	}
+	readRounds(t, h, 2)
+}

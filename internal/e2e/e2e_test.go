@@ -95,6 +95,16 @@ func (h *harness) recover(t *testing.T, ids ...int) {
 // TCP, controller planned + prefetched over the remote fetcher, repair
 // workers running.
 func newHarness(t *testing.T, serve core.ServeOptions) *harness {
+	h, _ := newHarnessWith(t, serve,
+		transport.ServerConfig{StagedPutTTL: time.Minute},
+		transport.ClientConfig{Conns: 3})
+	return h
+}
+
+// newHarnessWith boots the stack with explicit transport configs (chaos
+// harness, tiny worker pools, client retry policies) and also returns the
+// client so scenarios can inspect its transport stats.
+func newHarnessWith(t *testing.T, serve core.ServeOptions, scfg transport.ServerConfig, ccfg transport.ClientConfig) (*harness, *transport.Client) {
 	t.Helper()
 	ctx := context.Background()
 	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
@@ -110,13 +120,13 @@ func newHarness(t *testing.T, serve core.ServeOptions) *harness {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := transport.NewServerWithConfig(cluster, transport.ServerConfig{StagedPutTTL: time.Minute})
+	srv := transport.NewServerWithConfig(cluster, scfg)
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = srv.Close() })
-	client, err := transport.DialConfig(addr, transport.ClientConfig{Conns: 3})
+	client, err := transport.DialConfig(addr, ccfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +177,7 @@ func newHarness(t *testing.T, serve core.ServeOptions) *harness {
 	mgr.Start()
 	t.Cleanup(mgr.Close)
 	h.repair = mgr
-	return h
+	return h, client
 }
 
 // readAndCheck reads fileID through the controller and verifies the bytes

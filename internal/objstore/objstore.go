@@ -357,6 +357,21 @@ func (p *Pool) osdForChunk(pg int, object string, version uint64, chunk int) *OS
 	return p.pgOSDs[pg][chunk]
 }
 
+// ChunkOSD reports the ID of the OSD currently hosting one coded chunk of
+// the object's committed stripe — the same placement (repair and staging
+// overrides included) the read path uses. The transport's chaos harness
+// uses it to aim per-OSD faults at the requests that actually land there.
+func (p *Pool) ChunkOSD(object string, chunk int) (int, error) {
+	meta, ok := p.meta(object)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrObjectNotFound, object)
+	}
+	if chunk < 0 || chunk >= p.N {
+		return 0, fmt.Errorf("%w: %s chunk %d", ErrChunkMissing, object, chunk)
+	}
+	return p.osdForChunk(meta.pg, object, meta.version, chunk).ID, nil
+}
+
 // meta returns the committed metadata of an object.
 func (p *Pool) meta(object string) (objectMeta, bool) {
 	p.mu.RLock()

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"sprout/internal/resilience"
 )
 
 // DetectorConfig tunes the failure detector.
@@ -62,11 +64,17 @@ func NewDetector(cfg DetectorConfig) *Detector {
 // Observe records the outcome of one operation against a node: err != nil,
 // or a latency above the configured threshold, extends the node's failure
 // streak; anything else resets it. State transitions fire the OnDown/OnUp
-// callbacks. Context cancellation is ignored entirely — a caller
-// abandoning a fetch (hedging, fastest-k reads) says nothing about the
-// node's health.
+// callbacks. Two kinds of outcome are ignored entirely — they neither
+// extend nor reset a streak:
+//
+//   - Context cancellation: a caller abandoning a fetch (hedging,
+//     fastest-k reads) says nothing about the node's health.
+//   - Overload rejections (resilience.IsOverload): a node shedding load is
+//     alive and healthy — declaring it down would shift its traffic onto
+//     its neighbours and cascade the overload. Overload feeds circuit
+//     breakers ("avoid"), never the failure detector ("gone").
 func (d *Detector) Observe(nodeID int, err error, latency time.Duration) {
-	if errors.Is(err, context.Canceled) {
+	if errors.Is(err, context.Canceled) || resilience.IsOverload(err) {
 		return
 	}
 	failed := err != nil ||

@@ -3,12 +3,14 @@ package repair
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sprout/internal/erasure"
 	"sprout/internal/objstore"
+	"sprout/internal/resilience"
 )
 
 // Config tunes the repair manager.
@@ -18,9 +20,22 @@ type Config struct {
 	// ScanInterval is the period of the background degradation scan. Zero
 	// disables periodic scans; Kick and ScanOnce still work.
 	ScanInterval time.Duration
-	// MaxAttempts bounds per-chunk retries after transient repair errors
-	// before the chunk is left for the next scan. Default 3.
+	// MaxAttempts bounds per-chunk repair attempts. The count persists
+	// across scans: once a chunk has failed MaxAttempts times it is marked
+	// stalled and stops being retried until its survivor count changes or
+	// RetryStalled is called. Default 3.
 	MaxAttempts int
+	// RetryBackoff is the jittered exponential delay applied before a
+	// failed repair is re-enqueued, so a struggling pool is not hammered
+	// with immediate replays. The zero value uses the resilience defaults
+	// (2ms base, 250ms cap, doubling).
+	RetryBackoff resilience.Backoff
+	// Breakers, when set, are per-OSD circuit breakers consulted when
+	// picking survivors to read: OSDs whose breaker rejects traffic sit a
+	// repair read out while at least k healthier survivors remain. Every
+	// survivor fetch outcome is observed, so repair traffic keeps breaker
+	// state fresh.
+	Breakers *resilience.BreakerSet
 	// Logf, when set, receives repair-plane diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -55,6 +70,10 @@ type Stats struct {
 	Deferred int64
 	Failures int64
 	Retries  int64
+	// Stalled is the number of chunks currently out of attempt budget:
+	// they failed MaxAttempts times and wait for their survivor count to
+	// change or for RetryStalled.
+	Stalled int
 	// QueueDepth is the current length of the repair queue; InFlight counts
 	// queued plus running repairs.
 	QueueDepth int
@@ -70,6 +89,15 @@ type Manager struct {
 
 	queue *repairQueue
 	kick  chan struct{}
+
+	// attemptMu guards the persistent retry bookkeeping. attempts carries a
+	// chunk's failure count across scans; stalled maps a chunk that
+	// exhausted its budget to the survivor count it stalled at, so a scan
+	// that sees a different count (an OSD came back, or more loss) retries
+	// it from scratch.
+	attemptMu sync.Mutex
+	attempts  map[string]int
+	stalled   map[string]int
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -96,12 +124,14 @@ type Manager struct {
 func NewManager(pool *objstore.Pool, cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
-		pool:   pool,
-		cfg:    cfg.withDefaults(),
-		queue:  newRepairQueue(),
-		kick:   make(chan struct{}, 1),
-		ctx:    ctx,
-		cancel: cancel,
+		pool:     pool,
+		cfg:      cfg.withDefaults(),
+		queue:    newRepairQueue(),
+		kick:     make(chan struct{}, 1),
+		attempts: make(map[string]int),
+		stalled:  make(map[string]int),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 }
 
@@ -137,14 +167,29 @@ func (m *Manager) Kick() {
 }
 
 // ScanOnce scans the pool for degraded objects and enqueues their missing
-// chunks, most-exposed objects first. It returns the number of chunk
+// chunks, most-exposed objects first. Chunks that stalled (exhausted their
+// attempt budget) are skipped unless their survivor count has changed since
+// they stalled — different survivors mean the failing read set changed, so
+// the repair is worth trying from scratch. It returns the number of chunk
 // repairs newly enqueued.
 func (m *Manager) ScanOnce() int {
 	m.scans.Add(1)
 	added := 0
 	for _, deg := range m.pool.DegradedObjects() {
 		for _, chunk := range deg.Missing {
-			if m.enqueue(deg.Object, chunk, deg.Surviving, 0) {
+			key := chunkID(deg.Object, chunk)
+			m.attemptMu.Lock()
+			if at, isStalled := m.stalled[key]; isStalled {
+				if at == deg.Surviving {
+					m.attemptMu.Unlock()
+					continue
+				}
+				delete(m.stalled, key)
+				delete(m.attempts, key)
+			}
+			attempts := m.attempts[key]
+			m.attemptMu.Unlock()
+			if m.enqueue(deg.Object, chunk, deg.Surviving, attempts) {
 				added++
 			}
 		}
@@ -152,9 +197,31 @@ func (m *Manager) ScanOnce() int {
 	return added
 }
 
+// RetryStalled clears the attempt history of every stalled chunk and kicks
+// a scan, forcing chunks that exhausted their budget to be retried — the
+// operator hook for "the underlying fault is fixed, try again now". It
+// returns the number of chunks released.
+func (m *Manager) RetryStalled() int {
+	m.attemptMu.Lock()
+	n := len(m.stalled)
+	for key := range m.stalled {
+		delete(m.attempts, key)
+	}
+	m.stalled = make(map[string]int)
+	m.attemptMu.Unlock()
+	if n > 0 {
+		m.Kick()
+	}
+	return n
+}
+
 // Stats returns a snapshot of the repair counters.
 func (m *Manager) Stats() Stats {
+	m.attemptMu.Lock()
+	stalledCount := len(m.stalled)
+	m.attemptMu.Unlock()
 	return Stats{
+		Stalled:        stalledCount,
 		Scans:          m.scans.Load(),
 		Enqueued:       m.enqueued.Load(),
 		ChunksRepaired: m.chunksRepaired.Load(),
@@ -245,15 +312,47 @@ func (m *Manager) worker() {
 		if err != nil {
 			m.failures.Add(1)
 			m.logf("%v", err)
-			// Re-enqueue unless the attempt budget is exhausted (a later
-			// scan will pick the chunk up again) or we are shutting down.
-			if m.ctx.Err() == nil && it.attempts+1 < m.cfg.MaxAttempts {
-				m.retries.Add(1)
-				m.enqueue(it.object, it.chunk, it.surviving, it.attempts+1)
+			if m.ctx.Err() == nil {
+				m.scheduleRetry(it)
 			}
+		} else {
+			m.attemptMu.Lock()
+			delete(m.attempts, chunkID(it.object, it.chunk))
+			m.attemptMu.Unlock()
 		}
 		m.inFlight.Add(-1)
 	}
+}
+
+// scheduleRetry persists a failed chunk's attempt count and either
+// re-enqueues it after a jittered backoff delay or, once MaxAttempts is
+// reached, marks it stalled: no more retries until its survivor count
+// changes or RetryStalled releases it. The backoff sleep happens off the
+// worker and holds the in-flight count, so WaitIdle does not report idle
+// while a retry is pending.
+func (m *Manager) scheduleRetry(it *item) {
+	key := chunkID(it.object, it.chunk)
+	m.attemptMu.Lock()
+	m.attempts[key] = it.attempts + 1
+	if it.attempts+1 >= m.cfg.MaxAttempts {
+		m.stalled[key] = it.surviving
+		m.attemptMu.Unlock()
+		m.logf("repair: %s chunk %d stalled after %d attempts", it.object, it.chunk, it.attempts+1)
+		return
+	}
+	m.attemptMu.Unlock()
+	m.retries.Add(1)
+	delay := m.cfg.RetryBackoff.Delay(it.attempts, rand.Float64())
+	m.inFlight.Add(1)
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer m.inFlight.Add(-1)
+		if resilience.Sleep(m.ctx, delay) != nil {
+			return
+		}
+		m.enqueue(it.object, it.chunk, it.surviving, it.attempts+1)
+	}()
 }
 
 // repairOne reconstructs one missing chunk: read any k surviving chunks,
@@ -277,6 +376,25 @@ func (m *Manager) repairOne(it *item) error {
 		}
 	}
 	code := m.pool.Code()
+	// Circuit breakers shape the survivor picks: OSDs whose breaker rejects
+	// traffic sit the read out while enough healthier survivors remain, but
+	// are still used when they are the only path to k chunks.
+	if br := m.cfg.Breakers; br != nil && len(readable) > code.K() {
+		allowed := make([]objstore.ChunkLocation, 0, len(readable))
+		var tripped []objstore.ChunkLocation
+		for _, loc := range readable {
+			if br.Allow(loc.OSD.ID) {
+				allowed = append(allowed, loc)
+			} else {
+				tripped = append(tripped, loc)
+			}
+		}
+		if len(allowed) >= code.K() {
+			readable = allowed
+		} else {
+			readable = append(allowed, tripped...)
+		}
+	}
 	if len(readable) < code.K() {
 		// Not enough survivors to decode: leave the chunk for a later scan
 		// (an OSD recovering with its chunks intact can change this).
@@ -297,10 +415,12 @@ func (m *Manager) repairOne(it *item) error {
 	defer cancel()
 	results := make(chan fetchRes, len(readable))
 	for _, loc := range readable {
-		go func(chunk int) {
-			data, err := m.pool.GetChunk(rctx, it.object, chunk)
-			results <- fetchRes{chunk: chunk, data: data, err: err}
-		}(loc.Chunk)
+		go func(loc objstore.ChunkLocation) {
+			t0 := time.Now()
+			data, err := m.pool.GetChunk(rctx, it.object, loc.Chunk)
+			m.cfg.Breakers.Observe(loc.OSD.ID, err, time.Since(t0))
+			results <- fetchRes{chunk: loc.Chunk, data: data, err: err}
+		}(loc)
 	}
 	chunks := make([]erasure.Chunk, 0, code.K())
 	for received := 0; received < len(readable) && len(chunks) < code.K(); received++ {

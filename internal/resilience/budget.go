@@ -1,0 +1,74 @@
+package resilience
+
+import "sync"
+
+// RetryBudget is a token bucket that bounds the fraction of traffic that
+// retries may add, in the style of gRPC and Finagle retry budgets. Every
+// successful first attempt deposits a fraction of a token; every retry
+// withdraws a whole token; withdrawals are refused once the bucket falls to
+// half its capacity. Under a healthy system the bucket stays full and every
+// retry is granted. Under overload, successes dry up, the bucket drains,
+// and retries are cut off — so the retry amplification factor converges to
+// 1 + ratio instead of multiplying the offered load.
+//
+// A nil *RetryBudget grants every withdrawal (unlimited retries).
+type RetryBudget struct {
+	mu        sync.Mutex
+	tokens    float64
+	max       float64
+	ratio     float64
+	exhausted int64
+}
+
+// NewRetryBudget builds a budget holding maxTokens tokens, replenished by
+// ratio tokens per success. Defaults: 10 tokens, 0.1 ratio (at most ~10%
+// extra load from retries in steady state).
+func NewRetryBudget(maxTokens, ratio float64) *RetryBudget {
+	if maxTokens <= 0 {
+		maxTokens = 10
+	}
+	if ratio <= 0 {
+		ratio = 0.1
+	}
+	return &RetryBudget{tokens: maxTokens, max: maxTokens, ratio: ratio}
+}
+
+// OnSuccess credits the budget for one successful attempt.
+func (b *RetryBudget) OnSuccess() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Withdraw asks permission for one retry. It returns false — and the caller
+// must give up with the original error — when the bucket has drained to
+// half capacity or below.
+func (b *RetryBudget) Withdraw() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens <= b.max/2 {
+		b.exhausted++
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Exhausted returns how many withdrawals have been refused.
+func (b *RetryBudget) Exhausted() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.exhausted
+}

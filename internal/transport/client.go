@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"sprout/internal/objstore"
+	"sprout/internal/resilience"
 )
 
 // ClientConfig tunes the client's connection pool and retry behaviour.
@@ -26,14 +28,27 @@ type ClientConfig struct {
 	// RequestTimeout applies to round trips whose context carries no
 	// deadline of its own. Default: 30s. Set negative to disable.
 	RequestTimeout time.Duration
-	// Retries is the number of times a round trip is replayed on a fresh
-	// connection after the previous one broke before delivering a response.
-	// All protocol operations are idempotent, so replay is safe. Overload
-	// responses are never retried. Default: 2.
+	// Retries is the number of times a round trip is replayed after a
+	// retryable failure — a broken connection or an overload rejection.
+	// All protocol operations are idempotent, so replay is safe. Each
+	// retry waits a jittered exponential backoff and must be granted by the
+	// retry budget, so retries cannot amplify load into a struggling
+	// server. Default: 2. Set to -1 to disable retries entirely.
 	Retries int
 	// MaxFrameSize bounds accepted response frames. Default:
 	// DefaultMaxFrameSize.
 	MaxFrameSize int
+	// Backoff shapes the delay before each retry. The zero value uses the
+	// resilience defaults (2ms base, ×2 growth, 250ms cap, 50% jitter).
+	Backoff resilience.Backoff
+	// RetryBudget, when set, governs this client's retries; several clients
+	// may share one budget. When nil the client creates its own default
+	// budget (10 tokens, 0.1 replenish ratio — steady-state retry
+	// amplification ≤ 1.1×). Set NoRetryBudget to run without one.
+	RetryBudget *resilience.RetryBudget
+	// NoRetryBudget disables the retry budget (every retry is granted) —
+	// the "resilience off" arm of A/B experiments.
+	NoRetryBudget bool
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -61,8 +76,9 @@ func (c ClientConfig) withDefaults() ClientConfig {
 // is safe for concurrent use: requests pipeline over pooled connections and
 // responses are demultiplexed by request ID.
 type Client struct {
-	addr string
-	cfg  ClientConfig
+	addr   string
+	cfg    ClientConfig
+	budget *resilience.RetryBudget
 
 	counters transportCounters
 	nextID   atomic.Uint64
@@ -82,8 +98,16 @@ type connSlot struct {
 // NewClient creates a client for addr. Connections are dialed lazily.
 func NewClient(addr string, cfg ClientConfig) *Client {
 	cfg = cfg.withDefaults()
-	return &Client{addr: addr, cfg: cfg, slots: make([]connSlot, cfg.Conns)}
+	budget := cfg.RetryBudget
+	if budget == nil && !cfg.NoRetryBudget {
+		budget = resilience.NewRetryBudget(0, 0)
+	}
+	return &Client{addr: addr, cfg: cfg, budget: budget, slots: make([]connSlot, cfg.Conns)}
 }
+
+// RetryBudget exposes the client's retry budget (nil when disabled), so
+// callers can inspect exhaustion counts.
+func (c *Client) RetryBudget() *resilience.RetryBudget { return c.budget }
 
 // Dial creates a client with default configuration (dial timeout set to
 // timeout) and verifies the server is reachable by establishing the first
@@ -157,7 +181,11 @@ func (c *Client) conn(slot int) (*clientConn, error) {
 	return cc, nil
 }
 
-// call performs one round trip, retrying on broken connections.
+// call performs one round trip, retrying broken connections and overload
+// rejections with jittered exponential backoff, each retry granted by the
+// retry budget. The context deadline travels in the request so the server
+// can shed the work once it expires; deadline-exceeded responses are never
+// retried (the deadline will not come back).
 func (c *Client) call(ctx context.Context, req Request) (Response, error) {
 	if err := validateRequest(&req, c.cfg.MaxFrameSize); err != nil {
 		return Response{}, err
@@ -167,12 +195,22 @@ func (c *Client) call(ctx context.Context, req Request) (Response, error) {
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.RequestTimeout)
 		defer cancel()
 	}
+	if dl, ok := ctx.Deadline(); ok {
+		req.Deadline = uint64(dl.UnixNano())
+	}
 	c.counters.requests.Add(1)
 	slot := int(c.rr.Add(1)) % c.cfg.Conns
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			if !c.budget.Withdraw() {
+				c.counters.retriesDenied.Add(1)
+				break
+			}
 			c.counters.retries.Add(1)
+			if err := resilience.Sleep(ctx, c.cfg.Backoff.Delay(attempt-1, rand.Float64())); err != nil {
+				return Response{}, fmt.Errorf("transport: context done during retry backoff: %w", err)
+			}
 			slot = (slot + 1) % c.cfg.Conns
 		}
 		cc, err := c.conn(slot)
@@ -186,19 +224,31 @@ func (c *Client) call(ctx context.Context, req Request) (Response, error) {
 		resp, err := cc.roundTrip(ctx, req)
 		if err == nil {
 			if resp.OK() {
+				c.budget.OnSuccess()
 				return resp, nil
 			}
-			if resp.Code == codeOverloaded {
+			respErr := errorFromResponse(&resp)
+			switch resp.Code {
+			case codeOverloaded:
+				// Retryable under the budget: back off and replay.
 				c.counters.overloadRejections.Add(1)
+				lastErr = respErr
+				continue
+			case codeDeadlineExceeded:
+				c.counters.deadlineRejections.Add(1)
+				return resp, respErr
 			}
-			return resp, errorFromResponse(&resp)
+			// Typed application errors (not-found, chunk-missing, …) are
+			// successful round trips as far as the transport is concerned.
+			c.budget.OnSuccess()
+			return resp, respErr
 		}
 		if !errors.Is(err, errConnBroken) {
 			return Response{}, err
 		}
 		lastErr = err
 	}
-	return Response{}, fmt.Errorf("transport: request failed after %d attempts: %w", c.cfg.Retries+1, lastErr)
+	return Response{}, fmt.Errorf("transport: request failed after retries: %w", lastErr)
 }
 
 // Put writes an object into a pool and returns the server-side latency.

@@ -34,6 +34,9 @@ func FuzzDecodeFrame(f *testing.F) {
 		{ID: 14, Op: OpAbortPut, Pool: "ec", Object: "obj-1", Version: 7},
 		{ID: 15, Op: OpPoolInfo, Pool: "ec"},
 		{ID: 16, Op: OpPutChunk, Pool: "ec", Object: "obj-1", Version: ^uint64(0), Chunk: -1},
+		{ID: 17, Op: OpGetChunk, Pool: "ec", Object: "obj-1", Chunk: 2, Deadline: 1_700_000_000_000_000_000},
+		{ID: 18, Op: OpGet, Pool: "ec", Object: "obj-1", Deadline: ^uint64(0)},
+		{ID: 19, Op: OpPut, Pool: "ec", Object: "obj-1", Deadline: 1, Data: []byte("expired")},
 	} {
 		req := req
 		f.Add(body(appendRequest(nil, &req)))
@@ -51,6 +54,7 @@ func FuzzDecodeFrame(f *testing.F) {
 		{ID: 8, Code: codeOK, Version: 3},
 		{ID: 9, Code: codeNoStagedPut, Err: "objstore: no staged put for object version"},
 		{ID: 10, Code: codeOK, Version: ^uint64(0), Size: -1},
+		{ID: 11, Code: codeDeadlineExceeded, Err: "context deadline exceeded"},
 	} {
 		resp := resp
 		f.Add(body(appendResponse(nil, &resp)))

@@ -42,6 +42,11 @@ type ServerConfig struct {
 	// and CommitObject cannot leak staged chunks forever. Zero disables the
 	// janitor (default).
 	StagedPutTTL time.Duration
+	// Chaos, when set, injects per-OSD latency, errors, stalls, and
+	// partitions into chunk-addressed requests, and optionally hangs newly
+	// accepted connections — the fault-injection harness behind the chaos
+	// e2e scenarios and sproutbench -exp chaos. Nil disables injection.
+	Chaos *Chaos
 	// Logf, when set, receives connection-level protocol errors (malformed
 	// frames, unexpected disconnects) that would otherwise only show up in
 	// the DecodeErrors counter.
@@ -163,6 +168,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		if s.cfg.Chaos.hangConn() {
+			// Accept-then-hang: the connection stays open but is never
+			// serviced, so the peer's requests stall until its deadline.
+			s.connWG.Add(1)
+			go func() {
+				defer s.connWG.Done()
+				<-s.ctx.Done()
+				_ = conn.Close()
+			}()
+			continue
+		}
 		// The response queue gets a floor above MaxInFlight so small
 		// admission limits don't make transient full-queue blips look like
 		// stalled consumers.
@@ -195,6 +211,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.work {
+		// A request whose deadline expired while it sat in the queue is dead
+		// weight: nobody is waiting for the answer, so shed it before paying
+		// for the handler.
+		if t.req.Expired(time.Now()) {
+			s.counters.deadlineRejections.Add(1)
+			t.sc.send(&Response{ID: t.req.ID, Code: codeDeadlineExceeded, Err: context.DeadlineExceeded.Error()})
+			continue
+		}
+		if s.chaosIntercept(&t) {
+			continue
+		}
 		resp := s.handle(s.ctx, &t.req)
 		// Response payload bytes cross the emulated fabric back out.
 		s.nicWait(s.ctx, int64(len(resp.Data)))
@@ -210,6 +237,60 @@ func (s *Server) worker() {
 		}
 		t.sc.send(&resp)
 	}
+}
+
+// chaosIntercept applies the configured chaos rules to a dequeued request.
+// It reports true when the request was consumed by the harness — dropped,
+// stalled past usefulness, or answered with an injected fault — and the
+// worker should move on.
+func (s *Server) chaosIntercept(t *task) bool {
+	ch := s.cfg.Chaos
+	if ch == nil {
+		return false
+	}
+	osd, ok := s.chaosTarget(&t.req)
+	if !ok {
+		return false
+	}
+	delay, verdict := ch.decide(osd)
+	if delay > 0 {
+		_ = sleepCtxTransport(s.ctx, delay)
+	}
+	switch verdict {
+	case chaosInjectError:
+		t.sc.send(&Response{ID: t.req.ID, Code: codeError, Err: ErrInjected.Error()})
+		return true
+	case chaosDropRequest:
+		return true
+	case chaosDropReply:
+		// The request half arrived and executes — its side effects are real —
+		// but the reply never makes it back across the partition.
+		_ = s.handle(s.ctx, &t.req)
+		return true
+	default:
+		return false
+	}
+}
+
+// chaosTarget resolves which OSD a chunk-addressed request lands on, using
+// the same placement (overrides included) the handler will use. Requests
+// that are not chunk-addressed, or whose object is unknown, are not chaos
+// targets.
+func (s *Server) chaosTarget(req *Request) (int, bool) {
+	switch req.Op {
+	case OpGetChunk, OpDeleteChunk, OpPutChunk:
+	default:
+		return 0, false
+	}
+	pool, err := s.cluster.Pool(req.Pool)
+	if err != nil {
+		return 0, false
+	}
+	osd, err := pool.ChunkOSD(req.Object, req.Chunk)
+	if err != nil {
+		return 0, false
+	}
+	return osd, true
 }
 
 func (s *Server) handle(ctx context.Context, req *Request) Response {
@@ -463,6 +544,13 @@ func (sc *serverConn) readLoop() {
 			sc.srv.counters.decodeErrors.Add(1)
 			sc.srv.logf("transport: %s: malformed request: %v", sc.conn.RemoteAddr(), err)
 			return
+		}
+		if req.Expired(time.Now()) {
+			// The client's deadline already passed in flight; shed before
+			// queueing rather than spend queue space and a worker on it.
+			sc.srv.counters.deadlineRejections.Add(1)
+			sc.send(&Response{ID: req.ID, Code: codeDeadlineExceeded, Err: context.DeadlineExceeded.Error()})
+			continue
 		}
 		select {
 		case sc.srv.work <- task{sc: sc, req: req}:

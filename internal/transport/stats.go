@@ -22,6 +22,13 @@ type TransportStats struct {
 	// OverloadRejections counts requests shed by the server's max-in-flight
 	// limit (server) or overload responses observed (client).
 	OverloadRejections int64
+	// DeadlineRejections counts requests shed because their wire deadline
+	// had already passed at admission or dequeue (server), or such
+	// rejections observed in responses (client).
+	DeadlineRejections int64
+	// RetriesDenied counts retries the client wanted but the retry budget
+	// refused — the caller got the original error instead (client only).
+	RetriesDenied int64
 	// DecodeErrors counts malformed or truncated frames; on the server these
 	// are connection-level decode failures that end the session.
 	DecodeErrors int64
@@ -40,6 +47,8 @@ func (s TransportStats) Add(o TransportStats) TransportStats {
 		Requests:           s.Requests + o.Requests,
 		Retries:            s.Retries + o.Retries,
 		OverloadRejections: s.OverloadRejections + o.OverloadRejections,
+		DeadlineRejections: s.DeadlineRejections + o.DeadlineRejections,
+		RetriesDenied:      s.RetriesDenied + o.RetriesDenied,
 		DecodeErrors:       s.DecodeErrors + o.DecodeErrors,
 		ConnsOpened:        s.ConnsOpened + o.ConnsOpened,
 	}
@@ -54,6 +63,8 @@ type transportCounters struct {
 	requests           atomic.Int64
 	retries            atomic.Int64
 	overloadRejections atomic.Int64
+	deadlineRejections atomic.Int64
+	retriesDenied      atomic.Int64
 	decodeErrors       atomic.Int64
 	connsOpened        atomic.Int64
 }
@@ -67,6 +78,8 @@ func (c *transportCounters) snapshot() TransportStats {
 		Requests:           c.requests.Load(),
 		Retries:            c.retries.Load(),
 		OverloadRejections: c.overloadRejections.Load(),
+		DeadlineRejections: c.deadlineRejections.Load(),
+		RetriesDenied:      c.retriesDenied.Load(),
 		DecodeErrors:       c.decodeErrors.Load(),
 		ConnsOpened:        c.connsOpened.Load(),
 	}

@@ -254,8 +254,11 @@ func TestRequestTimeout(t *testing.T) {
 
 func TestOverloadRejection(t *testing.T) {
 	cluster := testClusterWithService(t, 0.05)
+	// Retries disabled so every overload rejection surfaces to the caller
+	// instead of being absorbed by the budgeted retry loop (covered by
+	// TestOverloadRetryUnderBudget).
 	srv, client := startServerWithConfig(t, cluster,
-		ServerConfig{Workers: 1, MaxInFlight: 1}, ClientConfig{Conns: 1})
+		ServerConfig{Workers: 1, MaxInFlight: 1}, ClientConfig{Conns: 1, Retries: -1})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if _, err := client.Put(ctx, "data", "hot", make([]byte, 3000)); err != nil {

@@ -14,6 +14,7 @@
 // Request payloads:
 //
 //	kind(1=request) | id uint64 | op byte | chunk uint32 | version uint64 |
+//	deadline uint64 (unix ns, 0 = none) |
 //	pool (uint16 len + bytes) | object (uint16 len + bytes) |
 //	data (uint32 len + bytes)
 //
@@ -31,12 +32,19 @@
 // calls can detect a concurrent overwrite instead of decoding a
 // mixed-version stripe.
 //
+// The deadline field carries the client's absolute deadline (unix
+// nanoseconds) so the server can shed already-expired work — at admission
+// and again at dequeue — instead of burning a worker on a response nobody
+// is waiting for.
+//
 // Code 0 means success; non-zero codes map back to typed errors on the
 // client (objstore.ErrObjectNotFound, objstore.ErrPoolNotFound,
-// objstore.ErrChunkMissing, ErrOverloaded) so callers can errors.Is them.
+// objstore.ErrChunkMissing, ErrOverloaded, context.DeadlineExceeded) so
+// callers can errors.Is them.
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -44,6 +52,7 @@ import (
 	"time"
 
 	"sprout/internal/objstore"
+	"sprout/internal/resilience"
 )
 
 // Op identifies a request type.
@@ -127,6 +136,9 @@ const (
 	codeOverloaded     byte = 6
 	codeOSDDown        byte = 7
 	codeNoStagedPut    byte = 8
+	// codeDeadlineExceeded marks a request the server shed because its wire
+	// deadline had already passed when it was admitted or dequeued.
+	codeDeadlineExceeded byte = 9
 )
 
 // DefaultMaxFrameSize bounds a frame payload unless overridden in the
@@ -137,9 +149,9 @@ const DefaultMaxFrameSize = 64 << 20
 const maxString16 = 1<<16 - 1
 
 // requestOverhead is the fixed encoding cost of a request frame beyond the
-// pool, object, and data bytes (kind, id, op, chunk, version, three length
-// fields).
-const requestOverhead = 1 + 8 + 1 + 4 + 8 + 2 + 2 + 4
+// pool, object, and data bytes (kind, id, op, chunk, version, deadline,
+// three length fields).
+const requestOverhead = 1 + 8 + 1 + 4 + 8 + 8 + 2 + 2 + 4
 
 // responseOverhead is the fixed encoding cost of a response frame beyond
 // the error message, names, and data bytes (kind, id, code, latency,
@@ -180,10 +192,22 @@ func responseFits(resp *Response, maxFrame int) bool {
 	return size <= maxFrame
 }
 
+// overloadError is ErrOverloaded's concrete type: it unwraps to
+// resilience.ErrOverload so the whole stack classifies server load
+// shedding as overload (retryable under the budget, counted by breakers,
+// ignored by failure detectors) without the transport's error string
+// changing.
+type overloadError struct{}
+
+func (overloadError) Error() string { return "transport: server overloaded" }
+func (overloadError) Unwrap() error { return resilience.ErrOverload }
+
 // ErrOverloaded is returned when the server sheds a request because its
-// max-in-flight limit is reached. Callers should back off; the client does
-// not retry these automatically.
-var ErrOverloaded = errors.New("transport: server overloaded")
+// max-in-flight limit is reached. The client retries these with jittered
+// exponential backoff while its retry budget lasts; it wraps
+// resilience.ErrOverload, so detectors know not to count it against node
+// health.
+var ErrOverloaded error = overloadError{}
 
 // errConnBroken marks a request that failed because the underlying
 // connection died before a response arrived; the client retries these.
@@ -192,14 +216,24 @@ var errConnBroken = errors.New("transport: connection broken")
 // Request is one client request. Version names the stripe version a staged
 // put operates on (BeginPut allocates it; PutChunk, CommitObject, and
 // AbortPut carry it back).
+// Deadline is the client's absolute deadline in unix nanoseconds (zero
+// means none); the server sheds the request with codeDeadlineExceeded if it
+// is already past when the request is admitted or dequeued.
 type Request struct {
-	ID      uint64
-	Op      Op
-	Chunk   int
-	Version uint64
-	Pool    string
-	Object  string
-	Data    []byte
+	ID       uint64
+	Op       Op
+	Chunk    int
+	Version  uint64
+	Deadline uint64
+	Pool     string
+	Object   string
+	Data     []byte
+}
+
+// Expired reports whether the request carries a wire deadline that has
+// already passed at the given time.
+func (r *Request) Expired(now time.Time) bool {
+	return r.Deadline != 0 && uint64(now.UnixNano()) >= r.Deadline
 }
 
 // Response is one server reply. Version and Size report the stripe version
@@ -266,6 +300,8 @@ func errorFromResponse(resp *Response) error {
 		return &wireError{msg: msg, sentinel: objstore.ErrNoStagedPut}
 	case codeOverloaded:
 		return &wireError{msg: msg, sentinel: ErrOverloaded}
+	case codeDeadlineExceeded:
+		return &wireError{msg: msg, sentinel: context.DeadlineExceeded}
 	default:
 		return errors.New(msg)
 	}
@@ -281,6 +317,7 @@ func appendRequest(buf []byte, req *Request) []byte {
 	buf = append(buf, byte(req.Op))
 	buf = binary.BigEndian.AppendUint32(buf, uint32(req.Chunk))
 	buf = binary.BigEndian.AppendUint64(buf, req.Version)
+	buf = binary.BigEndian.AppendUint64(buf, req.Deadline)
 	buf = appendString16(buf, req.Pool)
 	buf = appendString16(buf, req.Object)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Data)))
@@ -437,6 +474,9 @@ func decodeRequest(payload []byte) (Request, error) {
 	}
 	req.Chunk = int(int32(chunk))
 	if req.Version, err = r.u64(); err != nil {
+		return req, err
+	}
+	if req.Deadline, err = r.u64(); err != nil {
 		return req, err
 	}
 	if req.Pool, err = r.string16(); err != nil {

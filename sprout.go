@@ -25,6 +25,7 @@ import (
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/repair"
+	"sprout/internal/resilience"
 	"sprout/internal/transport"
 )
 
@@ -128,6 +129,34 @@ type (
 	// StripedWriter is the client-side ingest path: local SIMD encode,
 	// parallel staged chunk writes over pooled connections, two-phase commit.
 	StripedWriter = transport.StripedWriter
+
+	// BreakerSet holds one circuit breaker per storage target. Wire it into
+	// ServeOptions.Breakers and the read plane demotes tripped nodes out of
+	// fetch, hedge, and repair-survivor selection.
+	BreakerSet = resilience.BreakerSet
+	// BreakerConfig tunes the breakers' trip thresholds and re-open backoff.
+	BreakerConfig = resilience.BreakerConfig
+	// BreakerState is a breaker's position in the closed → open → half-open
+	// cycle.
+	BreakerState = resilience.BreakerState
+	// BreakerStats counts trips, closes, and rejected probes across a set.
+	BreakerStats = resilience.BreakerStats
+	// RetryBudget caps cluster-wide retry amplification: retries spend
+	// tokens that only successful first attempts replenish.
+	RetryBudget = resilience.RetryBudget
+	// Backoff is capped exponential backoff with full jitter.
+	Backoff = resilience.Backoff
+	// AdmissionConfig tunes the controller's saturation gate (queue depth +
+	// latency EWMA scoring into progressive brownout levels).
+	AdmissionConfig = core.AdmissionConfig
+
+	// Chaos injects per-OSD latency, errors, stalls, and partitions into a
+	// transport server, runtime-controllable via SetRule/ClearRule.
+	Chaos = transport.Chaos
+	// ChaosRule is one OSD's fault injection rule.
+	ChaosRule = transport.ChaosRule
+	// ChaosStats counts the faults a Chaos harness has injected.
+	ChaosStats = transport.ChaosStats
 )
 
 // OSD lifecycle states.
@@ -136,6 +165,43 @@ const (
 	OSDDown       = objstore.StateDown
 	OSDRecovering = objstore.StateRecovering
 )
+
+// Circuit-breaker states.
+const (
+	BreakerClosed   = resilience.BreakerClosed
+	BreakerOpen     = resilience.BreakerOpen
+	BreakerHalfOpen = resilience.BreakerHalfOpen
+)
+
+// Resilience sentinels.
+var (
+	// ErrSaturated is returned by Controller.Read when the admission gate
+	// sheds a low-value read under deep saturation. It unwraps to
+	// ErrOverload.
+	ErrSaturated = core.ErrSaturated
+	// ErrOverload classifies push-back (server overload responses, retry
+	// budget exhaustion, admission sheds) apart from real faults: overload
+	// must count against breakers and retry budgets, never against node
+	// health.
+	ErrOverload = resilience.ErrOverload
+)
+
+// IsOverload reports whether err is load push-back rather than a fault.
+func IsOverload(err error) bool { return resilience.IsOverload(err) }
+
+// NewBreakerSet builds a per-target circuit breaker set for
+// ServeOptions.Breakers or RepairConfig.Breakers.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet { return resilience.NewBreakerSet(cfg) }
+
+// NewRetryBudget builds a retry budget: up to maxTokens banked retries,
+// refilled at ratio tokens per successful first attempt.
+func NewRetryBudget(maxTokens, ratio float64) *RetryBudget {
+	return resilience.NewRetryBudget(maxTokens, ratio)
+}
+
+// NewChaos builds a fault-injection harness to hang off a transport
+// server's ServerConfig.Chaos.
+func NewChaos(seed int64) *Chaos { return transport.NewChaos(seed) }
 
 // NewController builds a Sprout controller for a cluster with a functional
 // cache of cacheCapacity chunks and default serving options (parallel chunk

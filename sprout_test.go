@@ -250,3 +250,50 @@ func TestSelfHealingFacade(t *testing.T) {
 		t.Fatal("TransportStats alias broken")
 	}
 }
+
+func TestResilienceFacade(t *testing.T) {
+	// Breaker lifecycle through the facade: trip on an error streak, reject
+	// while open, and surface the state constants.
+	br := sprout.NewBreakerSet(sprout.BreakerConfig{ErrorThreshold: 2, OpenFor: time.Minute})
+	if br.State(3) != sprout.BreakerClosed {
+		t.Fatalf("fresh breaker state = %v, want closed", br.State(3))
+	}
+	for i := 0; i < 2; i++ {
+		br.Observe(3, fmt.Errorf("boom"), time.Millisecond)
+	}
+	if br.State(3) != sprout.BreakerOpen {
+		t.Fatalf("breaker after error streak = %v, want open", br.State(3))
+	}
+	if br.Allow(3) {
+		t.Fatal("open breaker allowed a request")
+	}
+	if st := br.Stats(); st.Opens == 0 {
+		t.Fatal("breaker stats recorded no trips")
+	}
+
+	// Saturation sheds classify as overload, not as node faults.
+	if !sprout.IsOverload(sprout.ErrSaturated) {
+		t.Fatal("ErrSaturated must classify as overload")
+	}
+
+	// Retry budget: retries beyond the bank are denied until successes pay
+	// tokens back in.
+	rb := sprout.NewRetryBudget(1, 0.1)
+	if !rb.Withdraw() {
+		t.Fatal("first retry should fit the budget")
+	}
+	if rb.Withdraw() {
+		t.Fatal("empty budget granted a retry")
+	}
+
+	// Chaos harness is constructible and runtime-controllable standalone.
+	chaos := sprout.NewChaos(1)
+	chaos.SetRule(2, sprout.ChaosRule{Latency: time.Millisecond, ErrorRate: 0.5})
+	if r, ok := chaos.Rule(2); !ok || r.ErrorRate != 0.5 {
+		t.Fatalf("chaos rule round trip = %+v, %v", r, ok)
+	}
+	chaos.ClearRule(2)
+	if _, ok := chaos.Rule(2); ok {
+		t.Fatal("cleared chaos rule still present")
+	}
+}
