@@ -1,0 +1,53 @@
+// Command benchgate is the CI bench-regression gate: it compares a fresh
+// sproutbench -json result file against a checked-in baseline and exits
+// non-zero if any gated metric regressed beyond its tolerance.
+//
+// Usage:
+//
+//	sproutbench -exp autoscale -files 12 -json BENCH_autoscale.json
+//	benchgate -baseline bench/baselines/autoscale.json -current BENCH_autoscale.json
+//
+// Baselines are sproutbench -json output checked in under bench/baselines/;
+// each metric carries its own direction (higher_is_better) and tolerance, so
+// retuning the gate is a baseline edit. Metrics with tolerance < 0 are
+// informational; a tolerance of 0 uses -tolerance (default ±25%).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sprout/internal/bench"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "checked-in baseline JSON (sproutbench -json output)")
+		currentPath  = flag.String("current", "", "fresh results JSON to gate")
+		tolerance    = flag.Float64("tolerance", bench.DefaultTolerance, "default allowed relative regression for metrics without their own")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := bench.ReadRuns(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := bench.ReadRuns(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	results, pass := bench.Gate(baseline, current, *tolerance)
+	bench.WriteGateReport(os.Stdout, results)
+	if !pass {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL — one or more metrics regressed beyond tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: ok")
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -139,18 +140,26 @@ func experiments() []experiment {
 			}
 			return bench.ChaosTable(r), nil
 		}},
+		{"autoscale", "closed-loop capacity plane: diurnal+viral trace, EWMA replan only vs analyzer+autoscaler", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.AutoscaleClosedLoop(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.AutoscaleTable(r), nil
+		}},
 	}
 }
 
 func main() {
 	var (
-		expName = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
-		files   = flag.Int("files", 0, "number of files/objects (0 = quick default, 1000 = paper scale)")
-		iters   = flag.Int("iters", 0, "max outer iterations of the optimizer (0 = default)")
-		horizon = flag.Float64("horizon", 0, "simulation horizon in seconds (0 = default)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		paper   = flag.Bool("paper", false, "use full paper-scale defaults (slow)")
+		expName  = flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+		files    = flag.Int("files", 0, "number of files/objects (0 = quick default, 1000 = paper scale)")
+		iters    = flag.Int("iters", 0, "max outer iterations of the optimizer (0 = default)")
+		horizon  = flag.Float64("horizon", 0, "simulation horizon in seconds (0 = default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		paper    = flag.Bool("paper", false, "use full paper-scale defaults (slow)")
+		jsonPath = flag.String("json", "", "write machine-readable metrics of the selected experiments to this file ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -178,6 +187,7 @@ func main() {
 
 	selected := strings.ToLower(*expName)
 	ran := 0
+	var results []bench.Run
 	for _, e := range experiments() {
 		if selected != "all" && selected != e.name {
 			continue
@@ -190,10 +200,29 @@ func main() {
 		}
 		table.Write(os.Stdout)
 		fmt.Printf("  (%s completed in %v with %d files)\n\n", e.name, time.Since(start).Round(time.Millisecond), cfg.Files)
+		if len(table.Metrics) > 0 {
+			results = append(results, bench.Run{
+				Experiment: e.name, Files: cfg.Files, Seed: cfg.Seed, Metrics: table.Metrics,
+			})
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "sproutbench: unknown experiment %q (use -list)\n", *expName)
 		os.Exit(1)
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sproutbench: encode json: %v\n", err)
+			os.Exit(1)
+		}
+		buf = append(buf, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sproutbench: write %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -34,6 +35,7 @@ import (
 
 	"sprout/internal/core"
 	"sprout/internal/objstore"
+	"sprout/internal/obs"
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/repair"
@@ -75,6 +77,9 @@ func main() {
 		loseChunks    = flag.Bool("lose", true, "ctrl: failed OSDs lose their chunks (forces reconstruction)")
 		repairWorkers = flag.Int("repair-workers", 2, "ctrl: repair worker pool size")
 		repairScan    = flag.Duration("repair-scan", 100*time.Millisecond, "ctrl: repair degradation-scan interval")
+
+		// Observability.
+		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics at this address (e.g. :9090); empty disables")
 	)
 	flag.Parse()
 
@@ -129,6 +134,13 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		if *metricsAddr != "" {
+			src := obs.Sources{TransportServer: srv.Stats, OSDHealth: cluster.Health}
+			if chaos != nil {
+				src.Chaos = chaos.Stats
+			}
+			serveMetrics(*metricsAddr, src)
+		}
 		fmt.Printf("sproutstore: serving object store on %s (pools: ec-7-4, eq-0..eq-3)\n", bound)
 		if chaos != nil {
 			fmt.Printf("sproutstore: chaos rules active: %s\n", *chaosSpec)
@@ -164,6 +176,7 @@ func main() {
 			cacheChunks:   *cacheChunks,
 			clients:       *clients,
 			duration:      *duration,
+			metricsAddr:   *metricsAddr,
 			failures:      failEvents,
 			recoveries:    recoverEvents,
 			loseChunks:    *loseChunks,
@@ -193,6 +206,7 @@ type ctrlConfig struct {
 	cacheChunks int
 	clients     int
 	duration    time.Duration
+	metricsAddr string
 	serve       core.ServeOptions
 
 	failures      []osdEvent
@@ -355,6 +369,14 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 	})
 	mgr.Start()
 	defer mgr.Close()
+
+	if cfg.metricsAddr != "" {
+		serveMetrics(cfg.metricsAddr, obs.Sources{
+			Controller: ctrl,
+			Repair:     mgr.Stats,
+			OSDHealth:  oc.Health,
+		})
+	}
 
 	fmt.Printf("sproutstore: serving %d readers for %v (hedge %v +%d, replan every %v)\n",
 		cfg.clients, cfg.duration, cfg.serve.HedgeDelay, cfg.serve.HedgeExtra, cfg.serve.ReplanInterval)
@@ -602,6 +624,19 @@ func runDemo(cluster *objstore.Cluster, pools map[int]*objstore.Pool, objects, o
 	}
 	hits, misses, _ := cluster.CacheTier().Stats()
 	fmt.Printf("warm LRU tier reads:      mean %v (hits %d, misses %d)\n", lruTotal/time.Duration(objects), hits, misses)
+}
+
+// serveMetrics exposes the bridged metric registry at addr/metrics for the
+// life of the process.
+func serveMetrics(addr string, src obs.Sources) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.NewRegistry(src).Handler())
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "sproutstore: metrics server: %v\n", err)
+		}
+	}()
+	fmt.Printf("sproutstore: metrics at http://%s/metrics\n", addr)
 }
 
 func fail(err error) {

@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"sprout/internal/cluster"
+	"sprout/internal/core"
+	"sprout/internal/optimizer"
+	"sprout/internal/workload"
+)
+
+// AutoscalePhase measures one arm of the closed-loop capacity experiment
+// during one traffic phase.
+type AutoscalePhase struct {
+	Arm   string // "replan" (EWMA auto-replan only) or "closed" (analyzer + autoscaler)
+	Phase string // "day", "night", "viral"
+	Ops   int
+	// Errors counts failed reads (saturation sheds included).
+	Errors    int
+	OpsPerSec float64
+	P50ms     float64
+	P99ms     float64
+	// CacheChunks is the functional-cache occupancy at phase end; ZeroFiles
+	// counts files holding no cached chunks at phase end.
+	CacheChunks int
+	ZeroFiles   int
+	// ViralChunks is the cache occupancy of the viral-flip file at phase end.
+	ViralChunks int
+	// ShedReads and ToZero are the per-phase deltas of the controller's
+	// shed-read and autoscale-to-zero counters.
+	ShedReads int64
+	ToZero    int64
+}
+
+// AutoscaleClosedLoop runs the closed-loop capacity plane A/B: a diurnal
+// trace (day traffic over a Zipf catalogue, a near-idle night over two hot
+// files, then a viral flip onto the catalogue's coldest file) served by two
+// controllers — one with the EWMA auto-replanner only, one with the
+// saturation analyzer and cache autoscaler layered on top.
+//
+// The closed loop must (a) free at least half the cache during the night
+// phase, scaling at least one file to zero; (b) stay within 1.3x of the
+// replan-only arm's day-phase p99 (the control loop must not tax the happy
+// path); and (c) shed nothing while unloaded.
+func AutoscaleClosedLoop(cfg Config) ([]AutoscalePhase, error) {
+	cfg = cfg.withDefaults()
+	files := cfg.Files
+	if files > 24 {
+		files = 24 // replans run every 500ms; bound the per-replan optimizer cost
+	}
+	if files < 8 {
+		files = 8
+	}
+	clu, lambdas, err := readCluster(files, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := encodeReadCorpus(clu, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	capacity := 2 * files
+
+	var out []AutoscalePhase
+	for _, arm := range []struct {
+		name   string
+		closed bool
+	}{{"replan", false}, {"closed", true}} {
+		phases, err := runAutoscaleArm(clu, lambdas, chunks, cfg, capacity, arm.name, arm.closed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, phases...)
+	}
+	return out, nil
+}
+
+// autoscaleServeOptions builds one arm's controller options. Both arms
+// auto-replan at the same cadence; the closed arm adds the analyzer and the
+// autoscaler on top.
+func autoscaleServeOptions(closed bool) core.ServeOptions {
+	serve := core.ServeOptions{
+		ReplanInterval:  500 * time.Millisecond,
+		ReplanThreshold: 0.25,
+		ReplanAlpha:     0.4,
+	}
+	if closed {
+		serve.Autoscale = &core.AutoscaleConfig{
+			Interval:    60 * time.Millisecond,
+			ColdWindows: 3,
+			MinRate:     0.5,
+		}
+		serve.Analyzer = &core.AnalyzerConfig{
+			SampleInterval: 10 * time.Millisecond,
+			Window:         60 * time.Millisecond,
+			Dwell:          250 * time.Millisecond,
+		}
+	}
+	return serve
+}
+
+func runAutoscaleArm(clu *cluster.Cluster, lambdas []float64, chunks [][][]byte, cfg Config, capacity int, armName string, closed bool) ([]AutoscalePhase, error) {
+	ctrl, err := core.NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: cfg.MaxOuterIter},
+		autoscaleServeOptions(closed), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer ctrl.Close()
+	if _, err := ctrl.PlanTimeBin(lambdas); err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if err := ctrl.PrefetchCache(ctx, &instantStore{chunks: chunks}); err != nil {
+		return nil, err
+	}
+	store := NewLatencyStore(chunks, cfg.Seed+3, 300*time.Microsecond, 800*time.Microsecond, 0.02, 6)
+
+	files := len(lambdas)
+	viralFile := files - 1 // coldest file of the Zipf catalogue
+	dayPicker := workload.NewRatePicker(lambdas)
+	nightFiles := []int{0, 1} // the two hottest files
+	viralMix := func(r float64, rng *rand.Rand) int {
+		if r < 0.7 {
+			return viralFile
+		}
+		return nightFiles[rng.Intn(len(nightFiles))]
+	}
+
+	var phases []AutoscalePhase
+	var prev core.Stats
+	runPhase := func(phase string, d time.Duration, readers int, pace time.Duration, pick func(*rand.Rand) int) error {
+		res, err := autoscaleLoad(ctx, ctrl, store, cfg.Seed, d, readers, pace, pick)
+		if err != nil {
+			return err
+		}
+		res.Arm, res.Phase = armName, phase
+		st := ctrl.Stats()
+		res.ShedReads = st.ShedReads - prev.ShedReads
+		res.ToZero = st.AutoscaleToZero - prev.AutoscaleToZero
+		prev = st
+		res.CacheChunks = ctrl.Cache().Len()
+		res.ViralChunks = ctrl.Cache().ChunksForFile(viralFile)
+		for i := 0; i < files; i++ {
+			if ctrl.Cache().ChunksForFile(i) == 0 {
+				res.ZeroFiles++
+			}
+		}
+		phases = append(phases, res)
+		return nil
+	}
+
+	// Day: full Zipf traffic at high concurrency.
+	if err := runPhase("day", 1200*time.Millisecond, 8, 0, func(rng *rand.Rand) int {
+		return dayPicker.Pick(rng.Float64())
+	}); err != nil {
+		return nil, err
+	}
+	// Night: near-idle paced traffic over the two hottest files only.
+	if err := runPhase("night", 1200*time.Millisecond, 2, 2*time.Millisecond, func(rng *rand.Rand) int {
+		return nightFiles[rng.Intn(len(nightFiles))]
+	}); err != nil {
+		return nil, err
+	}
+	// Viral: the coldest file flips to 70% of a hot mix.
+	if err := runPhase("viral", 800*time.Millisecond, 8, 0, func(rng *rand.Rand) int {
+		return viralMix(rng.Float64(), rng)
+	}); err != nil {
+		return nil, err
+	}
+	return phases, nil
+}
+
+// autoscaleLoad drives paced readers against the controller for a wall-clock
+// duration and reports throughput and latency percentiles.
+func autoscaleLoad(ctx context.Context, ctrl *core.Controller, store *LatencyStore, seed int64, d time.Duration, readers int, pace time.Duration, pick func(*rand.Rand) int) (AutoscalePhase, error) {
+	latencies := make([][]time.Duration, readers)
+	errCounts := make([]int, readers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(d)
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + 100 + int64(w)))
+			var lats []time.Duration
+			for time.Now().Before(deadline) {
+				fileID := pick(rng)
+				opStart := time.Now()
+				if _, err := ctrl.Read(ctx, fileID, store); err != nil {
+					errCounts[w]++
+				} else {
+					lats = append(lats, time.Since(opStart))
+				}
+				if pace > 0 {
+					time.Sleep(pace)
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var merged []time.Duration
+	for _, l := range latencies {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	pct := func(p float64) float64 {
+		if len(merged) == 0 {
+			return 0
+		}
+		return float64(merged[int(p*float64(len(merged)-1))]) / float64(time.Millisecond)
+	}
+	errs := 0
+	for _, n := range errCounts {
+		errs += n
+	}
+	return AutoscalePhase{
+		Ops:       len(merged),
+		Errors:    errs,
+		OpsPerSec: float64(len(merged)) / elapsed.Seconds(),
+		P50ms:     pct(0.50),
+		P99ms:     pct(0.99),
+	}, nil
+}
+
+// findPhase locates one (arm, phase) cell.
+func findPhase(results []AutoscalePhase, arm, phase string) *AutoscalePhase {
+	for i := range results {
+		if results[i].Arm == arm && results[i].Phase == phase {
+			return &results[i]
+		}
+	}
+	return nil
+}
+
+// AutoscaleTable renders AutoscaleClosedLoop results and attaches the gated
+// acceptance metrics.
+func AutoscaleTable(results []AutoscalePhase) *Table {
+	t := &Table{
+		Title: "closed-loop capacity plane: EWMA replan only vs analyzer + cache autoscaler",
+		Headers: []string{"arm", "phase", "ops", "ops/s", "p50 ms", "p99 ms",
+			"cache chunks", "zero files", "viral chunks", "shed", "to-zero"},
+		Notes: []string{
+			"diurnal trace: Zipf day, near-idle 2-file night, then the coldest file goes viral (70% of traffic)",
+			"cache chunks / zero files / viral chunks are sampled at each phase end",
+			"closed arm: 60ms autoscale interval (3 cold windows to shrink), 60ms analyzer window with 250ms dwell",
+		},
+	}
+	for _, r := range results {
+		t.AddRow(
+			r.Arm, r.Phase, itoa(r.Ops),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.P50ms),
+			fmt.Sprintf("%.2f", r.P99ms),
+			itoa(r.CacheChunks), itoa(r.ZeroFiles), itoa(r.ViralChunks),
+			i64toa(r.ShedReads), i64toa(r.ToZero),
+		)
+	}
+
+	closedDay := findPhase(results, "closed", "day")
+	closedNight := findPhase(results, "closed", "night")
+	closedViral := findPhase(results, "closed", "viral")
+	replanDay := findPhase(results, "replan", "day")
+	if closedDay == nil || closedNight == nil || closedViral == nil || replanDay == nil {
+		return t
+	}
+
+	// Acceptance: the closed loop frees ≥50% of the day-phase cache at night.
+	freed := 0.0
+	if closedDay.CacheChunks > 0 {
+		freed = 1 - float64(closedNight.CacheChunks)/float64(closedDay.CacheChunks)
+	}
+	t.AddMetric("night_cache_freed_fraction", freed, "fraction", true, 0.3)
+	// Acceptance: at least one file is scaled all the way to zero.
+	t.AddMetric("night_scale_to_zero_files", float64(closedNight.ToZero), "files", true, 0.9)
+	// Acceptance: the control loop costs ≤1.3x the replan-only arm's day p99.
+	p99Ratio := 0.0
+	if replanDay.P99ms > 0 {
+		p99Ratio = closedDay.P99ms / replanDay.P99ms
+	}
+	t.AddMetric("day_p99_ratio_vs_replan", p99Ratio, "ratio", false, 0.3)
+	// Acceptance: analyzer-driven admission sheds nothing while unloaded.
+	t.AddMetric("night_shed_reads", float64(closedNight.ShedReads), "reads", false, 0)
+	// Informational: how fast the viral flip re-materialises.
+	t.AddMetric("viral_file_cached_chunks", float64(closedViral.ViralChunks), "chunks", true, -1)
+	t.AddMetric("closed_day_ops_per_sec", closedDay.OpsPerSec, "ops/s", true, -1)
+
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"closed loop freed %.0f%% of day cache at night; day p99 %.2fx replan-only; %d night sheds",
+		100*freed, p99Ratio, closedNight.ShedReads))
+	return t
+}

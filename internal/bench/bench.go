@@ -62,11 +62,41 @@ type Table struct {
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	// Metrics are the experiment's machine-readable scalars, emitted by
+	// sproutbench -json and compared against checked-in baselines by the CI
+	// bench-regression gate (cmd/benchgate).
+	Metrics []Metric
+}
+
+// Metric is one machine-readable scalar an experiment measured. The gate
+// fields travel with the value so the baseline file is self-describing:
+// HigherIsBetter orients the comparison, Tolerance is the allowed relative
+// regression before the gate fails (0 = use the gate's default).
+//
+// Prefer dimensionless ratios (speedups, shares, counts of violated
+// invariants) for gated metrics — they are stable across machines. Absolute
+// throughput and latency metrics should carry a generous Tolerance or be
+// left ungated (Tolerance < 0).
+type Metric struct {
+	Name           string  `json:"name"`
+	Value          float64 `json:"value"`
+	Unit           string  `json:"unit,omitempty"`
+	HigherIsBetter bool    `json:"higher_is_better"`
+	Tolerance      float64 `json:"tolerance,omitempty"`
 }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddMetric appends one machine-readable scalar. tolerance < 0 marks the
+// metric informational (never gated); 0 means the gate default.
+func (t *Table) AddMetric(name string, value float64, unit string, higherIsBetter bool, tolerance float64) {
+	t.Metrics = append(t.Metrics, Metric{
+		Name: name, Value: value, Unit: unit,
+		HigherIsBetter: higherIsBetter, Tolerance: tolerance,
+	})
 }
 
 // Write renders the table with aligned columns.

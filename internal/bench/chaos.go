@@ -378,5 +378,23 @@ func ChaosTable(results []ChaosResult) *Table {
 			i64toa(r.Overloads),
 		)
 	}
+	// Gate on the resilience-on arm: the p99 win over the off arm under
+	// slow+flaky chaos, bounded retry amplification and zero hard errors
+	// under overload.
+	cell := func(scenario, arm string) *ChaosResult {
+		for i := range results {
+			if results[i].Scenario == scenario && results[i].Resilience == arm {
+				return &results[i]
+			}
+		}
+		return nil
+	}
+	if off, on := cell("slow+flaky", "off"), cell("slow+flaky", "on"); off != nil && on != nil && on.P99ms > 0 {
+		t.AddMetric("slowflaky_p99_win_on_vs_off", off.P99ms/on.P99ms, "ratio", true, 0.5)
+	}
+	if on := cell("overload", "on"); on != nil {
+		t.AddMetric("overload_retry_amp_on", on.RetryAmp, "ratio", false, 0)
+		t.AddMetric("overload_hard_errors_on", float64(on.Errors), "errors", false, 0)
+	}
 	return t
 }

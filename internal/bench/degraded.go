@@ -304,5 +304,21 @@ func DegradedTable(results []DegradedResult) *Table {
 			fmt.Sprintf("%.1f", r.RepairMBps),
 		)
 	}
+	// Gate on the worst warm-cache failure point: p99 inflation over the
+	// healthy baseline stays bounded, and repair restores full redundancy.
+	worst := -1
+	for i, r := range results {
+		if r.Cache == "warm" && (worst < 0 || r.Failed > results[worst].Failed) {
+			worst = i
+		}
+	}
+	if worst >= 0 && results[worst].Failed > 0 {
+		r := results[worst]
+		if b := baseline["warm"]; b > 0 {
+			t.AddMetric("warm_degraded_p99_inflation", r.P99ms/b, "ratio", false, 0.5)
+		}
+		t.AddMetric("warm_repair_objects_left", float64(r.RemainingDegraded), "objects", false, 0)
+		t.AddMetric("warm_cache_rescue_reads", float64(r.CacheRescues), "reads", true, -1)
+	}
 	return t
 }

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Run is the machine-readable record sproutbench -json emits per experiment.
+// The same shape is checked in under bench/baselines/ and compared against
+// fresh results by the CI bench-regression gate (cmd/benchgate).
+type Run struct {
+	Experiment string   `json:"experiment"`
+	Files      int      `json:"files"`
+	Seed       int64    `json:"seed"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// ReadRuns loads a sproutbench -json result file.
+func ReadRuns(path string) ([]Run, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var runs []Run
+	if err := json.Unmarshal(buf, &runs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return runs, nil
+}
+
+// GateStatus classifies one metric comparison.
+type GateStatus string
+
+const (
+	GateOK      GateStatus = "ok"      // within tolerance
+	GateFail    GateStatus = "FAIL"    // regressed beyond tolerance
+	GateInfo    GateStatus = "info"    // informational metric (tolerance < 0), never gated
+	GateMissing GateStatus = "MISSING" // baseline metric absent from the current run
+	GateNew     GateStatus = "new"     // current metric with no baseline yet
+)
+
+// GateResult is one metric's verdict.
+type GateResult struct {
+	Experiment string
+	Metric     string
+	Base       float64
+	Current    float64
+	Tolerance  float64
+	Status     GateStatus
+	Detail     string
+}
+
+// DefaultTolerance is the allowed relative regression when a metric does not
+// carry its own: ±25% absorbs shared-runner noise while catching 2x cliffs.
+const DefaultTolerance = 0.25
+
+// Gate compares current results against the checked-in baseline. The
+// baseline's gate fields (HigherIsBetter, Tolerance) drive each comparison,
+// so retuning the gate is a baseline edit, not a code change. It returns the
+// per-metric verdicts and whether the gate passes overall.
+//
+// A baseline of exactly 0 for a lower-is-better metric means "this must stay
+// zero": any positive current value fails regardless of tolerance (relative
+// slack on zero is meaningless). Baseline metrics missing from the current
+// run fail; current metrics with no baseline are reported but pass, so adding
+// a metric does not require regenerating baselines in the same change.
+func Gate(baseline, current []Run, defaultTol float64) ([]GateResult, bool) {
+	if defaultTol <= 0 {
+		defaultTol = DefaultTolerance
+	}
+	currentByExp := make(map[string]map[string]Metric)
+	for _, run := range current {
+		m := make(map[string]Metric, len(run.Metrics))
+		for _, mt := range run.Metrics {
+			m[mt.Name] = mt
+		}
+		currentByExp[run.Experiment] = m
+	}
+
+	var out []GateResult
+	pass := true
+	fail := func(r GateResult) {
+		r.Status = GateFail
+		pass = false
+		out = append(out, r)
+	}
+	seen := make(map[string]map[string]bool)
+	for _, run := range baseline {
+		seen[run.Experiment] = make(map[string]bool)
+		cur := currentByExp[run.Experiment]
+		for _, base := range run.Metrics {
+			seen[run.Experiment][base.Name] = true
+			r := GateResult{Experiment: run.Experiment, Metric: base.Name, Base: base.Value}
+			if base.Tolerance < 0 {
+				if mt, ok := cur[base.Name]; ok {
+					r.Current = mt.Value
+				}
+				r.Status = GateInfo
+				r.Detail = "informational"
+				out = append(out, r)
+				continue
+			}
+			r.Tolerance = base.Tolerance
+			if r.Tolerance == 0 {
+				r.Tolerance = defaultTol
+			}
+			mt, ok := cur[base.Name]
+			if !ok {
+				r.Detail = "metric missing from current results"
+				r.Status = GateMissing
+				pass = false
+				out = append(out, r)
+				continue
+			}
+			r.Current = mt.Value
+			switch {
+			case base.Value == 0 && !base.HigherIsBetter:
+				if mt.Value > 0 {
+					r.Detail = "baseline is zero; any positive value is a regression"
+					fail(r)
+					continue
+				}
+			case base.Value == 0:
+				// Higher-is-better from zero: nothing to regress against.
+			case base.HigherIsBetter && mt.Value < base.Value*(1-r.Tolerance):
+				r.Detail = fmt.Sprintf("%.4g < %.4g - %.0f%%", mt.Value, base.Value, 100*r.Tolerance)
+				fail(r)
+				continue
+			case !base.HigherIsBetter && mt.Value > base.Value*(1+r.Tolerance):
+				r.Detail = fmt.Sprintf("%.4g > %.4g + %.0f%%", mt.Value, base.Value, 100*r.Tolerance)
+				fail(r)
+				continue
+			}
+			r.Status = GateOK
+			out = append(out, r)
+		}
+	}
+	// Surface current metrics that have no baseline yet (not a failure).
+	var exps []string
+	for exp := range currentByExp {
+		exps = append(exps, exp)
+	}
+	sort.Strings(exps)
+	for _, exp := range exps {
+		var names []string
+		for name := range currentByExp[exp] {
+			if !seen[exp][name] {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			out = append(out, GateResult{
+				Experiment: exp, Metric: name,
+				Current: currentByExp[exp][name].Value,
+				Status:  GateNew, Detail: "no baseline; add it to bench/baselines/",
+			})
+		}
+	}
+	return out, pass
+}
+
+// WriteGateReport renders gate verdicts as an aligned table.
+func WriteGateReport(w io.Writer, results []GateResult) {
+	t := &Table{
+		Title:   "bench-regression gate",
+		Headers: []string{"experiment", "metric", "baseline", "current", "tolerance", "status", "detail"},
+	}
+	for _, r := range results {
+		tol := "-"
+		if r.Status == GateOK || r.Status == GateFail || r.Status == GateMissing {
+			tol = fmt.Sprintf("±%.0f%%", 100*r.Tolerance)
+		}
+		t.AddRow(r.Experiment, r.Metric, f4(r.Base), f4(r.Current), tol, string(r.Status), r.Detail)
+	}
+	t.Write(w)
+}

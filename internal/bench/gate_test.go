@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateStatuses(results []GateResult) map[string]GateStatus {
+	out := make(map[string]GateStatus)
+	for _, r := range results {
+		out[r.Experiment+"/"+r.Metric] = r.Status
+	}
+	return out
+}
+
+func TestGateVerdicts(t *testing.T) {
+	baseline := []Run{{
+		Experiment: "exp",
+		Metrics: []Metric{
+			{Name: "speedup", Value: 2.0, HigherIsBetter: true},                      // default tolerance
+			{Name: "p99_ratio", Value: 1.0, HigherIsBetter: false, Tolerance: 0.3},   // own tolerance
+			{Name: "sheds", Value: 0, HigherIsBetter: false},                         // zero-stays-zero
+			{Name: "ops_per_sec", Value: 10000, HigherIsBetter: true, Tolerance: -1}, // informational
+			{Name: "gone", Value: 1, HigherIsBetter: true},                           // missing from current
+		},
+	}}
+
+	cases := []struct {
+		name     string
+		current  []Metric
+		wantPass bool
+		want     map[string]GateStatus
+	}{
+		{
+			name: "all within tolerance",
+			current: []Metric{
+				{Name: "speedup", Value: 1.6},    // 2.0 - 20% > 1.5 floor
+				{Name: "p99_ratio", Value: 1.29}, // within +30%
+				{Name: "sheds", Value: 0},
+				{Name: "ops_per_sec", Value: 1}, // informational: any value ok
+				{Name: "gone", Value: 1},
+				{Name: "brand_new", Value: 5}, // no baseline: reported, not gated
+			},
+			wantPass: true,
+			want: map[string]GateStatus{
+				"exp/speedup": GateOK, "exp/p99_ratio": GateOK, "exp/sheds": GateOK,
+				"exp/ops_per_sec": GateInfo, "exp/gone": GateOK, "exp/brand_new": GateNew,
+			},
+		},
+		{
+			name: "2x regression on higher-is-better fails",
+			current: []Metric{
+				{Name: "speedup", Value: 1.0}, // half the baseline
+				{Name: "p99_ratio", Value: 1.0}, {Name: "sheds", Value: 0}, {Name: "gone", Value: 1},
+			},
+			wantPass: false,
+			want:     map[string]GateStatus{"exp/speedup": GateFail},
+		},
+		{
+			name: "2x regression on lower-is-better fails",
+			current: []Metric{
+				{Name: "speedup", Value: 2.0},
+				{Name: "p99_ratio", Value: 2.0}, // double the baseline ratio
+				{Name: "sheds", Value: 0}, {Name: "gone", Value: 1},
+			},
+			wantPass: false,
+			want:     map[string]GateStatus{"exp/p99_ratio": GateFail},
+		},
+		{
+			name: "zero baseline rejects any positive value",
+			current: []Metric{
+				{Name: "speedup", Value: 2.0}, {Name: "p99_ratio", Value: 1.0},
+				{Name: "sheds", Value: 1}, // must stay zero
+				{Name: "gone", Value: 1},
+			},
+			wantPass: false,
+			want:     map[string]GateStatus{"exp/sheds": GateFail},
+		},
+		{
+			name: "baseline metric missing from current fails",
+			current: []Metric{
+				{Name: "speedup", Value: 2.0}, {Name: "p99_ratio", Value: 1.0}, {Name: "sheds", Value: 0},
+			},
+			wantPass: false,
+			want:     map[string]GateStatus{"exp/gone": GateMissing},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			current := []Run{{Experiment: "exp", Metrics: tc.current}}
+			results, pass := Gate(baseline, current, 0)
+			if pass != tc.wantPass {
+				t.Errorf("pass = %v, want %v (%+v)", pass, tc.wantPass, results)
+			}
+			got := gateStatuses(results)
+			for key, want := range tc.want {
+				if got[key] != want {
+					t.Errorf("%s: status = %q, want %q", key, got[key], want)
+				}
+			}
+		})
+	}
+}
+
+func TestGateReportRenders(t *testing.T) {
+	baseline := []Run{{Experiment: "exp", Metrics: []Metric{{Name: "speedup", Value: 2, HigherIsBetter: true}}}}
+	current := []Run{{Experiment: "exp", Metrics: []Metric{{Name: "speedup", Value: 0.5}}}}
+	results, pass := Gate(baseline, current, 0)
+	if pass {
+		t.Fatal("expected gate failure")
+	}
+	var sb strings.Builder
+	WriteGateReport(&sb, results)
+	if !strings.Contains(sb.String(), "FAIL") || !strings.Contains(sb.String(), "speedup") {
+		t.Fatalf("report missing verdict:\n%s", sb.String())
+	}
+}

@@ -371,5 +371,26 @@ func ReadTable(results []ReadResult) *Table {
 			i64toa(r.HedgeWins),
 		)
 	}
+	// Gate on the warm high-concurrency ratios: parallel fan-out must keep
+	// its speedup over the sequential loop, and hedging must not give it back.
+	maxReaders := 0
+	for _, r := range results {
+		if r.Cache == "warm" && r.Readers > maxReaders {
+			maxReaders = r.Readers
+		}
+	}
+	for _, r := range results {
+		if r.Cache != "warm" || r.Readers != maxReaders {
+			continue
+		}
+		if b := base[fmt.Sprintf("warm/%d", r.Readers)]; b > 0 {
+			switch r.Mode {
+			case "par":
+				t.AddMetric("warm_par_speedup_vs_seq", r.OpsPerSec/b, "ratio", true, 0)
+			case "hedge":
+				t.AddMetric("warm_hedge_speedup_vs_seq", r.OpsPerSec/b, "ratio", true, 0)
+			}
+		}
+	}
 	return t
 }

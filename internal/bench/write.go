@@ -224,5 +224,20 @@ func WriteTable(results []WriteResult) *Table {
 			i64toa(r.Retries),
 		)
 	}
+	// Gate on the striped-over-central speedup at the highest concurrency:
+	// the byte-volume advantage of client-side encoding must hold.
+	maxWriters := 0
+	for _, r := range results {
+		if r.Path == "striped" && r.Writers > maxWriters {
+			maxWriters = r.Writers
+		}
+	}
+	for _, r := range results {
+		if r.Path == "striped" && r.Writers == maxWriters {
+			if b := base[r.Writers]; b > 0 {
+				t.AddMetric("striped_speedup_vs_central", r.OpsPerSec/b, "ratio", true, 0)
+			}
+		}
+	}
 	return t
 }

@@ -76,10 +76,24 @@ type admissionGate struct {
 	cfg      AdmissionConfig
 	inflight atomic.Int64
 	p99bits  atomic.Uint64 // math.Float64bits of the p99 estimate in ns
+	// override, when ≥ 0, pins the brownout level: the saturation analyzer
+	// drives it from windowed measurements instead of the gate's built-in
+	// instantaneous score. -1 means the gate decides on its own.
+	override atomic.Int32
 }
 
 func newAdmissionGate(cfg AdmissionConfig) *admissionGate {
-	return &admissionGate{cfg: cfg.withDefaults()}
+	g := &admissionGate{cfg: cfg.withDefaults()}
+	g.override.Store(-1)
+	return g
+}
+
+// setOverride pins (level ≥ 0) or releases (level < 0) the brownout level.
+func (g *admissionGate) setOverride(level int) {
+	if level > 3 {
+		level = 3
+	}
+	g.override.Store(int32(level))
 }
 
 func (g *admissionGate) enter() { g.inflight.Add(1) }
@@ -121,8 +135,12 @@ func (g *admissionGate) score() float64 {
 	return s
 }
 
-// level maps the current score to a brownout level (0 = healthy).
+// level maps the current score to a brownout level (0 = healthy). When the
+// saturation analyzer has pinned a level, that wins.
 func (g *admissionGate) level() int {
+	if o := g.override.Load(); o >= 0 {
+		return int(o)
+	}
 	switch s := g.score(); {
 	case s >= g.cfg.ShedAt:
 		return 3

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"sprout/internal/optimizer"
+)
+
+func newTestAnalyzer(dwell time.Duration) (*analyzer, *admissionGate) {
+	gate := newAdmissionGate(AdmissionConfig{LatencyTarget: 100 * time.Millisecond})
+	a := newAnalyzer(AnalyzerConfig{Dwell: dwell}, gate)
+	return a, gate
+}
+
+func TestAnalyzerDesiredLevel(t *testing.T) {
+	a, _ := newTestAnalyzer(time.Second)
+	cases := []struct {
+		score float64
+		want  int
+	}{
+		{0, 0},
+		{0.5, 0},
+		{0.74, 0},
+		{0.75, 1},
+		{0.99, 1},
+		{1.0, 2},
+		{1.24, 2},
+		{1.25, 3},
+		{10, 3},
+	}
+	for _, tc := range cases {
+		if got := a.desiredLevel(tc.score); got != tc.want {
+			t.Errorf("desiredLevel(%v) = %d, want %d", tc.score, got, tc.want)
+		}
+	}
+}
+
+func TestAnalyzerPinsGateImmediately(t *testing.T) {
+	_, gate := newTestAnalyzer(time.Second)
+	// Push the gate's own score deep into shed territory: without the
+	// analyzer this would be level 3, but the analyzer pins level 0 until
+	// its first windowed measurement says otherwise.
+	gate.inflight.Add(int64(gate.cfg.MaxInFlight * 10))
+	if got := gate.level(); got != 0 {
+		t.Fatalf("gate level = %d before any analyzer window, want 0", got)
+	}
+}
+
+// TestAnalyzerDwellTransitions drives apply through a table of timed scores
+// and checks both the applied levels and that the gate tracks them.
+func TestAnalyzerDwellTransitions(t *testing.T) {
+	const dwell = time.Second
+	base := time.Unix(1000, 0)
+	steps := []struct {
+		at        time.Duration
+		score     float64
+		wantLevel int
+	}{
+		// First transition is immediate (nothing to dwell from).
+		{0, 2.0, 3},
+		// Recovery within the dwell is held.
+		{100 * time.Millisecond, 0, 3},
+		{900 * time.Millisecond, 0, 3},
+		// Past the dwell the recovery applies.
+		{1100 * time.Millisecond, 0, 0},
+		// A fresh spike within the new dwell is held too: dwell limits both
+		// directions, not just downshifts.
+		{1200 * time.Millisecond, 2.0, 0},
+		{2000 * time.Millisecond, 2.0, 0},
+		{2200 * time.Millisecond, 2.0, 3},
+		// Intermediate levels map too.
+		{3300 * time.Millisecond, 0.8, 1},
+		{4400 * time.Millisecond, 1.1, 2},
+	}
+	a, gate := newTestAnalyzer(dwell)
+	for i, st := range steps {
+		level, _ := a.apply(base.Add(st.at), st.score)
+		if level != st.wantLevel {
+			t.Fatalf("step %d (t=%v score=%v): level = %d, want %d", i, st.at, st.score, level, st.wantLevel)
+		}
+		if gate.level() != st.wantLevel {
+			t.Fatalf("step %d: gate level = %d, want %d", i, gate.level(), st.wantLevel)
+		}
+	}
+}
+
+// TestAnalyzerNeverOscillatesFasterThanDwell feeds a worst-case square wave
+// (alternating healthy/saturated every window) and asserts consecutive level
+// changes are never closer than the configured dwell.
+func TestAnalyzerNeverOscillatesFasterThanDwell(t *testing.T) {
+	const (
+		dwell  = 500 * time.Millisecond
+		window = 50 * time.Millisecond
+	)
+	a, _ := newTestAnalyzer(dwell)
+	base := time.Unix(2000, 0)
+	var shifts []time.Time
+	for i := 0; i < 200; i++ {
+		now := base.Add(time.Duration(i) * window)
+		score := 0.0
+		if i%2 == 0 {
+			score = 2.0
+		}
+		if _, changed := a.apply(now, score); changed {
+			shifts = append(shifts, now)
+		}
+	}
+	if len(shifts) < 2 {
+		t.Fatalf("square wave produced %d level changes, expected several", len(shifts))
+	}
+	for i := 1; i < len(shifts); i++ {
+		if gap := shifts[i].Sub(shifts[i-1]); gap < dwell {
+			t.Fatalf("level changes %v apart, dwell is %v", gap, dwell)
+		}
+	}
+}
+
+func TestAnalyzerScoreWorstSignalWins(t *testing.T) {
+	a, gate := newTestAnalyzer(time.Second)
+	// Queue signal: 128 in flight of 256 max = 0.5; latency signal:
+	// 150ms p99 of 100ms target = 1.5. The worse signal must win.
+	if got := a.score(float64(gate.cfg.MaxInFlight)/2, 150*time.Millisecond); got != 1.5 {
+		t.Fatalf("score = %v, want 1.5", got)
+	}
+	if got := a.score(float64(gate.cfg.MaxInFlight)/2, time.Millisecond); got != 0.5 {
+		t.Fatalf("score = %v, want 0.5", got)
+	}
+}
+
+// TestAnalyzerLoopEndToEnd runs the real collector goroutine against a live
+// controller and checks it reaches a decision (level pinned, score stored)
+// from measured data.
+func TestAnalyzerLoopEndToEnd(t *testing.T) {
+	clu := testCluster(3, 0.05)
+	ctrl, err := NewControllerWith(clu, 4, optimizer.Options{MaxOuterIter: 6}, ServeOptions{
+		Analyzer: &AnalyzerConfig{
+			SampleInterval: time.Millisecond,
+			Window:         5 * time.Millisecond,
+			Dwell:          10 * time.Millisecond,
+		},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	if ctrl.adm == nil {
+		t.Fatal("Analyzer option did not imply an admission gate")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := ctrl.AnalyzerScore(); s == s { // not NaN once a window folded
+			if ctrl.SaturationLevel() != 0 {
+				t.Fatalf("unloaded controller at level %d", ctrl.SaturationLevel())
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("analyzer never folded a window")
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"time"
+
+	"sprout/internal/optimizer"
+)
+
+// AutoscaleConfig tunes the cache autoscaler: a continuous actuator that
+// grows and shrinks each file's functional-cache allocation between replans,
+// driven by the same windowed EWMA rates that feed the auto-replanner. The
+// optimizer still decides the shape of the allocation once per bin; the
+// autoscaler corrects it at a much finer cadence:
+//
+//   - A file whose measured rate collapses (a cold flip) is scaled to zero
+//     after ColdWindows consecutive cold evaluations — its chunks are
+//     released instead of pinning cache for a bin's worth of dead traffic.
+//   - A file whose rate rebounds is regrown to its planned allocation on the
+//     next evaluation; the file's next read triggers the background fill, so
+//     a hot flip re-materialises within one window.
+//   - A file the plan gave nothing (the optimizer never saw its traffic)
+//     that turns hotter than anything in the plan — a viral flip — is
+//     granted the chunk budget freed by cold files, capped at its k.
+//
+// The cold/hot thresholds are deliberately separated (ColdRatio well below
+// HotRatio) and shrinks require ColdWindows consecutive cold evaluations, so
+// a file oscillating around one threshold never flaps: growing resets the
+// cold streak, and another shrink needs the full dwell again.
+type AutoscaleConfig struct {
+	// Interval is the evaluation cadence (and the EWMA fold cadence when the
+	// autoscaler owns the estimator). Default 200ms.
+	Interval time.Duration
+	// ColdRatio: a file is cold when its measured rate falls below
+	// ColdRatio × its planned rate. Default 0.1.
+	ColdRatio float64
+	// HotRatio: a file is hot (eligible to regrow) when its measured rate is
+	// at least HotRatio × its planned rate. Default 0.5.
+	HotRatio float64
+	// MinRate is the absolute rate floor (req/s): below it a file is cold
+	// regardless of plan, and no file is considered hot. Default 0.05.
+	MinRate float64
+	// ColdWindows is how many consecutive cold evaluations a file must
+	// accumulate before it is scaled to zero. Default 3.
+	ColdWindows int
+	// EWMAAlpha is the weight of the newest window in the rate estimate when
+	// the autoscaler owns the estimator. Default ServeOptions.ReplanAlpha.
+	EWMAAlpha float64
+}
+
+func (cfg AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.ColdRatio <= 0 {
+		cfg.ColdRatio = 0.1
+	}
+	if cfg.HotRatio <= 0 {
+		cfg.HotRatio = 0.5
+	}
+	if cfg.MinRate <= 0 {
+		cfg.MinRate = 0.05
+	}
+	if cfg.ColdWindows <= 0 {
+		cfg.ColdWindows = 3
+	}
+	return cfg
+}
+
+// autoscaler holds the per-file overlay the actuator maintains on top of
+// the optimizer's plan. step is only ever called from one goroutine (the
+// autoscale loop, or a test driving it directly), so the overlay needs no
+// lock; mutations of shared controller state go through c.mu.
+type autoscaler struct {
+	c   *Controller
+	cfg AutoscaleConfig
+
+	plan       *optimizer.Plan // plan the overlay was derived from
+	planned    []float64       // rates that plan was computed with
+	maxPlanned float64
+	target     []int // current per-file allocation targets
+	coldStreak []int
+}
+
+func newAutoscaler(c *Controller, cfg AutoscaleConfig) *autoscaler {
+	return &autoscaler{
+		c:          c,
+		cfg:        cfg.withDefaults(),
+		target:     make([]int, len(c.files)),
+		coldStreak: make([]int, len(c.files)),
+	}
+}
+
+// reset re-derives the overlay from a fresh plan: a replan is the
+// optimizer's word, and the autoscaler starts correcting it from scratch.
+func (a *autoscaler) reset(ep *epoch) {
+	a.plan = ep.plan
+	a.planned = ep.clu.Lambdas()
+	a.maxPlanned = 0
+	for _, l := range a.planned {
+		if l > a.maxPlanned {
+			a.maxPlanned = l
+		}
+	}
+	copy(a.target, ep.plan.D)
+	for i := range a.coldStreak {
+		a.coldStreak[i] = 0
+	}
+}
+
+// freeBudget is the chunk budget not claimed by any file's current target.
+func (a *autoscaler) freeBudget() int {
+	used := 0
+	for _, t := range a.target {
+		used += t
+	}
+	free := a.c.capacity - used
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// step runs one evaluation against the measured per-file rates.
+func (a *autoscaler) step(rates []float64) {
+	ep := a.c.epoch.Load()
+	if ep.plan == nil || len(rates) != len(a.target) {
+		return
+	}
+	if ep.plan != a.plan {
+		a.reset(ep)
+	}
+
+	// Shrink pass: track cold streaks and scale long-cold files to zero.
+	for i := range a.target {
+		cold := rates[i] < a.cfg.MinRate
+		if !cold && a.planned[i] > 0 && rates[i] < a.cfg.ColdRatio*a.planned[i] {
+			cold = true
+		}
+		if !cold {
+			a.coldStreak[i] = 0
+			continue
+		}
+		a.coldStreak[i]++
+		if a.target[i] > 0 && a.coldStreak[i] >= a.cfg.ColdWindows {
+			a.shrinkToZero(i)
+		}
+	}
+
+	// Grow pass: regrow hot files to their planned allocation, and grant
+	// freed budget to viral files the plan never accounted for.
+	for i := range a.target {
+		if a.coldStreak[i] > 0 || rates[i] < a.cfg.MinRate {
+			continue
+		}
+		want := a.plan.D[i]
+		if rates[i] < a.cfg.HotRatio*a.planned[i] {
+			// Lukewarm: below the hot threshold the overlay holds steady —
+			// the gap between ColdRatio and HotRatio is the hysteresis band.
+			continue
+		}
+		if want == 0 && rates[i] > a.maxPlanned {
+			// Viral flip: hotter than any rate the plan was computed with.
+			// Hand it the budget cold files freed, up to its k (a functional
+			// cache never needs more than k chunks of one file).
+			grant := a.freeBudget()
+			if k := a.c.files[i].K; grant > k {
+				grant = k
+			}
+			want = grant
+		}
+		if want > a.target[i] {
+			a.grow(i, want)
+		}
+	}
+}
+
+// shrinkToZero releases the file's entire allocation: cached chunks are
+// evicted and any pending fill is cancelled, so neither the cache nor the
+// background pool keeps working for a file nobody reads.
+func (a *autoscaler) shrinkToZero(fileID int) {
+	c := a.c
+	c.mu.Lock()
+	evicted := c.cache.TrimFile(fileID, 0)
+	c.swapEpochLocked(func(e *epoch) { delete(e.pending, fileID) })
+	c.mu.Unlock()
+	a.target[fileID] = 0
+	c.stats.autoscaleDowns.Add(1)
+	c.stats.autoscaleToZero.Add(1)
+	c.stats.autoscaleFreed.Add(int64(evicted))
+}
+
+// grow raises the file's target and registers it as pending, so the next
+// read materialises the chunks through the existing background-fill path.
+func (a *autoscaler) grow(fileID, want int) {
+	c := a.c
+	if k := c.files[fileID].K; want > k {
+		want = k
+	}
+	if want <= a.target[fileID] {
+		return
+	}
+	granted := want - a.target[fileID]
+	c.mu.Lock()
+	if c.cache.ChunksForFile(fileID) < want {
+		c.swapEpochLocked(func(e *epoch) { e.pending[fileID] = want })
+	}
+	c.mu.Unlock()
+	a.target[fileID] = want
+	a.coldStreak[fileID] = 0
+	c.stats.autoscaleUps.Add(1)
+	c.stats.autoscaleGranted.Add(int64(granted))
+}
+
+// autoscaleLoop folds the estimator at the autoscale cadence and runs one
+// overlay evaluation per tick.
+func (c *Controller) autoscaleLoop(a *autoscaler) {
+	defer c.bgWG.Done()
+	ticker := time.NewTicker(a.cfg.Interval)
+	defer ticker.Stop()
+	last := time.Now()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case now := <-ticker.C:
+			rates := c.est.Tick(now.Sub(last).Seconds())
+			last = now
+			a.step(rates)
+		}
+	}
+}
+
+// AutoscaleTargets returns the autoscaler's current per-file allocation
+// targets (nil when the autoscaler is off). For observability and tests.
+func (c *Controller) AutoscaleTargets() []int {
+	if c.asc == nil {
+		return nil
+	}
+	return append([]int(nil), c.asc.target...)
+}

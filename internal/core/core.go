@@ -163,6 +163,21 @@ type ServeOptions struct {
 	// need storage fetches (ErrSaturated).
 	Admission *AdmissionConfig
 
+	// Analyzer, when set, starts the saturation analyzer: a collector
+	// goroutine that samples queue depth and windowed latency histograms and
+	// drives the admission gate's brownout level from those measurements
+	// (with dwell hysteresis) instead of the gate's instantaneous score.
+	// Implies Admission (a default gate is created when Admission is nil).
+	Analyzer *AnalyzerConfig
+
+	// Autoscale, when set, starts the cache autoscaler: between replans it
+	// continuously shrinks long-cold files' cache allocation to zero and
+	// regrows (or virally grants) allocation to files whose measured rate
+	// justifies it. Requires no ReplanInterval, but composes with it: the
+	// autoscaler then owns the estimator fold and the replanner reads the
+	// shared estimate.
+	Autoscale *AutoscaleConfig
+
 	// Logf, when set, receives diagnostics from the background planes
 	// (auto-replan failures). Never called on the read path.
 	Logf func(format string, args ...any)
@@ -270,6 +285,11 @@ type Controller struct {
 
 	// adm is the saturation gate; nil when admission control is off.
 	adm *admissionGate
+	// analyzer drives adm's brownout level from windowed measurements; nil
+	// when the saturation analyzer is off.
+	analyzer *analyzer
+	// asc is the cache autoscaler; nil when autoscaling is off.
+	asc *autoscaler
 
 	stats     counters
 	hist      readHist
@@ -333,6 +353,9 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 	}
 	if serve.Admission != nil {
 		c.adm = newAdmissionGate(*serve.Admission)
+	} else if serve.Analyzer != nil {
+		// The analyzer needs a gate to actuate; give it one with defaults.
+		c.adm = newAdmissionGate(AdmissionConfig{})
 	}
 	c.rngPool.New = func() any {
 		return rand.New(rand.NewSource(seed + c.rngSeq.Add(1)))
@@ -342,10 +365,26 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 		c.fillWG.Add(1)
 		go c.fillWorker()
 	}
+	if serve.ReplanInterval > 0 || serve.Autoscale != nil {
+		alpha := serve.ReplanAlpha
+		if serve.Autoscale != nil && serve.Autoscale.EWMAAlpha > 0 {
+			alpha = serve.Autoscale.EWMAAlpha
+		}
+		c.est = workload.NewEWMAEstimator(len(files), alpha)
+	}
 	if serve.ReplanInterval > 0 {
-		c.est = workload.NewEWMAEstimator(len(files), serve.ReplanAlpha)
 		c.bgWG.Add(1)
 		go c.replanLoop(serve.ReplanInterval, serve.ReplanThreshold)
+	}
+	if serve.Autoscale != nil {
+		c.asc = newAutoscaler(c, *serve.Autoscale)
+		c.bgWG.Add(1)
+		go c.autoscaleLoop(c.asc)
+	}
+	if serve.Analyzer != nil {
+		c.analyzer = newAnalyzer(*serve.Analyzer, c.adm)
+		c.bgWG.Add(1)
+		go c.analyzerLoop(c.analyzer)
 	}
 	return c, nil
 }
@@ -563,7 +602,13 @@ func (c *Controller) replanLoop(interval time.Duration, threshold float64) {
 				last = now
 				continue
 			}
-			rates = c.est.Tick(now.Sub(last).Seconds())
+			if c.asc != nil {
+				// The autoscale loop owns the estimator fold at its finer
+				// cadence; the replanner reads the shared estimate.
+				rates = c.est.Rates()
+			} else {
+				rates = c.est.Tick(now.Sub(last).Seconds())
+			}
 			last = now
 			if !c.est.Deviates(threshold) {
 				continue

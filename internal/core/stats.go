@@ -41,6 +41,13 @@ type counters struct {
 	hedgesSuppressed atomic.Int64
 	fillsSuppressed  atomic.Int64
 	shedReads        atomic.Int64
+
+	autoscaleUps     atomic.Int64
+	autoscaleDowns   atomic.Int64
+	autoscaleToZero  atomic.Int64
+	autoscaleFreed   atomic.Int64
+	autoscaleGranted atomic.Int64
+	analyzerShifts   atomic.Int64
 }
 
 // Stats exposes counters for observability and the evaluation harness.
@@ -111,6 +118,20 @@ type Stats struct {
 	HedgesSuppressed int64
 	FillsSuppressed  int64
 	ShedReads        int64
+
+	// AutoscaleUps and AutoscaleDowns count per-file allocation changes made
+	// by the cache autoscaler between replans; AutoscaleToZero is the subset
+	// of downs that released a file's entire allocation. AutoscaleFreed and
+	// AutoscaleGranted count the cache chunks released by shrinks and the
+	// chunk budget handed out by grows.
+	AutoscaleUps     int64
+	AutoscaleDowns   int64
+	AutoscaleToZero  int64
+	AutoscaleFreed   int64
+	AutoscaleGranted int64
+	// AnalyzerShifts counts brownout-level transitions applied by the
+	// saturation analyzer.
+	AnalyzerShifts int64
 }
 
 // Stats returns a snapshot of the controller counters.
@@ -148,6 +169,13 @@ func (c *Controller) Stats() Stats {
 		HedgesSuppressed: c.stats.hedgesSuppressed.Load(),
 		FillsSuppressed:  c.stats.fillsSuppressed.Load(),
 		ShedReads:        c.stats.shedReads.Load(),
+
+		AutoscaleUps:     c.stats.autoscaleUps.Load(),
+		AutoscaleDowns:   c.stats.autoscaleDowns.Load(),
+		AutoscaleToZero:  c.stats.autoscaleToZero.Load(),
+		AutoscaleFreed:   c.stats.autoscaleFreed.Load(),
+		AutoscaleGranted: c.stats.autoscaleGranted.Load(),
+		AnalyzerShifts:   c.stats.analyzerShifts.Load(),
 	}
 }
 
@@ -298,4 +326,93 @@ func (c *Controller) ReadLatency() ReadLatencyStats {
 // write-through cache refresh.
 func (c *Controller) WriteLatency() LatencySnapshot {
 	return c.writeHist.snapshot()
+}
+
+// HistogramBuckets exposes the raw buckets behind one latency histogram for
+// the metrics exporter and the saturation analyzer: Counts[i] is the number
+// of observations in [2^(i-1), 2^i) microseconds (bucket 0 holds sub-µs
+// observations, the final bucket overflows). Counts are cumulative over the
+// controller's lifetime; windowed consumers diff successive snapshots.
+type HistogramBuckets struct {
+	Counts [histBuckets]int64
+	Count  int64
+	SumNS  int64
+}
+
+// Sub returns the bucket-wise difference s - prev, the delta of two
+// snapshots of the same histogram.
+func (s HistogramBuckets) Sub(prev HistogramBuckets) HistogramBuckets {
+	d := HistogramBuckets{Count: s.Count - prev.Count, SumNS: s.SumNS - prev.SumNS}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - prev.Counts[i]
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile of the (possibly windowed) distribution
+// by interpolating inside the bucket holding the rank.
+func (s HistogramBuckets) Quantile(q float64) time.Duration {
+	if s.Count <= 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for b := 0; b < histBuckets; b++ {
+		n := float64(s.Counts[b])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := bucketBounds(b)
+			frac := (rank - cum) / n
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	_, hi := bucketBounds(histBuckets - 1)
+	return hi
+}
+
+// Add returns the bucket-wise sum of two snapshots (for folding the
+// cache-hit/storage/degraded classes into one distribution).
+func (s HistogramBuckets) Add(o HistogramBuckets) HistogramBuckets {
+	t := HistogramBuckets{Count: s.Count + o.Count, SumNS: s.SumNS + o.SumNS}
+	for i := range s.Counts {
+		t.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return t
+}
+
+func (h *latencyHist) bucketsSnapshot() HistogramBuckets {
+	var s HistogramBuckets
+	for b := range s.Counts {
+		s.Counts[b] = h.buckets[b].Load()
+		s.Count += s.Counts[b]
+	}
+	s.SumNS = h.sumNS.Load()
+	return s
+}
+
+// ReadLatencyBuckets returns the raw read-latency buckets keyed by serving
+// class: "cache_hit", "storage", and "degraded".
+func (c *Controller) ReadLatencyBuckets() map[string]HistogramBuckets {
+	return map[string]HistogramBuckets{
+		"cache_hit": c.hist.cacheHit.bucketsSnapshot(),
+		"storage":   c.hist.storage.bucketsSnapshot(),
+		"degraded":  c.hist.degraded.bucketsSnapshot(),
+	}
+}
+
+// WriteLatencyBuckets returns the raw write-latency buckets.
+func (c *Controller) WriteLatencyBuckets() HistogramBuckets {
+	return c.writeHist.bucketsSnapshot()
+}
+
+// InFlightReads reports the number of reads currently inside the admission
+// gate (0 when admission control is off).
+func (c *Controller) InFlightReads() int64 {
+	if c.adm == nil {
+		return 0
+	}
+	return c.adm.inflight.Load()
 }

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE line per family,
+// then one line per sample; histograms expand into cumulative _bucket lines
+// plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if err := writeFamily(bw, fam); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeFamily(w *bufio.Writer, fam Family) error {
+	d := fam.Desc
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+		d.Name, escapeHelp(d.Help), d.Name, d.Kind); err != nil {
+		return err
+	}
+	for _, s := range fam.Samples {
+		if d.Kind == KindHistogram {
+			if err := writeHistogram(w, d, s); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			d.Name, labelString(d.Labels, s.LabelValues, "", ""), formatValue(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w *bufio.Writer, d Desc, s Sample) error {
+	h := s.Hist
+	var cum uint64
+	for i, ub := range h.UpperBounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		le := strconv.FormatFloat(ub, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			d.Name, labelString(d.Labels, s.LabelValues, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	// The +Inf bucket must equal the total count; sum any overflow buckets.
+	for i := len(h.UpperBounds); i < len(h.Counts); i++ {
+		cum += h.Counts[i]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		d.Name, labelString(d.Labels, s.LabelValues, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+		d.Name, labelString(d.Labels, s.LabelValues, "", ""), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n",
+		d.Name, labelString(d.Labels, s.LabelValues, "", ""), h.Count)
+	return err
+}
+
+// labelString renders {a="x",b="y"} with an optional extra label appended
+// (the histogram "le"); empty when there are no labels at all.
+func labelString(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(v))
+		sb.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(extraName)
+		sb.WriteString(`="`)
+		sb.WriteString(extraValue)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns an http.Handler serving the registry in the text
+// exposition format, suitable for mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WriteText(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// gaugeUnits are the unit suffixes a gauge (or non-counter) name may end
+// with. Counters must end in _total and histograms in _seconds; gauges name
+// the quantity they measure.
+var gaugeUnits = []string{
+	"bytes", "chunks", "seconds", "ratio", "level", "requests", "files",
+	"plans", "objects", "info",
+}
+
+// Lint applies promlint-style conformance rules to every registered family
+// and returns one message per violation. The rules, enforced by CI:
+//
+//   - names are snake_case with the sprout_ namespace prefix
+//   - help text is non-empty
+//   - counters end in _total, histograms in _seconds (base unit)
+//   - gauges end in a recognised unit suffix
+//   - label names are snake_case and never duplicated
+//   - every sample carries exactly the declared labels (stable label sets)
+func Lint(r *Registry) []string {
+	var issues []string
+	bad := func(format string, args ...any) {
+		issues = append(issues, fmt.Sprintf(format, args...))
+	}
+	for _, fam := range r.Gather() {
+		d := fam.Desc
+		if !nameRE.MatchString(d.Name) {
+			bad("%s: name is not snake_case", d.Name)
+		}
+		if !strings.HasPrefix(d.Name, "sprout_") {
+			bad("%s: missing sprout_ namespace prefix", d.Name)
+		}
+		if strings.TrimSpace(d.Help) == "" {
+			bad("%s: empty help text", d.Name)
+		}
+		switch d.Kind {
+		case KindCounter:
+			if !strings.HasSuffix(d.Name, "_total") {
+				bad("%s: counter name must end in _total", d.Name)
+			}
+		case KindHistogram:
+			if !strings.HasSuffix(d.Name, "_seconds") {
+				bad("%s: histogram name must end in _seconds", d.Name)
+			}
+		case KindGauge:
+			if !hasUnitSuffix(d.Name) {
+				bad("%s: gauge name must end in a unit suffix (%s)",
+					d.Name, strings.Join(gaugeUnits, ", "))
+			}
+		}
+		seenLabels := map[string]bool{}
+		for _, l := range d.Labels {
+			if !labelRE.MatchString(l) {
+				bad("%s: label %q is not snake_case", d.Name, l)
+			}
+			if l == "le" {
+				bad("%s: label le is reserved for histogram buckets", d.Name)
+			}
+			if seenLabels[l] {
+				bad("%s: duplicate label %q", d.Name, l)
+			}
+			seenLabels[l] = true
+		}
+		seenSeries := map[string]bool{}
+		for _, s := range fam.Samples {
+			if len(s.LabelValues) != len(d.Labels) {
+				bad("%s: sample with %d label values, declared %d",
+					d.Name, len(s.LabelValues), len(d.Labels))
+				continue
+			}
+			sig := strings.Join(s.LabelValues, "\x00")
+			if seenSeries[sig] {
+				bad("%s: duplicate series for labels %v", d.Name, s.LabelValues)
+			}
+			seenSeries[sig] = true
+		}
+	}
+	return issues
+}
+
+func hasUnitSuffix(name string) bool {
+	for _, u := range gaugeUnits {
+		if strings.HasSuffix(name, "_"+u) {
+			return true
+		}
+	}
+	return false
+}
+
+// DocMarkdown renders the registry's families as a markdown reference table
+// (name, type, labels, help) sorted by name. The docs/metrics.md file is
+// generated from this and a test diffs the two, so the documentation cannot
+// drift from the live registry.
+func DocMarkdown(r *Registry) string {
+	descs := r.Descs()
+	sort.Slice(descs, func(i, j int) bool { return descs[i].Name < descs[j].Name })
+	var sb strings.Builder
+	sb.WriteString("| Metric | Type | Labels | Help |\n")
+	sb.WriteString("|---|---|---|---|\n")
+	for _, d := range descs {
+		labels := strings.Join(d.Labels, ", ")
+		if labels == "" {
+			labels = "—"
+		}
+		fmt.Fprintf(&sb, "| `%s` | %s | %s | %s |\n", d.Name, d.Kind, labels, d.Help)
+	}
+	return sb.String()
+}

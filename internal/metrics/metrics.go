@@ -1,0 +1,327 @@
+// Package metrics is a small, dependency-free metrics layer: a registry of
+// named metric families (counters, gauges, histograms) rendered in the
+// Prometheus text exposition format. It exists so every plane's existing
+// stats structs — transport counters, controller read/write stats, repair
+// progress, OSD health, cache occupancy — can be bridged into one scrapeable
+// endpoint without adding a client-library dependency.
+//
+// Two styles of metric coexist:
+//
+//   - Live instruments (Counter, Gauge, Histogram) for code that wants to
+//     record directly. The histogram reuses the controller's lock-free log2
+//     bucket layout: bucket i counts observations in [2^(i-1), 2^i)
+//     microseconds.
+//   - Collectors (CollectorFunc) that pull values out of existing stats
+//     structs at scrape time, so the hot paths keep their current atomic
+//     counters and pay nothing for the exporter.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the metric family type.
+type Kind int
+
+// Metric family kinds, mirroring the Prometheus text-format TYPE values.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Desc describes one metric family: its name, help text, kind, and the
+// label names every sample must carry (in order).
+type Desc struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []string
+}
+
+// Sample is one exported value of a family. LabelValues pairs positionally
+// with Desc.Labels. Counters and gauges use Value; histograms use Hist.
+type Sample struct {
+	LabelValues []string
+	Value       float64
+	Hist        *HistValue
+}
+
+// HistValue is one histogram's bucketed distribution. Counts[i] is the
+// number of observations in bucket i (NOT cumulative); bucket i covers
+// (UpperBounds[i-1], UpperBounds[i]] and the final bucket, Counts[len(UpperBounds)],
+// is the +Inf overflow. Sum is in the same unit as the bounds (seconds for
+// latency histograms).
+type HistValue struct {
+	UpperBounds []float64
+	Counts      []uint64
+	Sum         float64
+	Count       uint64
+}
+
+// Collector produces the current samples of one family at scrape time.
+type Collector interface {
+	Collect() []Sample
+}
+
+// CollectorFunc adapts a closure to the Collector interface.
+type CollectorFunc func() []Sample
+
+// Collect implements Collector.
+func (f CollectorFunc) Collect() []Sample { return f() }
+
+// family pairs a registered Desc with its collector.
+type family struct {
+	desc Desc
+	col  Collector
+}
+
+// Family is one gathered metric family: its description and current samples.
+type Family struct {
+	Desc    Desc
+	Samples []Sample
+}
+
+// Registry holds registered metric families and renders them on demand.
+// Registration is typically done once at startup; Gather and WriteText are
+// safe for concurrent use with registration.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	names    map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// Register adds a family backed by the collector. It rejects duplicate or
+// malformed names and malformed label names: scrape-time failures are the
+// wrong place to find out a metric was misnamed.
+func (r *Registry) Register(d Desc, c Collector) error {
+	if !nameRE.MatchString(d.Name) {
+		return fmt.Errorf("metrics: invalid metric name %q", d.Name)
+	}
+	for _, l := range d.Labels {
+		if !labelRE.MatchString(l) {
+			return fmt.Errorf("metrics: metric %s: invalid label name %q", d.Name, l)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[d.Name] {
+		return fmt.Errorf("metrics: duplicate metric name %q", d.Name)
+	}
+	r.names[d.Name] = true
+	r.families = append(r.families, &family{desc: d, col: c})
+	return nil
+}
+
+// MustRegister is Register, panicking on error (registration happens at
+// startup where a bad name is a programming error).
+func (r *Registry) MustRegister(d Desc, c Collector) {
+	if err := r.Register(d, c); err != nil {
+		panic(err)
+	}
+}
+
+// Descs returns the registered family descriptions sorted by name.
+func (r *Registry) Descs() []Desc {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Desc, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.desc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Gather collects every family's current samples, sorted by family name.
+// A collector returning a sample with the wrong label-value count is
+// reported as a malformed family (its samples are dropped) rather than
+// producing a corrupt exposition.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].desc.Name < fams[j].desc.Name })
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		samples := f.col.Collect()
+		kept := samples[:0:0]
+		for _, s := range samples {
+			if len(s.LabelValues) != len(f.desc.Labels) {
+				continue
+			}
+			if f.desc.Kind == KindHistogram && s.Hist == nil {
+				continue
+			}
+			kept = append(kept, s)
+		}
+		out = append(out, Family{Desc: f.desc, Samples: kept})
+	}
+	return out
+}
+
+// ---- Live instruments ----
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments by n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Collect implements Collector.
+func (c *Counter) Collect() []Sample {
+	return []Sample{{Value: float64(c.v.Load())}}
+}
+
+// NewCounter registers and returns a label-less counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.MustRegister(Desc{Name: name, Help: help, Kind: KindCounter}, c)
+	return c
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Collect implements Collector.
+func (g *Gauge) Collect() []Sample {
+	return []Sample{{Value: g.Value()}}
+}
+
+// NewGauge registers and returns a label-less gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.MustRegister(Desc{Name: name, Help: help, Kind: KindGauge}, g)
+	return g
+}
+
+// histBuckets matches the controller's lock-free latency histogram: 28
+// power-of-two microsecond buckets spanning [1µs, ~134s].
+const histBuckets = 28
+
+// Histogram is a lock-free log2 latency histogram: bucket i counts
+// observations in [2^(i-1), 2^i) microseconds; the last bucket overflows.
+type Histogram struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sumNS   atomic.Int64
+}
+
+// ObserveSeconds records one observation given in seconds.
+func (h *Histogram) ObserveSeconds(sec float64) {
+	if sec < 0 {
+		sec = 0
+	}
+	us := uint64(sec * 1e6)
+	b := log2Bucket(us)
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(sec * 1e9))
+}
+
+func log2Bucket(us uint64) int {
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Log2UpperBounds returns the shared bucket upper bounds, in seconds, of the
+// log2 microsecond layout: 2^i µs for i in [0, histBuckets-1); the final
+// bucket is the +Inf overflow. Bridges exporting the controller's latency
+// histograms reuse these bounds so every histogram in the exposition has an
+// identical layout.
+func Log2UpperBounds() []float64 {
+	bounds := make([]float64, histBuckets-1)
+	for i := range bounds {
+		bounds[i] = float64(uint64(1)<<uint(i)) / 1e6
+	}
+	return bounds
+}
+
+// Value snapshots the histogram into a HistValue.
+func (h *Histogram) Value() *HistValue {
+	v := &HistValue{
+		UpperBounds: Log2UpperBounds(),
+		Counts:      make([]uint64, histBuckets),
+		Count:       h.count.Load(),
+		Sum:         float64(h.sumNS.Load()) / 1e9,
+	}
+	for i := range v.Counts {
+		v.Counts[i] = h.buckets[i].Load()
+	}
+	return v
+}
+
+// Collect implements Collector.
+func (h *Histogram) Collect() []Sample {
+	return []Sample{{Hist: h.Value()}}
+}
+
+// NewHistogram registers and returns a label-less log2 histogram.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	r.MustRegister(Desc{Name: name, Help: help, Kind: KindHistogram}, h)
+	return h
+}

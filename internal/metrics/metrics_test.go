@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.NewCounter("sprout_test_ops_total", "ops")
+	g := reg.NewGauge("sprout_test_depth_requests", "queue depth")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	g.Set(2.5)
+	g.Add(0.5)
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP sprout_test_ops_total ops",
+		"# TYPE sprout_test_ops_total counter",
+		"sprout_test_ops_total 5",
+		"# TYPE sprout_test_depth_requests gauge",
+		"sprout_test_depth_requests 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	fams, err := ParseText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("strict parse of own output: %v", err)
+	}
+	if got := fams["sprout_test_ops_total"].Samples[0].Value; got != 5 {
+		t.Errorf("parsed counter = %v, want 5", got)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.NewHistogram("sprout_test_latency_seconds", "latency")
+	for _, d := range []time.Duration{time.Microsecond, 3 * time.Microsecond, time.Millisecond, time.Second} {
+		h.ObserveSeconds(d.Seconds())
+	}
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("strict parse: %v", err)
+	}
+	fam := fams["sprout_test_latency_seconds"]
+	if fam == nil || fam.Type != "histogram" {
+		t.Fatalf("missing histogram family: %+v", fam)
+	}
+	var infCount, count float64
+	for _, s := range fam.Samples {
+		if s.Labels["le"] == "+Inf" {
+			infCount = s.Value
+		}
+		if strings.HasSuffix(s.Series, "_count") {
+			count = s.Value
+		}
+	}
+	if infCount != 4 || count != 4 {
+		t.Errorf("+Inf bucket %v / count %v, want 4 / 4", infCount, count)
+	}
+}
+
+func TestRegistryRejectsBadNames(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Desc{Name: "Bad-Name", Help: "x"}, CollectorFunc(func() []Sample { return nil })); err == nil {
+		t.Error("Register accepted a malformed name")
+	}
+	if err := reg.Register(Desc{Name: "sprout_ok_total", Help: "x"}, CollectorFunc(func() []Sample { return nil })); err != nil {
+		t.Errorf("Register rejected a valid name: %v", err)
+	}
+	if err := reg.Register(Desc{Name: "sprout_ok_total", Help: "x"}, CollectorFunc(func() []Sample { return nil })); err == nil {
+		t.Error("Register accepted a duplicate name")
+	}
+	if err := reg.Register(Desc{Name: "sprout_l_total", Labels: []string{"Bad Label"}, Help: "x"},
+		CollectorFunc(func() []Sample { return nil })); err == nil {
+		t.Error("Register accepted a malformed label")
+	}
+}
+
+func TestLintFlagsViolations(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(Desc{Name: "sprout_good_total", Help: "counts", Kind: KindCounter},
+		CollectorFunc(func() []Sample { return []Sample{{Value: 1}} }))
+	reg.MustRegister(Desc{Name: "bad_namespace_total", Help: "counts", Kind: KindCounter},
+		CollectorFunc(func() []Sample { return nil }))
+	reg.MustRegister(Desc{Name: "sprout_no_suffix", Help: "counts", Kind: KindCounter},
+		CollectorFunc(func() []Sample { return nil }))
+	reg.MustRegister(Desc{Name: "sprout_no_help_total", Help: "", Kind: KindCounter},
+		CollectorFunc(func() []Sample { return nil }))
+	reg.MustRegister(Desc{Name: "sprout_gauge_wat", Help: "x", Kind: KindGauge},
+		CollectorFunc(func() []Sample { return nil }))
+	reg.MustRegister(Desc{Name: "sprout_hist_ms", Help: "x", Kind: KindHistogram},
+		CollectorFunc(func() []Sample { return nil }))
+	issues := Lint(reg)
+	wantSubstrings := []string{
+		"bad_namespace_total: missing sprout_ namespace",
+		"sprout_no_suffix: counter name must end in _total",
+		"sprout_no_help_total: empty help",
+		"sprout_gauge_wat: gauge name must end in a unit suffix",
+		"sprout_hist_ms: histogram name must end in _seconds",
+	}
+	for _, want := range wantSubstrings {
+		found := false
+		for _, issue := range issues {
+			if strings.Contains(issue, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("lint issues missing %q; got %v", want, issues)
+		}
+	}
+	for _, issue := range issues {
+		if strings.HasPrefix(issue, "sprout_good_total:") {
+			t.Errorf("lint flagged the conforming metric: %s", issue)
+		}
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without type": "sprout_x_total 1\n",
+		"duplicate series": "# HELP sprout_x_total x\n# TYPE sprout_x_total counter\n" +
+			"sprout_x_total 1\nsprout_x_total 2\n",
+		"non-cumulative buckets": "# HELP sprout_h_seconds h\n# TYPE sprout_h_seconds histogram\n" +
+			"sprout_h_seconds_bucket{le=\"0.1\"} 5\nsprout_h_seconds_bucket{le=\"1\"} 3\n" +
+			"sprout_h_seconds_bucket{le=\"+Inf\"} 5\nsprout_h_seconds_sum 1\nsprout_h_seconds_count 5\n",
+		"missing inf bucket": "# HELP sprout_h_seconds h\n# TYPE sprout_h_seconds histogram\n" +
+			"sprout_h_seconds_bucket{le=\"0.1\"} 5\nsprout_h_seconds_sum 1\nsprout_h_seconds_count 5\n",
+		"inf bucket disagrees with count": "# HELP sprout_h_seconds h\n# TYPE sprout_h_seconds histogram\n" +
+			"sprout_h_seconds_bucket{le=\"+Inf\"} 4\nsprout_h_seconds_sum 1\nsprout_h_seconds_count 5\n",
+		"bad value": "# HELP sprout_x_total x\n# TYPE sprout_x_total counter\nsprout_x_total abc\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: strict parser accepted malformed exposition", name)
+		}
+	}
+}
+
+func TestHandlerServesTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("sprout_handler_ops_total", "ops").Add(7)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	fams, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parse served exposition: %v", err)
+	}
+	if fams["sprout_handler_ops_total"].Samples[0].Value != 7 {
+		t.Error("served counter value wrong")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveSeconds(float64(i) * 1e-6)
+			}
+		}()
+	}
+	wg.Wait()
+	v := h.Value()
+	if v.Count != 8000 {
+		t.Errorf("count = %d, want 8000", v.Count)
+	}
+	var sum uint64
+	for _, c := range v.Counts {
+		sum += c
+	}
+	if sum != 8000 {
+		t.Errorf("bucket sum = %d, want 8000", sum)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(Desc{Name: "sprout_esc_total", Help: "x", Kind: KindCounter, Labels: []string{"path"}},
+		CollectorFunc(func() []Sample {
+			return []Sample{{LabelValues: []string{`a"b\c`}, Value: 1}}
+		}))
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parse escaped labels: %v", err)
+	}
+	if got := fams["sprout_esc_total"].Samples[0].Labels["path"]; got != `a"b\c` {
+		t.Errorf("label round trip = %q", got)
+	}
+}
+
+func TestGaugeNaNAndInf(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.NewGauge("sprout_inf_ratio", "x")
+	g.Set(math.Inf(1))
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "sprout_inf_ratio +Inf") {
+		t.Errorf("exposition lacks +Inf rendering:\n%s", sb.String())
+	}
+}

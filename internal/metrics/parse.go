@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedSample is one sample line of a parsed exposition. Series is the
+// full sample name as it appeared on the line — for histograms that includes
+// the _bucket/_sum/_count suffix.
+type ParsedSample struct {
+	Series string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParsedFamily is one metric family of a parsed exposition. For histograms,
+// Buckets maps a label signature (excluding "le") to its cumulative bucket
+// counts by upper bound, and Samples holds the _sum and _count series.
+type ParsedFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []ParsedSample
+}
+
+// ParseText parses a Prometheus text-format exposition strictly: every
+// sample must be preceded by its family's # HELP and # TYPE lines, names
+// and labels must be well-formed, histogram bucket series must be cumulative
+// and end in a +Inf bucket that equals the _count, and no series may appear
+// twice. It returns the families keyed by name.
+//
+// It is deliberately stricter than real scrapers: the conformance test uses
+// it to fail on malformed output a lenient parser would shrug off.
+func ParseText(r io.Reader) (map[string]*ParsedFamily, error) {
+	fams := make(map[string]*ParsedFamily)
+	var cur *ParsedFamily
+	seen := make(map[string]bool) // name + sorted labels -> dup detection
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !nameRE.MatchString(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			cur = &ParsedFamily{Name: name, Help: help}
+			fams[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			if cur == nil || cur.Name != name {
+				return nil, fmt.Errorf("line %d: TYPE for %s without preceding HELP", lineNo, name)
+			}
+			if cur.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+				cur.Type = typ
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q for %s", lineNo, typ, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		name, labels, value, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(fams, name)
+		if fam == nil || fam.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s without preceding HELP/TYPE", lineNo, name)
+		}
+		sig := seriesSignature(name, labels)
+		if seen[sig] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, sig)
+		}
+		seen[sig] = true
+		fam.Samples = append(fam.Samples, ParsedSample{Series: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, fam := range fams {
+		if fam.Type == "" {
+			return nil, fmt.Errorf("family %s has HELP but no TYPE", fam.Name)
+		}
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyFor resolves a sample name to its family, peeling the histogram
+// series suffixes.
+func familyFor(fams map[string]*ParsedFamily, name string) *ParsedFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base == name {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+func parseSampleLine(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	labels = map[string]string{}
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if labels, err = parseLabels(rest[brace+1 : end]); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", nil, 0, fmt.Errorf("sample line %q has no value", line)
+		}
+	}
+	if !nameRE.MatchString(name) {
+		return "", nil, 0, fmt.Errorf("invalid sample name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample line %q", line)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value in %q: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if key != "le" && !labelRE.MatchString(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %s", key)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("duplicate label %s", key)
+		}
+		out[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return out, nil
+}
+
+func seriesSignature(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(name)
+	for _, k := range keys {
+		sb.WriteString("|")
+		sb.WriteString(k)
+		sb.WriteString("=")
+		sb.WriteString(labels[k])
+	}
+	return sb.String()
+}
+
+// checkHistogram verifies each histogram series group is internally
+// consistent: buckets cumulative and non-decreasing by le, a +Inf bucket
+// present and equal to _count, and _sum/_count present.
+func checkHistogram(fam *ParsedFamily) error {
+	type group struct {
+		buckets  map[float64]float64
+		inf      float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	groups := map[string]*group{}
+	groupFor := func(labels map[string]string) *group {
+		rest := map[string]string{}
+		for k, v := range labels {
+			if k != "le" {
+				rest[k] = v
+			}
+		}
+		sig := seriesSignature(fam.Name, rest)
+		g, ok := groups[sig]
+		if !ok {
+			g = &group{buckets: map[float64]float64{}}
+			groups[sig] = g
+		}
+		return g
+	}
+	for _, s := range fam.Samples {
+		g := groupFor(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Series, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket series without le label", fam.Name)
+			}
+			if le == "+Inf" {
+				g.inf, g.hasInf = s.Value, true
+				continue
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", fam.Name, le)
+			}
+			g.buckets[ub] = s.Value
+		case strings.HasSuffix(s.Series, "_sum"):
+			g.hasSum = true
+		case strings.HasSuffix(s.Series, "_count"):
+			g.count, g.hasCount = s.Value, true
+		default:
+			return fmt.Errorf("%s: unexpected histogram series %s", fam.Name, s.Series)
+		}
+	}
+	for sig, g := range groups {
+		if !g.hasInf {
+			return fmt.Errorf("%s (%s): histogram missing +Inf bucket", fam.Name, sig)
+		}
+		if !g.hasSum || !g.hasCount {
+			return fmt.Errorf("%s (%s): histogram missing _sum or _count", fam.Name, sig)
+		}
+		if g.count != g.inf {
+			return fmt.Errorf("%s (%s): +Inf bucket %v != count %v", fam.Name, sig, g.inf, g.count)
+		}
+		ubs := make([]float64, 0, len(g.buckets))
+		for ub := range g.buckets {
+			ubs = append(ubs, ub)
+		}
+		sort.Float64s(ubs)
+		prev := -math.MaxFloat64
+		prevCount := 0.0
+		for _, ub := range ubs {
+			if ub <= prev {
+				return fmt.Errorf("%s: non-increasing le %v", fam.Name, ub)
+			}
+			if g.buckets[ub] < prevCount {
+				return fmt.Errorf("%s (%s): bucket le=%v count %v below previous %v (not cumulative)",
+					fam.Name, sig, ub, g.buckets[ub], prevCount)
+			}
+			prev, prevCount = ub, g.buckets[ub]
+		}
+		if g.inf < prevCount {
+			return fmt.Errorf("%s (%s): +Inf bucket below last finite bucket", fam.Name, sig)
+		}
+	}
+	return nil
+}

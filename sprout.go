@@ -21,7 +21,9 @@ import (
 	"sprout/internal/cluster"
 	"sprout/internal/core"
 	"sprout/internal/erasure"
+	"sprout/internal/metrics"
 	"sprout/internal/objstore"
+	"sprout/internal/obs"
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/repair"
@@ -149,6 +151,21 @@ type (
 	// AdmissionConfig tunes the controller's saturation gate (queue depth +
 	// latency EWMA scoring into progressive brownout levels).
 	AdmissionConfig = core.AdmissionConfig
+	// AnalyzerConfig tunes the saturation analyzer: a sampling loop that
+	// scores measured queue depth and windowed p99 latency and drives the
+	// admission gate's brownout level with dwell hysteresis.
+	AnalyzerConfig = core.AnalyzerConfig
+	// AutoscaleConfig tunes the cache autoscaler: between replans it shrinks
+	// cold files' cache allocation (to zero after a cold dwell) and regrows
+	// hot or viral files from the freed budget.
+	AutoscaleConfig = core.AutoscaleConfig
+
+	// MetricsRegistry holds registered metric families and renders them in
+	// Prometheus text exposition format.
+	MetricsRegistry = metrics.Registry
+	// MetricsSources selects which planes an observability registry bridges;
+	// nil fields are skipped.
+	MetricsSources = obs.Sources
 
 	// Chaos injects per-OSD latency, errors, stalls, and partitions into a
 	// transport server, runtime-controllable via SetRule/ClearRule.
@@ -192,6 +209,11 @@ func IsOverload(err error) bool { return resilience.IsOverload(err) }
 // NewBreakerSet builds a per-target circuit breaker set for
 // ServeOptions.Breakers or RepairConfig.Breakers.
 func NewBreakerSet(cfg BreakerConfig) *BreakerSet { return resilience.NewBreakerSet(cfg) }
+
+// NewMetricsRegistry bridges the given planes into a metric registry; serve
+// its Handler() at /metrics for Prometheus scraping. Collection happens at
+// scrape time, so hot paths pay nothing for export.
+func NewMetricsRegistry(src MetricsSources) *MetricsRegistry { return obs.NewRegistry(src) }
 
 // NewRetryBudget builds a retry budget: up to maxTokens banked retries,
 // refilled at ratio tokens per successful first attempt.
