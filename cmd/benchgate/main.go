@@ -10,7 +10,9 @@
 // Baselines are sproutbench -json output checked in under bench/baselines/;
 // each metric carries its own direction (higher_is_better) and tolerance, so
 // retuning the gate is a baseline edit. Metrics with tolerance < 0 are
-// informational; a tolerance of 0 uses -tolerance (default ±25%).
+// informational; a tolerance of 0 uses -tolerance (default ±25%). A zero
+// baseline on a lower-is-better metric must stay zero unless the baseline
+// grants an abs_tolerance allowance.
 package main
 
 import (

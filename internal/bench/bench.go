@@ -71,18 +71,24 @@ type Table struct {
 // Metric is one machine-readable scalar an experiment measured. The gate
 // fields travel with the value so the baseline file is self-describing:
 // HigherIsBetter orients the comparison, Tolerance is the allowed relative
-// regression before the gate fails (0 = use the gate's default).
+// regression before the gate fails (0 = use the gate's default), and
+// AbsTolerance is the absolute allowance applied when the baseline is zero
+// and lower is better — relative slack on zero is meaningless, so without it
+// any positive value fails.
 //
 // Prefer dimensionless ratios (speedups, shares, counts of violated
 // invariants) for gated metrics — they are stable across machines. Absolute
 // throughput and latency metrics should carry a generous Tolerance or be
-// left ungated (Tolerance < 0).
+// left ungated (Tolerance < 0). Count-of-bad-events metrics whose ideal is
+// zero but that can tick up under CI timing noise should carry a small
+// AbsTolerance instead of gating strictly on zero.
 type Metric struct {
 	Name           string  `json:"name"`
 	Value          float64 `json:"value"`
 	Unit           string  `json:"unit,omitempty"`
 	HigherIsBetter bool    `json:"higher_is_better"`
 	Tolerance      float64 `json:"tolerance,omitempty"`
+	AbsTolerance   float64 `json:"abs_tolerance,omitempty"`
 }
 
 // AddRow appends a formatted row.

@@ -42,15 +42,18 @@ const (
 	GateNew     GateStatus = "new"     // current metric with no baseline yet
 )
 
-// GateResult is one metric's verdict.
+// GateResult is one metric's verdict. Exactly one of Tolerance (relative)
+// and AbsTolerance (absolute, for zero baselines) applies; both zero means
+// the metric was gated as "must stay zero".
 type GateResult struct {
-	Experiment string
-	Metric     string
-	Base       float64
-	Current    float64
-	Tolerance  float64
-	Status     GateStatus
-	Detail     string
+	Experiment   string
+	Metric       string
+	Base         float64
+	Current      float64
+	Tolerance    float64
+	AbsTolerance float64
+	Status       GateStatus
+	Detail       string
 }
 
 // DefaultTolerance is the allowed relative regression when a metric does not
@@ -64,7 +67,8 @@ const DefaultTolerance = 0.25
 //
 // A baseline of exactly 0 for a lower-is-better metric means "this must stay
 // zero": any positive current value fails regardless of tolerance (relative
-// slack on zero is meaningless). Baseline metrics missing from the current
+// slack on zero is meaningless), unless the baseline carries an AbsTolerance
+// granting a small absolute allowance. Baseline metrics missing from the current
 // run fail; current metrics with no baseline are reported but pass, so adding
 // a metric does not require regenerating baselines in the same change.
 func Gate(baseline, current []Run, defaultTol float64) ([]GateResult, bool) {
@@ -118,8 +122,14 @@ func Gate(baseline, current []Run, defaultTol float64) ([]GateResult, bool) {
 			r.Current = mt.Value
 			switch {
 			case base.Value == 0 && !base.HigherIsBetter:
-				if mt.Value > 0 {
-					r.Detail = "baseline is zero; any positive value is a regression"
+				r.Tolerance = 0
+				r.AbsTolerance = base.AbsTolerance
+				if mt.Value > base.AbsTolerance {
+					if base.AbsTolerance > 0 {
+						r.Detail = fmt.Sprintf("%.4g exceeds absolute allowance %.4g on zero baseline", mt.Value, base.AbsTolerance)
+					} else {
+						r.Detail = "baseline is zero; any positive value is a regression"
+					}
 					fail(r)
 					continue
 				}
@@ -172,7 +182,14 @@ func WriteGateReport(w io.Writer, results []GateResult) {
 	for _, r := range results {
 		tol := "-"
 		if r.Status == GateOK || r.Status == GateFail || r.Status == GateMissing {
-			tol = fmt.Sprintf("±%.0f%%", 100*r.Tolerance)
+			switch {
+			case r.Tolerance > 0:
+				tol = fmt.Sprintf("±%.0f%%", 100*r.Tolerance)
+			case r.AbsTolerance > 0:
+				tol = fmt.Sprintf("<=%s abs", f4(r.AbsTolerance))
+			default:
+				tol = "=0"
+			}
 		}
 		t.AddRow(r.Experiment, r.Metric, f4(r.Base), f4(r.Current), tol, string(r.Status), r.Detail)
 	}

@@ -20,6 +20,7 @@ func TestGateVerdicts(t *testing.T) {
 			{Name: "speedup", Value: 2.0, HigherIsBetter: true},                      // default tolerance
 			{Name: "p99_ratio", Value: 1.0, HigherIsBetter: false, Tolerance: 0.3},   // own tolerance
 			{Name: "sheds", Value: 0, HigherIsBetter: false},                         // zero-stays-zero
+			{Name: "slips", Value: 0, HigherIsBetter: false, AbsTolerance: 5},        // zero with absolute allowance
 			{Name: "ops_per_sec", Value: 10000, HigherIsBetter: true, Tolerance: -1}, // informational
 			{Name: "gone", Value: 1, HigherIsBetter: true},                           // missing from current
 		},
@@ -37,6 +38,7 @@ func TestGateVerdicts(t *testing.T) {
 				{Name: "speedup", Value: 1.6},    // 2.0 - 20% > 1.5 floor
 				{Name: "p99_ratio", Value: 1.29}, // within +30%
 				{Name: "sheds", Value: 0},
+				{Name: "slips", Value: 3},       // within the absolute allowance
 				{Name: "ops_per_sec", Value: 1}, // informational: any value ok
 				{Name: "gone", Value: 1},
 				{Name: "brand_new", Value: 5}, // no baseline: reported, not gated
@@ -44,14 +46,16 @@ func TestGateVerdicts(t *testing.T) {
 			wantPass: true,
 			want: map[string]GateStatus{
 				"exp/speedup": GateOK, "exp/p99_ratio": GateOK, "exp/sheds": GateOK,
-				"exp/ops_per_sec": GateInfo, "exp/gone": GateOK, "exp/brand_new": GateNew,
+				"exp/slips": GateOK, "exp/ops_per_sec": GateInfo, "exp/gone": GateOK,
+				"exp/brand_new": GateNew,
 			},
 		},
 		{
 			name: "2x regression on higher-is-better fails",
 			current: []Metric{
 				{Name: "speedup", Value: 1.0}, // half the baseline
-				{Name: "p99_ratio", Value: 1.0}, {Name: "sheds", Value: 0}, {Name: "gone", Value: 1},
+				{Name: "p99_ratio", Value: 1.0}, {Name: "sheds", Value: 0},
+				{Name: "slips", Value: 0}, {Name: "gone", Value: 1},
 			},
 			wantPass: false,
 			want:     map[string]GateStatus{"exp/speedup": GateFail},
@@ -61,7 +65,7 @@ func TestGateVerdicts(t *testing.T) {
 			current: []Metric{
 				{Name: "speedup", Value: 2.0},
 				{Name: "p99_ratio", Value: 2.0}, // double the baseline ratio
-				{Name: "sheds", Value: 0}, {Name: "gone", Value: 1},
+				{Name: "sheds", Value: 0}, {Name: "slips", Value: 0}, {Name: "gone", Value: 1},
 			},
 			wantPass: false,
 			want:     map[string]GateStatus{"exp/p99_ratio": GateFail},
@@ -71,15 +75,27 @@ func TestGateVerdicts(t *testing.T) {
 			current: []Metric{
 				{Name: "speedup", Value: 2.0}, {Name: "p99_ratio", Value: 1.0},
 				{Name: "sheds", Value: 1}, // must stay zero
-				{Name: "gone", Value: 1},
+				{Name: "slips", Value: 0}, {Name: "gone", Value: 1},
 			},
 			wantPass: false,
 			want:     map[string]GateStatus{"exp/sheds": GateFail},
 		},
 		{
+			name: "zero baseline with allowance fails only above it",
+			current: []Metric{
+				{Name: "speedup", Value: 2.0}, {Name: "p99_ratio", Value: 1.0},
+				{Name: "sheds", Value: 0},
+				{Name: "slips", Value: 6}, // beyond the allowance of 5
+				{Name: "gone", Value: 1},
+			},
+			wantPass: false,
+			want:     map[string]GateStatus{"exp/slips": GateFail},
+		},
+		{
 			name: "baseline metric missing from current fails",
 			current: []Metric{
-				{Name: "speedup", Value: 2.0}, {Name: "p99_ratio", Value: 1.0}, {Name: "sheds", Value: 0},
+				{Name: "speedup", Value: 2.0}, {Name: "p99_ratio", Value: 1.0},
+				{Name: "sheds", Value: 0}, {Name: "slips", Value: 0},
 			},
 			wantPass: false,
 			want:     map[string]GateStatus{"exp/gone": GateMissing},

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"sprout/internal/optimizer"
@@ -68,8 +69,12 @@ func (cfg AutoscaleConfig) withDefaults() AutoscaleConfig {
 
 // autoscaler holds the per-file overlay the actuator maintains on top of
 // the optimizer's plan. step is only ever called from one goroutine (the
-// autoscale loop, or a test driving it directly), so the overlay needs no
-// lock; mutations of shared controller state go through c.mu.
+// autoscale loop, or a test driving it directly), so most of the overlay
+// needs no lock; mutations of shared controller state go through c.mu.
+// The exception is target, which the /metrics scrape path snapshots via
+// AutoscaleTargets concurrently with the loop: every write to its elements
+// and every cross-goroutine read holds targetMu (the loop's own unlocked
+// reads are ordered with its writes by program order).
 type autoscaler struct {
 	c   *Controller
 	cfg AutoscaleConfig
@@ -77,6 +82,7 @@ type autoscaler struct {
 	plan       *optimizer.Plan // plan the overlay was derived from
 	planned    []float64       // rates that plan was computed with
 	maxPlanned float64
+	targetMu   sync.Mutex
 	target     []int // current per-file allocation targets
 	coldStreak []int
 }
@@ -101,7 +107,9 @@ func (a *autoscaler) reset(ep *epoch) {
 			a.maxPlanned = l
 		}
 	}
+	a.targetMu.Lock()
 	copy(a.target, ep.plan.D)
+	a.targetMu.Unlock()
 	for i := range a.coldStreak {
 		a.coldStreak[i] = 0
 	}
@@ -183,7 +191,9 @@ func (a *autoscaler) shrinkToZero(fileID int) {
 	evicted := c.cache.TrimFile(fileID, 0)
 	c.swapEpochLocked(func(e *epoch) { delete(e.pending, fileID) })
 	c.mu.Unlock()
+	a.targetMu.Lock()
 	a.target[fileID] = 0
+	a.targetMu.Unlock()
 	c.stats.autoscaleDowns.Add(1)
 	c.stats.autoscaleToZero.Add(1)
 	c.stats.autoscaleFreed.Add(int64(evicted))
@@ -205,7 +215,9 @@ func (a *autoscaler) grow(fileID, want int) {
 		c.swapEpochLocked(func(e *epoch) { e.pending[fileID] = want })
 	}
 	c.mu.Unlock()
+	a.targetMu.Lock()
 	a.target[fileID] = want
+	a.targetMu.Unlock()
 	a.coldStreak[fileID] = 0
 	c.stats.autoscaleUps.Add(1)
 	c.stats.autoscaleGranted.Add(int64(granted))
@@ -236,5 +248,7 @@ func (c *Controller) AutoscaleTargets() []int {
 	if c.asc == nil {
 		return nil
 	}
+	c.asc.targetMu.Lock()
+	defer c.asc.targetMu.Unlock()
 	return append([]int(nil), c.asc.target...)
 }

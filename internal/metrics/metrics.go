@@ -263,7 +263,6 @@ const histBuckets = 28
 // observations in [2^(i-1), 2^i) microseconds; the last bucket overflows.
 type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
-	count   atomic.Uint64
 	sumNS   atomic.Int64
 }
 
@@ -275,7 +274,6 @@ func (h *Histogram) ObserveSeconds(sec float64) {
 	us := uint64(sec * 1e6)
 	b := log2Bucket(us)
 	h.buckets[b].Add(1)
-	h.count.Add(1)
 	h.sumNS.Add(int64(sec * 1e9))
 }
 
@@ -300,16 +298,20 @@ func Log2UpperBounds() []float64 {
 	return bounds
 }
 
-// Value snapshots the histogram into a HistValue.
+// Value snapshots the histogram into a HistValue. Count is derived from the
+// summed bucket loads rather than kept as a separate atomic: the buckets are
+// loaded one by one, so an independent total could disagree with their sum
+// under concurrent ObserveSeconds, and the exposition's +Inf bucket (the sum)
+// would then mismatch _count — exactly what strict parsers reject.
 func (h *Histogram) Value() *HistValue {
 	v := &HistValue{
 		UpperBounds: Log2UpperBounds(),
 		Counts:      make([]uint64, histBuckets),
-		Count:       h.count.Load(),
 		Sum:         float64(h.sumNS.Load()) / 1e9,
 	}
 	for i := range v.Counts {
 		v.Counts[i] = h.buckets[i].Load()
+		v.Count += v.Counts[i]
 	}
 	return v
 }
