@@ -21,6 +21,7 @@ func benchConfig() bench.Config {
 
 // BenchmarkFig3Convergence regenerates Fig. 3 (convergence of Algorithm 1).
 func BenchmarkFig3Convergence(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		series, err := bench.Fig3Convergence(benchConfig())
 		if err != nil {
@@ -40,6 +41,7 @@ func BenchmarkFig3Convergence(b *testing.B) {
 
 // BenchmarkFig4CacheSize regenerates Fig. 4 (latency vs. cache size).
 func BenchmarkFig4CacheSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := bench.Fig4CacheSize(benchConfig())
 		if err != nil {
@@ -52,6 +54,7 @@ func BenchmarkFig4CacheSize(b *testing.B) {
 
 // BenchmarkFig5Evolution regenerates Table I + Fig. 5 (cache evolution).
 func BenchmarkFig5Evolution(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Fig5Evolution(benchConfig())
 		if err != nil {
@@ -63,6 +66,7 @@ func BenchmarkFig5Evolution(b *testing.B) {
 
 // BenchmarkFig6Placement regenerates Fig. 6 (placement/arrival interaction).
 func BenchmarkFig6Placement(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := bench.Fig6Placement(benchConfig())
 		if err != nil {
@@ -75,6 +79,7 @@ func BenchmarkFig6Placement(b *testing.B) {
 
 // BenchmarkFig7RequestSplit regenerates Fig. 7 (cache vs. storage chunks).
 func BenchmarkFig7RequestSplit(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		series, err := bench.Fig7RequestSplit(benchConfig())
 		if err != nil {
@@ -86,6 +91,7 @@ func BenchmarkFig7RequestSplit(b *testing.B) {
 
 // BenchmarkFig9ServiceCDF regenerates Fig. 9 / Table IV (service times).
 func BenchmarkFig9ServiceCDF(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.Fig9ServiceCDF(benchConfig())
 		if err != nil {
@@ -101,6 +107,7 @@ func BenchmarkFig9ServiceCDF(b *testing.B) {
 
 // BenchmarkTableVCacheLatency regenerates Table V (SSD cache latencies).
 func BenchmarkTableVCacheLatency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.TableVCacheLatency(benchConfig())
 		if err != nil {
@@ -113,6 +120,7 @@ func BenchmarkTableVCacheLatency(b *testing.B) {
 // BenchmarkFig10ObjectSize regenerates Fig. 10 (latency vs. object size,
 // optimal caching vs. the LRU cache-tier baseline).
 func BenchmarkFig10ObjectSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.Fig10ObjectSize(benchConfig())
 		if err != nil {
@@ -129,6 +137,7 @@ func BenchmarkFig10ObjectSize(b *testing.B) {
 // BenchmarkFig11ArrivalRate regenerates Fig. 11 (latency vs. workload
 // intensity, optimal caching vs. the LRU cache-tier baseline).
 func BenchmarkFig11ArrivalRate(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.Fig11ArrivalRate(benchConfig())
 		if err != nil {
@@ -144,6 +153,7 @@ func BenchmarkFig11ArrivalRate(b *testing.B) {
 
 // BenchmarkPolicyAblation runs the caching-policy ablation at a fixed budget.
 func BenchmarkPolicyAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.PolicyAblation(benchConfig(), 60)
 		if err != nil {

@@ -34,11 +34,13 @@ import (
 	"time"
 
 	"sprout/internal/core"
+	"sprout/internal/erasure"
 	"sprout/internal/objstore"
 	"sprout/internal/obs"
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/repair"
+	"sprout/internal/tick"
 	"sprout/internal/transport"
 	"sprout/internal/workload"
 )
@@ -135,7 +137,13 @@ func main() {
 			fail(err)
 		}
 		if *metricsAddr != "" {
-			src := obs.Sources{TransportServer: srv.Stats, OSDHealth: cluster.Health}
+			src := obs.Sources{
+				TransportServer: srv.Stats,
+				OSDHealth:       cluster.Health,
+				Runtime:         true,
+				Pools:           []obs.PoolSource{transport.FrameArena(), erasure.StripeScratchPool()},
+				Rings:           []obs.RingSource{{Name: "transport_work", Stats: srv.WorkQueueStats}},
+			}
 			if chaos != nil {
 				src.Chaos = chaos.Stats
 			}
@@ -345,6 +353,13 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 	if capacity <= 0 {
 		capacity = 3 * cfg.objects
 	}
+	// One process-wide scheduler batches every periodic plane — the
+	// controller's replan/autoscale/analyzer jobs and the repair scan —
+	// onto a single goroutine and timer.
+	sched := tick.New()
+	defer sched.Close()
+	cfg.serve.Tick = sched
+
 	ctrl, err := core.NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 10}, cfg.serve, 1)
 	if err != nil {
 		fail(err)
@@ -363,6 +378,7 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 	mgr := repair.NewManager(pool, repair.Config{
 		Workers:      cfg.repairWorkers,
 		ScanInterval: cfg.repairScan,
+		Tick:         sched,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -375,6 +391,14 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 			Controller: ctrl,
 			Repair:     mgr.Stats,
 			OSDHealth:  oc.Health,
+			Runtime:    true,
+			Pools: []obs.PoolSource{
+				core.FillArena(), core.ReadScratchPool(), erasure.StripeScratchPool(),
+			},
+			Rings: []obs.RingSource{
+				{Name: "controller_fill", Stats: ctrl.FillQueueStats},
+				{Name: "repair_wake", Stats: mgr.QueueStats},
+			},
 		})
 	}
 
@@ -390,11 +414,14 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 		go func(w int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(int64(w) + 40))
+			var dst []byte // reused across reads: ReadInto grows it once, then steady-state is zero-alloc
 			for time.Now().Before(stop) {
 				fileID := picker.Pick(r.Float64())
-				if _, err := ctrl.Read(ctx, fileID, fetcher); err != nil {
+				out, err := ctrl.ReadInto(ctx, fileID, fetcher, dst)
+				if err != nil {
 					fail(err)
 				}
+				dst = out
 				reads.Add(1)
 			}
 		}(w)

@@ -1,0 +1,222 @@
+// Package arena provides size-classed recycled byte buffers for the
+// serving path: background-fill chunk copies, transport frame batches,
+// and any other short-lived buffer whose lifetime has a clear owner.
+//
+// An Arena is a ladder of sync.Pools, one per power-of-two size class. A
+// Lease hands out a *Buf whose backing array (and the Buf header itself)
+// comes from the class pool, so steady-state lease/release cycles
+// allocate nothing. Every lease increments an outstanding counter that
+// Release decrements; tests assert the counter returns to zero on every
+// path — including error and cancel paths — via CheckBalanced, which
+// makes a leaked lease a test failure instead of silent GC pressure.
+//
+// Ownership protocol: the component that leases a buffer owns it until it
+// either releases it or explicitly hands it to exactly one other owner.
+// Slices derived from Buf.B must not outlive the release.
+package arena
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// minClassBits is the smallest class (512 B): smaller leases are
+	// rounded up — chunk payloads and frames below this are rare.
+	minClassBits = 9
+	// maxClassBits is the largest pooled class (4 MiB): bigger leases
+	// fall through to plain allocations that are never pooled.
+	maxClassBits = 22
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// Buf is one leased buffer. B is sized to the requested length; the
+// backing array is the class size. The Buf header itself is pooled with
+// its backing, so holding a *Buf (not a copy) is part of the protocol.
+type Buf struct {
+	// B is the leased buffer, len == the requested size. Callers may
+	// reslice within its capacity; Release recovers the full backing.
+	B []byte
+
+	a   *Arena
+	cls int32 // class index, -1 for an oversized one-shot allocation
+}
+
+// Release returns the buffer to its arena. Releasing twice corrupts the
+// pool — the leak counter going negative is how tests catch it. Release
+// on a nil Buf is a no-op so error paths can release unconditionally.
+func (b *Buf) Release() {
+	if b == nil || b.a == nil {
+		return
+	}
+	a := b.a
+	a.outstanding.Add(-1)
+	if b.cls < 0 {
+		b.a = nil // oversized: drop to the GC
+		return
+	}
+	b.B = b.B[:cap(b.B)]
+	a.classes[b.cls].Put(b)
+}
+
+// Arena is a set of size-classed buffer pools. The zero value is not
+// usable; construct with New.
+type Arena struct {
+	name        string
+	classes     [numClasses]sync.Pool
+	hits        atomic.Int64
+	misses      atomic.Int64
+	outstanding atomic.Int64
+}
+
+// New returns an arena. The name labels it in metrics and leak reports.
+func New(name string) *Arena {
+	return &Arena{name: name}
+}
+
+// Name returns the arena's metrics label.
+func (a *Arena) Name() string { return a.name }
+
+// classFor maps a requested size to its class index, or -1 when the size
+// exceeds the largest pooled class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+// Lease returns a buffer of length n. The fast path is a pool hit: no
+// allocation, no zeroing (the caller overwrites what it uses — leased
+// buffers carry stale bytes by design, like any recycled scratch).
+func (a *Arena) Lease(n int) *Buf {
+	a.outstanding.Add(1)
+	cls := classFor(n)
+	if cls < 0 {
+		a.misses.Add(1)
+		return &Buf{B: make([]byte, n), a: a, cls: -1}
+	}
+	if v := a.classes[cls].Get(); v != nil {
+		a.hits.Add(1)
+		b := v.(*Buf)
+		b.B = b.B[:n]
+		return b
+	}
+	a.misses.Add(1)
+	return &Buf{B: make([]byte, n, 1<<(cls+minClassBits)), a: a, cls: int32(cls)}
+}
+
+// Outstanding returns the number of leases not yet released.
+func (a *Arena) Outstanding() int64 { return a.outstanding.Load() }
+
+// Stats is a point-in-time snapshot of an arena's counters.
+type Stats struct {
+	Hits        int64 // leases served from a pool
+	Misses      int64 // leases that allocated fresh backing
+	Outstanding int64 // leases not yet released
+}
+
+// Stats returns the arena's counters.
+func (a *Arena) Stats() Stats {
+	return Stats{
+		Hits:        a.hits.Load(),
+		Misses:      a.misses.Load(),
+		Outstanding: a.outstanding.Load(),
+	}
+}
+
+// Counted is anything whose lease/release balance can be audited:
+// arenas, and CountedPool wrappers around pre-existing sync.Pool uses.
+type Counted interface {
+	Name() string
+	Outstanding() int64
+}
+
+// TB is the subset of *testing.T the leak checker needs; declared here so
+// non-test packages can share the helper without importing testing.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// CheckBalanced fails the test when any of the given pools still has
+// outstanding leases (a leak) or has gone negative (a double release).
+// Call it after the component under test has fully quiesced.
+func CheckBalanced(tb TB, pools ...Counted) {
+	tb.Helper()
+	for _, p := range pools {
+		if n := p.Outstanding(); n != 0 {
+			tb.Errorf("arena %q: %d outstanding leases (positive = leak, negative = double release)", p.Name(), n)
+		}
+	}
+}
+
+// CountedPool wraps a sync.Pool with get/put accounting so existing pool
+// uses (erasure scratch, controller read scratch) share the same leak
+// discipline and metrics surface as the arenas.
+type CountedPool struct {
+	name string
+	// New constructs a fresh element on a pool miss; must not be nil.
+	New func() any
+
+	p           sync.Pool
+	hits        atomic.Int64
+	misses      atomic.Int64
+	outstanding atomic.Int64
+}
+
+// NewCountedPool returns a counted pool named for metrics and leak
+// reports.
+func NewCountedPool(name string, newFn func() any) *CountedPool {
+	return &CountedPool{name: name, New: newFn}
+}
+
+// Name returns the pool's metrics label.
+func (c *CountedPool) Name() string { return c.name }
+
+// Get leases one element.
+func (c *CountedPool) Get() any {
+	c.outstanding.Add(1)
+	if v := c.p.Get(); v != nil {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	return c.New()
+}
+
+// Put returns an element.
+func (c *CountedPool) Put(v any) {
+	c.outstanding.Add(-1)
+	c.p.Put(v)
+}
+
+// Forget balances the counter for an element that is deliberately not
+// returned (for example scratch abandoned because a straggler fetch may
+// still write into it). The element goes to the GC, not the pool.
+func (c *CountedPool) Forget() {
+	c.outstanding.Add(-1)
+}
+
+// Outstanding returns leases minus returns (and Forgets).
+func (c *CountedPool) Outstanding() int64 { return c.outstanding.Load() }
+
+// Stats returns the pool's counters.
+func (c *CountedPool) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Outstanding: c.outstanding.Load(),
+	}
+}
+
+// String implements fmt.Stringer for debug logs.
+func (a *Arena) String() string {
+	s := a.Stats()
+	return fmt.Sprintf("arena[%s hits=%d misses=%d outstanding=%d]", a.name, s.Hits, s.Misses, s.Outstanding)
+}

@@ -1,0 +1,116 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 0}, {512, 0}, {513, 1}, {1024, 1}, {1025, 2},
+		{1 << 22, maxClassBits - minClassBits}, {1<<22 + 1, -1},
+	} {
+		if got := classFor(tc.n); got != tc.want {
+			t.Errorf("classFor(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestLeaseReuse(t *testing.T) {
+	a := New("test")
+	b := a.Lease(1000)
+	if len(b.B) != 1000 || cap(b.B) != 1024 {
+		t.Fatalf("lease: len=%d cap=%d", len(b.B), cap(b.B))
+	}
+	b.B[0] = 0xAB
+	b.Release()
+	b2 := a.Lease(900)
+	if len(b2.B) != 900 {
+		t.Fatalf("release len=%d", len(b2.B))
+	}
+	if b2 != b {
+		t.Fatal("same-class lease did not reuse the released Buf")
+	}
+	b2.Release()
+	st := a.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Outstanding != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOversizedLease(t *testing.T) {
+	a := New("test")
+	b := a.Lease(1<<22 + 1)
+	if len(b.B) != 1<<22+1 {
+		t.Fatalf("oversized len=%d", len(b.B))
+	}
+	b.Release()
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("outstanding = %d", got)
+	}
+	b.Release() // second release of a dropped oversized buf is a no-op
+	if got := a.Outstanding(); got != 0 {
+		t.Fatalf("outstanding after no-op release = %d", got)
+	}
+}
+
+func TestNilRelease(t *testing.T) {
+	var b *Buf
+	b.Release() // must not panic
+}
+
+func TestLeakDetection(t *testing.T) {
+	a := New("leaky")
+	a.Lease(64)
+	rec := &recorder{}
+	CheckBalanced(rec, a)
+	if len(rec.errors) != 1 {
+		t.Fatalf("leak not reported: %v", rec.errors)
+	}
+}
+
+func TestConcurrentLeases(t *testing.T) {
+	a := New("concurrent")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := a.Lease(100 + g*300)
+				b.B[0] = byte(g)
+				b.Release()
+			}
+		}(g)
+	}
+	wg.Wait()
+	CheckBalanced(t, a)
+}
+
+func TestCountedPool(t *testing.T) {
+	news := 0
+	p := NewCountedPool("scratch", func() any { news++; return new(int) })
+	v := p.Get().(*int)
+	p.Put(v)
+	v2 := p.Get()
+	p.Forget()
+	_ = v2
+	st := p.Stats()
+	if st.Outstanding != 0 {
+		t.Fatalf("outstanding = %d", st.Outstanding)
+	}
+	if news != 1 {
+		t.Fatalf("New called %d times, want 1 (second Get must hit the pool)", news)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	CheckBalanced(t, p)
+}
+
+type recorder struct{ errors []string }
+
+func (r *recorder) Helper() {}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}

@@ -1,0 +1,70 @@
+// Package cancel provides the atomic cancellation token the read fast
+// path polls instead of calling ctx.Err() per chunk.
+//
+// context.Context stays at request boundaries — deadlines, hedging, and
+// transport plumbing still speak context — but ctx.Err() costs an
+// interface call plus a mutex-free-but-branchy done-channel check per
+// call, and contexts cannot be pooled. A Flag is one atomic load, lives
+// inline in pooled per-request scratch, and is rebound to the request's
+// context exactly once via Bind. Binding costs nothing for contexts that
+// can never be canceled (context.Background in benchmarks and internal
+// loops), and one context.AfterFunc registration otherwise.
+//
+// Flags are generation-counted so pooled scratch can Reset and rebind
+// without racing a late AfterFunc callback from the previous request: a
+// stale callback records the old generation, which the new generation's
+// IsSet never matches.
+package cancel
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Flag is a pooled, resettable cancellation token. The zero value is
+// unusable; call Reset once before first use (and between reuses).
+type Flag struct {
+	gen atomic.Uint64 // current generation, bumped by Reset
+	set atomic.Uint64 // generation at which Set was called
+}
+
+// Reset arms the flag for a new request. Any Set racing in from the
+// previous generation is ignored by IsSet from here on.
+func (f *Flag) Reset() {
+	f.gen.Add(1)
+}
+
+// Set cancels the current generation.
+func (f *Flag) Set() {
+	f.set.Store(f.gen.Load())
+}
+
+// IsSet reports whether the current generation has been canceled. This
+// is the per-chunk fast-path check: two atomic loads, no branches on
+// channel state, inlineable.
+func (f *Flag) IsSet() bool {
+	g := f.gen.Load()
+	return g != 0 && f.set.Load() == g
+}
+
+// noopDetach is returned by Bind for contexts that can never be
+// canceled, so the caller's deferred detach is allocation-free.
+func noopDetach() bool { return false }
+
+// Bind arms f to be Set when ctx is canceled and returns a detach
+// function the caller must run before recycling f's scratch (detach
+// semantics follow context.AfterFunc's stop). For a context with a nil
+// Done channel — context.Background and values derived from it — Bind
+// is free: no registration, shared no-op detach.
+func Bind(ctx context.Context, f *Flag) (detach func() bool) {
+	if ctx.Done() == nil {
+		return noopDetach
+	}
+	g := f.gen.Load()
+	return context.AfterFunc(ctx, func() {
+		// Record the generation observed at bind time: if the scratch
+		// was already recycled, this store is a stale generation that
+		// the new owner's IsSet ignores.
+		f.set.Store(g)
+	})
+}

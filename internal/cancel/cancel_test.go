@@ -1,0 +1,108 @@
+package cancel
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSetAndReset(t *testing.T) {
+	var f Flag
+	f.Reset()
+	if f.IsSet() {
+		t.Fatal("fresh flag reports set")
+	}
+	f.Set()
+	if !f.IsSet() {
+		t.Fatal("Set not observed")
+	}
+	f.Reset()
+	if f.IsSet() {
+		t.Fatal("Reset did not clear the flag")
+	}
+}
+
+func TestBindBackgroundIsFree(t *testing.T) {
+	var f Flag
+	f.Reset()
+	detach := Bind(context.Background(), &f)
+	if f.IsSet() {
+		t.Fatal("background bind set the flag")
+	}
+	if detach() {
+		t.Fatal("no-op detach reported a stop")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		d := Bind(context.Background(), &f)
+		d()
+	})
+	if allocs != 0 {
+		t.Fatalf("Bind(Background) allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestBindCancel(t *testing.T) {
+	var f Flag
+	f.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	detach := Bind(ctx, &f)
+	defer detach()
+	if f.IsSet() {
+		t.Fatal("flag set before cancel")
+	}
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.IsSet() {
+		if time.Now().After(deadline) {
+			t.Fatal("cancel never propagated to the flag")
+		}
+	}
+}
+
+func TestDetachPreventsCancel(t *testing.T) {
+	var f Flag
+	f.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	detach := Bind(ctx, &f)
+	if !detach() {
+		t.Fatal("detach before cancel returned false")
+	}
+	cancel()
+	time.Sleep(10 * time.Millisecond)
+	if f.IsSet() {
+		t.Fatal("detached flag still canceled")
+	}
+}
+
+// TestStaleCallbackIgnored models pooled reuse: a callback from the
+// previous generation must not cancel the next request.
+func TestStaleCallbackIgnored(t *testing.T) {
+	var f Flag
+	f.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	detach := Bind(ctx, &f)
+
+	// Scratch recycled: new generation, new (non-cancelable) request.
+	f.Reset()
+	cancel() // previous request's context fires late
+	time.Sleep(10 * time.Millisecond)
+	if f.IsSet() {
+		t.Fatal("stale generation's cancel leaked into the new request")
+	}
+	detach()
+}
+
+func TestAlreadyCanceledContext(t *testing.T) {
+	var f Flag
+	f.Reset()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	detach := Bind(ctx, &f)
+	defer detach()
+	deadline := time.Now().Add(5 * time.Second)
+	for !f.IsSet() {
+		if time.Now().After(deadline) {
+			t.Fatal("pre-canceled context never set the flag")
+		}
+	}
+}

@@ -135,14 +135,12 @@ func (a *analyzer) apply(now time.Time, score float64) (int, bool) {
 	return desired, true
 }
 
-// analyzerLoop is the collector goroutine: every SampleInterval it samples
-// the gate's in-flight count; every Window it diffs the read-latency
-// histograms, computes the windowed p99 and mean queue depth, scores the
-// window, and applies the (dwell-limited) brownout level.
-func (c *Controller) analyzerLoop(a *analyzer) {
-	defer c.bgWG.Done()
-	ticker := time.NewTicker(a.cfg.SampleInterval)
-	defer ticker.Stop()
+// registerAnalyzerJob installs the saturation analyzer on the shared
+// scheduler: every SampleInterval it samples the gate's in-flight count;
+// every Window it diffs the read-latency histograms, computes the windowed
+// p99 and mean queue depth, scores the window, and applies the
+// (dwell-limited) brownout level.
+func (c *Controller) registerAnalyzerJob(a *analyzer) {
 	windowTicks := int(a.cfg.Window / a.cfg.SampleInterval)
 	if windowTicks < 1 {
 		windowTicks = 1
@@ -150,30 +148,25 @@ func (c *Controller) analyzerLoop(a *analyzer) {
 	prev := c.readBucketsTotal()
 	var inflightSum int64
 	ticks := 0
-	for {
-		select {
-		case <-c.stopCh:
+	c.registerJob("analyzer", a.cfg.SampleInterval, func(now time.Time) {
+		inflightSum += c.adm.inflight.Load()
+		ticks++
+		if ticks < windowTicks {
 			return
-		case now := <-ticker.C:
-			inflightSum += c.adm.inflight.Load()
-			ticks++
-			if ticks < windowTicks {
-				continue
-			}
-			cur := c.readBucketsTotal()
-			delta := cur.Sub(prev)
-			prev = cur
-			var p99 time.Duration
-			if delta.Count > 0 {
-				p99 = delta.Quantile(0.99)
-			}
-			score := a.score(float64(inflightSum)/float64(ticks), p99)
-			if _, changed := a.apply(now, score); changed {
-				c.stats.analyzerShifts.Add(1)
-			}
-			inflightSum, ticks = 0, 0
 		}
-	}
+		cur := c.readBucketsTotal()
+		delta := cur.Sub(prev)
+		prev = cur
+		var p99 time.Duration
+		if delta.Count > 0 {
+			p99 = delta.Quantile(0.99)
+		}
+		score := a.score(float64(inflightSum)/float64(ticks), p99)
+		if _, changed := a.apply(now, score); changed {
+			c.stats.analyzerShifts.Add(1)
+		}
+		inflightSum, ticks = 0, 0
+	})
 }
 
 // readBucketsTotal folds the three read-latency classes into one

@@ -223,23 +223,16 @@ func (a *autoscaler) grow(fileID, want int) {
 	c.stats.autoscaleGranted.Add(int64(granted))
 }
 
-// autoscaleLoop folds the estimator at the autoscale cadence and runs one
-// overlay evaluation per tick.
-func (c *Controller) autoscaleLoop(a *autoscaler) {
-	defer c.bgWG.Done()
-	ticker := time.NewTicker(a.cfg.Interval)
-	defer ticker.Stop()
+// registerAutoscaleJob installs the autoscaler on the shared scheduler:
+// each tick folds the estimator at the autoscale cadence and runs one
+// overlay evaluation.
+func (c *Controller) registerAutoscaleJob(a *autoscaler) {
 	last := time.Now()
-	for {
-		select {
-		case <-c.stopCh:
-			return
-		case now := <-ticker.C:
-			rates := c.est.Tick(now.Sub(last).Seconds())
-			last = now
-			a.step(rates)
-		}
-	}
+	c.registerJob("autoscale", a.cfg.Interval, func(now time.Time) {
+		rates := c.est.Tick(now.Sub(last).Seconds())
+		last = now
+		a.step(rates)
+	})
 }
 
 // AutoscaleTargets returns the autoscaler's current per-file allocation

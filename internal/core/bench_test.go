@@ -74,6 +74,8 @@ func benchController(b *testing.B, numFiles, capacity int, serve ServeOptions) (
 // BenchmarkControllerRead measures the lock-free read plane end to end
 // (scheduling, cache lookup, parallel fetch fan-out, decode) over an
 // instant in-memory store, across concurrent readers via RunParallel.
+// Each reader reuses a payload buffer through ReadInto, so allocs/op
+// isolates the serving path itself: the cached variant must stay at zero.
 func BenchmarkControllerRead(b *testing.B) {
 	for _, caps := range []struct {
 		name     string
@@ -89,13 +91,17 @@ func BenchmarkControllerRead(b *testing.B) {
 			}
 			ctx := context.Background()
 			var seq atomic.Int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
+				var buf []byte
 				for pb.Next() {
 					fileID := int(seq.Add(1)) % 64
-					if _, err := ctrl.Read(ctx, fileID, store); err != nil {
+					payload, err := ctrl.ReadInto(ctx, fileID, store, buf)
+					if err != nil {
 						b.Fatal(err)
 					}
+					buf = payload
 				}
 			})
 		})
@@ -109,13 +115,17 @@ func BenchmarkControllerReadSequentialFetch(b *testing.B) {
 	defer ctrl.Close()
 	ctx := context.Background()
 	var seq atomic.Int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
+		var buf []byte
 		for pb.Next() {
 			fileID := int(seq.Add(1)) % 64
-			if _, err := ctrl.Read(ctx, fileID, store); err != nil {
+			payload, err := ctrl.ReadInto(ctx, fileID, store, buf)
+			if err != nil {
 				b.Fatal(err)
 			}
+			buf = payload
 		}
 	})
 }

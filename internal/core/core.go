@@ -33,7 +33,9 @@ import (
 	"sprout/internal/erasure"
 	"sprout/internal/optimizer"
 	"sprout/internal/resilience"
+	"sprout/internal/ring"
 	"sprout/internal/scheduler"
+	"sprout/internal/tick"
 	"sprout/internal/workload"
 )
 
@@ -181,6 +183,15 @@ type ServeOptions struct {
 	// Logf, when set, receives diagnostics from the background planes
 	// (auto-replan failures). Never called on the read path.
 	Logf func(format string, args ...any)
+
+	// Tick, when set, is a shared scheduler the controller registers its
+	// periodic jobs (replan, autoscale, analyzer) on instead of running its
+	// own — one process-wide goroutine and timer batch every subsystem's
+	// maintenance. The caller owns the scheduler's lifetime; Close only
+	// unregisters the controller's jobs. At most one controller may share a
+	// given scheduler (job names are fixed). Nil means the controller owns
+	// a private scheduler when any periodic plane is enabled.
+	Tick *tick.Scheduler
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -269,19 +280,33 @@ type Controller struct {
 	// drops the cache when it turns out stale.
 	cacheInfo []atomic.Pointer[StripeInfo]
 
-	fillQ        chan fillJob
+	fillQ        *ring.Buf[fillJob]
 	fillWG       sync.WaitGroup
 	fillInFlight sync.Map // fileID -> struct{}, dedupes queued fills
 	fills        fillTracker
 
+	// Reusable fetch-worker free list for the read plane's fan-out: a
+	// mutex-guarded idle stack plus a poison protocol on Close. Spawning
+	// happens only on cold start or concurrency growth; the steady state
+	// dispatches onto parked workers without goroutine or closure
+	// allocations.
+	fwMu     sync.Mutex
+	fwIdle   []*fetchWorker
+	fwClosed bool
+	fwWG     sync.WaitGroup
+
 	est *workload.EWMAEstimator // non-nil when auto-replanning
-	// replanNow nudges the auto-replanner out of its tick wait after a
-	// membership change so PlanTimeBin re-runs against the new node set
-	// without waiting for workload drift.
-	replanNow chan struct{}
+	// sched batches the controller's periodic maintenance — auto-replan,
+	// autoscale, saturation analysis — onto one goroutine and one timer;
+	// nil when no periodic plane is enabled. A membership change kicks the
+	// "replan-now" job instead of nudging a dedicated channel.
+	sched *tick.Scheduler
+	// ownSched records whether the controller created sched (and must close
+	// it) or borrowed it from ServeOptions.Tick (and must only unregister).
+	ownSched  bool
+	schedJobs []string
 	stopCh    chan struct{}
 	stopOnce  sync.Once
-	bgWG      sync.WaitGroup
 
 	// adm is the saturation gate; nil when admission control is off.
 	adm *admissionGate
@@ -344,8 +369,7 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 		nodeIdx:   idx,
 		fileSizes: make([]atomic.Int64, len(files)),
 		cacheInfo: make([]atomic.Pointer[StripeInfo], len(files)),
-		fillQ:     make(chan fillJob, serve.FillQueue),
-		replanNow: make(chan struct{}, 1),
+		fillQ:     ring.New[fillJob](serve.FillQueue),
 		stopCh:    make(chan struct{}),
 	}
 	for i := range files {
@@ -372,19 +396,25 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 		}
 		c.est = workload.NewEWMAEstimator(len(files), alpha)
 	}
+	if serve.Tick != nil {
+		c.sched = serve.Tick
+	} else if serve.ReplanInterval > 0 || serve.Autoscale != nil || serve.Analyzer != nil {
+		// All periodic maintenance shares one scheduler goroutine and one
+		// timer: an idle controller does one bounded wakeup per earliest
+		// period instead of one per plane.
+		c.sched = tick.New()
+		c.ownSched = true
+	}
 	if serve.ReplanInterval > 0 {
-		c.bgWG.Add(1)
-		go c.replanLoop(serve.ReplanInterval, serve.ReplanThreshold)
+		c.registerReplanJobs(serve.ReplanInterval, serve.ReplanThreshold)
 	}
 	if serve.Autoscale != nil {
 		c.asc = newAutoscaler(c, *serve.Autoscale)
-		c.bgWG.Add(1)
-		go c.autoscaleLoop(c.asc)
+		c.registerAutoscaleJob(c.asc)
 	}
 	if serve.Analyzer != nil {
 		c.analyzer = newAnalyzer(*serve.Analyzer, c.adm)
-		c.bgWG.Add(1)
-		go c.analyzerLoop(c.analyzer)
+		c.registerAnalyzerJob(c.analyzer)
 	}
 	return c, nil
 }
@@ -394,18 +424,29 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 // Close.
 func (c *Controller) Close() error {
 	c.stopOnce.Do(func() { close(c.stopCh) })
-	c.fillWG.Wait()
-	c.bgWG.Wait()
-	// Discard fills queued after the workers exited.
-	for {
-		select {
-		case job := <-c.fillQ:
-			c.fillInFlight.Delete(job.fileID)
-			c.fills.add(-1)
-		default:
-			return nil
+	if c.sched != nil {
+		if c.ownSched {
+			c.sched.Close()
+		} else {
+			for _, name := range c.schedJobs {
+				c.sched.Unregister(name)
+			}
 		}
 	}
+	c.fillWG.Wait()
+	// Discard fills still queued when the workers exited, releasing their
+	// chunk-copy leases.
+	for {
+		job, ok := c.fillQ.TryPop()
+		if !ok {
+			break
+		}
+		job.lease.Release()
+		c.fillInFlight.Delete(job.fileID)
+		c.fills.add(-1)
+	}
+	c.stopFetchWorkers()
+	return nil
 }
 
 // Files returns the controller's file metadata.
@@ -577,65 +618,76 @@ func (c *Controller) PrefetchCache(ctx context.Context, fetcher ChunkFetcher) er
 // nil when auto-replanning is off.
 func (c *Controller) Estimator() *workload.EWMAEstimator { return c.est }
 
-// replanLoop is the auto-replanner: each tick it folds the rates observed by
-// the read plane into the EWMA estimate, and re-plans the time bin when the
-// workload has drifted from the one the current plan was computed for.
-func (c *Controller) replanLoop(interval time.Duration, threshold float64) {
-	defer c.bgWG.Done()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	// Fold counters over measured elapsed time, not the nominal interval:
-	// when a slow PlanTimeBin makes the ticker drop ticks, the counters hold
-	// several intervals of requests and dividing by the interval would
-	// inflate the rate estimate (and cascade into spurious replans).
-	last := time.Now()
-	for {
-		var rates []float64
-		select {
-		case <-c.stopCh:
-			return
-		case now := <-ticker.C:
-			if c.epoch.Load().plan == nil {
-				// Nothing to adapt until the first manual plan — and don't
-				// burn the estimator's first-tick seeding on the zero
-				// counters accumulated before serving starts.
-				last = now
-				continue
-			}
-			if c.asc != nil {
-				// The autoscale loop owns the estimator fold at its finer
-				// cadence; the replanner reads the shared estimate.
-				rates = c.est.Rates()
-			} else {
-				rates = c.est.Tick(now.Sub(last).Seconds())
-			}
-			last = now
-			if !c.est.Deviates(threshold) {
-				continue
-			}
-		case <-c.replanNow:
-			// Membership changed: re-plan immediately against the new node
-			// set, using the freshest rate estimate (falling back to the
-			// rates the current plan was computed for when the estimator has
-			// not folded a tick yet).
-			ep := c.epoch.Load()
-			if ep.plan == nil {
-				continue
-			}
-			rates = c.est.Rates()
-			if !anyPositive(rates) {
-				rates = ep.clu.Lambdas()
-			}
+// registerJob registers a periodic job and records its name so Close can
+// unregister from a shared scheduler.
+func (c *Controller) registerJob(name string, period time.Duration, fn func(now time.Time)) {
+	c.sched.Register(name, period, fn)
+	c.schedJobs = append(c.schedJobs, name)
+}
+
+// runReplan re-plans the time bin against the given rate estimate, counting
+// errors and successes. Shared by the periodic drift check and the
+// membership-change kick.
+func (c *Controller) runReplan(rates []float64) {
+	if _, err := c.PlanTimeBin(rates); err != nil {
+		c.stats.replanErrors.Add(1)
+		if c.serve.Logf != nil {
+			c.serve.Logf("core: auto-replan: %v", err)
 		}
-		if _, err := c.PlanTimeBin(rates); err != nil {
-			c.stats.replanErrors.Add(1)
-			if c.serve.Logf != nil {
-				c.serve.Logf("core: auto-replan: %v", err)
-			}
-			continue
-		}
-		c.stats.autoReplans.Add(1)
+		return
 	}
+	c.stats.autoReplans.Add(1)
+}
+
+// registerReplanJobs installs the auto-replanner on the shared scheduler:
+// a periodic drift check, plus a kick-only "replan-now" job a membership
+// change fires so PlanTimeBin re-runs against the new node set without
+// waiting for workload drift.
+func (c *Controller) registerReplanJobs(interval time.Duration, threshold float64) {
+	// Fold counters over measured elapsed time, not the nominal interval:
+	// when a slow PlanTimeBin delays the tick, the counters hold several
+	// intervals of requests and dividing by the interval would inflate the
+	// rate estimate (and cascade into spurious replans). Jobs run
+	// sequentially on the scheduler goroutine, so closure state needs no
+	// locking.
+	last := time.Now()
+	c.registerJob("replan", interval, func(now time.Time) {
+		if c.epoch.Load().plan == nil {
+			// Nothing to adapt until the first manual plan — and don't burn
+			// the estimator's first-tick seeding on the zero counters
+			// accumulated before serving starts.
+			last = now
+			return
+		}
+		var rates []float64
+		if c.asc != nil {
+			// The autoscale job owns the estimator fold at its finer
+			// cadence; the replanner reads the shared estimate.
+			rates = c.est.Rates()
+		} else {
+			rates = c.est.Tick(now.Sub(last).Seconds())
+		}
+		last = now
+		if !c.est.Deviates(threshold) {
+			return
+		}
+		c.runReplan(rates)
+	})
+	c.registerJob("replan-now", 0, func(time.Time) {
+		// Membership changed: re-plan immediately against the new node set,
+		// using the freshest rate estimate (falling back to the rates the
+		// current plan was computed for when the estimator has not folded a
+		// tick yet).
+		ep := c.epoch.Load()
+		if ep.plan == nil {
+			return
+		}
+		rates := c.est.Rates()
+		if !anyPositive(rates) {
+			rates = ep.clu.Lambdas()
+		}
+		c.runReplan(rates)
+	})
 }
 
 func anyPositive(xs []float64) bool {

@@ -4,18 +4,37 @@ import (
 	"fmt"
 	"sync"
 
+	"sprout/internal/arena"
 	"sprout/internal/cache"
+	"sprout/internal/ring"
 )
 
+// fillArena recycles the chunk copies that background fills carry. A read
+// that enqueues a fill does not hand over its decode output — that memory
+// belongs to the read's pooled scratch — it copies the data chunks into a
+// leased buffer the fill job owns until runFill (or the enqueue/Close drop
+// paths) releases it.
+var fillArena = arena.New("core_fill_chunks")
+
+// FillArena exposes the fill-copy arena's lease accounting for leak checks
+// and metrics.
+func FillArena() *arena.Arena { return fillArena }
+
+// FillQueueStats exposes the background-fill ring's telemetry counters.
+func (c *Controller) FillQueueStats() ring.Stats { return c.fillQ.Stats() }
+
 // fillJob asks the background pool to materialise the pending cache
-// allocation of one file from its already-decoded data chunks. stripe
-// records which stripe version the chunks were decoded from (zero when the
-// backend is unversioned), so a fill racing an overwrite never installs
-// chunks generated from superseded data.
+// allocation of one file. The file's k decoded data chunks live
+// back-to-back in lease.B (k slices of chunkSize bytes); stripe records
+// which stripe version they were decoded from (zero when the backend is
+// unversioned), so a fill racing an overwrite never installs chunks
+// generated from superseded data.
 type fillJob struct {
-	fileID     int
-	dataChunks [][]byte
-	stripe     StripeInfo
+	fileID    int
+	k         int
+	chunkSize int
+	lease     *arena.Buf
+	stripe    StripeInfo
 }
 
 // fillTracker counts queued plus running fill jobs so WaitFills can block
@@ -49,18 +68,26 @@ func (t *fillTracker) wait() {
 	t.mu.Unlock()
 }
 
-// enqueueFill hands a decoded file to the background materialisation pool.
-// At most one job per file is in flight; when the queue is full the job is
-// dropped and the file's next read re-enqueues it.
+// enqueueFill copies a decoded file into an arena lease and hands it to the
+// background materialisation pool through the lock-free fill ring. At most
+// one job per file is in flight; when the ring is full the job is dropped
+// (lease released) and the file's next read re-enqueues it.
 func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte, stripe StripeInfo) {
 	if _, loaded := c.fillInFlight.LoadOrStore(fileID, struct{}{}); loaded {
 		return
 	}
+	k := len(dataChunks)
+	size := len(dataChunks[0])
+	lease := fillArena.Lease(k * size)
+	for i, ch := range dataChunks {
+		copy(lease.B[i*size:(i+1)*size], ch)
+	}
 	c.fills.add(1)
-	select {
-	case c.fillQ <- fillJob{fileID: fileID, dataChunks: dataChunks, stripe: stripe}:
+	job := fillJob{fileID: fileID, k: k, chunkSize: size, lease: lease, stripe: stripe}
+	if c.fillQ.TryPush(job) {
 		c.stats.fillsEnqueued.Add(1)
-	default:
+	} else {
+		lease.Release()
 		c.fillInFlight.Delete(fileID)
 		c.fills.add(-1)
 		c.stats.fillsDropped.Add(1)
@@ -72,24 +99,35 @@ func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte, stripe StripeI
 // reads continue to work while it waits.
 func (c *Controller) WaitFills() { c.fills.wait() }
 
+// fillWorker consumes the fill ring, parking while it is empty. On stop it
+// abandons immediately; Close drains and releases whatever remains queued.
 func (c *Controller) fillWorker() {
 	defer c.fillWG.Done()
+	var views [][]byte
 	for {
-		select {
-		case job := <-c.fillQ:
-			c.runFill(job)
-		case <-c.stopCh:
+		job, ok := c.fillQ.PopWait(c.stopCh)
+		if !ok {
 			return
 		}
+		if cap(views) < job.k {
+			views = make([][]byte, job.k)
+		}
+		c.runFill(job, views[:job.k])
 	}
 }
 
-func (c *Controller) runFill(job fillJob) {
+// runFill rebuilds the chunk views over the job's lease, installs the fill,
+// and releases the lease on every path.
+func (c *Controller) runFill(job fillJob, views [][]byte) {
 	defer func() {
+		job.lease.Release()
 		c.fillInFlight.Delete(job.fileID)
 		c.fills.add(-1)
 	}()
-	if err := c.installFill(job.fileID, job.dataChunks, job.stripe); err != nil {
+	for i := range views {
+		views[i] = job.lease.B[i*job.chunkSize : (i+1)*job.chunkSize]
+	}
+	if err := c.installFill(job.fileID, views, job.stripe); err != nil {
 		c.stats.fillErrors.Add(1)
 		if c.serve.Logf != nil {
 			c.serve.Logf("core: background fill of file %d: %v", job.fileID, err)

@@ -44,11 +44,8 @@ func (c *Controller) setMembership(nodeID int, down bool) bool {
 	c.stats.membershipChanges.Add(1)
 	c.mu.Unlock()
 
-	if c.est != nil {
-		select {
-		case c.replanNow <- struct{}{}:
-		default:
-		}
+	if c.est != nil && c.sched != nil {
+		c.sched.Kick("replan-now")
 	}
 	return true
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; alloc-count
+// assertions are skipped under it because instrumentation changes escape
+// analysis.
+const raceEnabled = true

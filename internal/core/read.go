@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"sprout/internal/cancel"
 	"sprout/internal/erasure"
 )
 
@@ -22,19 +23,33 @@ const readMaxAttempts = 4
 // decode so the missing functional chunks are generated and installed off
 // the read path.
 //
-// Read is lock-free with respect to the controller: it works off the
-// current epoch snapshot and never blocks on PlanTimeBin, fills, writes, or
-// other reads. When the fetcher is version-aware, every chunk of the decoded
-// stripe is verified to come from one committed version — a read racing
-// Controller.Write (or an external overwrite of the backing object) retries
-// against the new stripe instead of decoding mixed bytes, and cached chunks
-// found stale are dropped and refreshed.
+// Read is ReadInto with a freshly allocated payload buffer; callers with a
+// reusable buffer (the transport's response path, load drivers) should use
+// ReadInto directly, which completes warm cache-hit reads without a single
+// allocation.
+func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
+	return c.ReadInto(ctx, fileID, fetcher, nil)
+}
+
+// ReadInto is Read appending the decoded payload into dst[:0] and returning
+// the extended slice (which may have been reallocated if dst lacked
+// capacity). The returned slice aliases dst; the caller owns both.
 //
-// When admission control is on, Read consults the saturation gate once at
+// ReadInto is lock-free with respect to the controller: it works off the
+// current epoch snapshot and never blocks on PlanTimeBin, fills, writes, or
+// other reads. All per-request state lives in a pooled scratch, and the
+// request context is folded into an atomic cancellation flag once at entry
+// — the fast path never calls ctx.Err(). When the fetcher is version-aware,
+// every chunk of the decoded stripe is verified to come from one committed
+// version — a read racing Controller.Write (or an external overwrite of the
+// backing object) retries against the new stripe instead of decoding mixed
+// bytes, and cached chunks found stale are dropped and refreshed.
+//
+// When admission control is on, the saturation gate is consulted once at
 // entry: under pressure it progressively drops hedging, then background
 // fills, and at the deepest level sheds low-value reads that would need
 // storage fetches with ErrSaturated.
-func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher) ([]byte, error) {
+func (c *Controller) ReadInto(ctx context.Context, fileID int, fetcher ChunkFetcher, dst []byte) ([]byte, error) {
 	start := time.Now()
 	if fileID < 0 || fileID >= len(c.files) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
@@ -54,28 +69,49 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 			c.stats.brownoutReads.Add(1)
 		}
 	}
+	sc := getReadScratch()
+	sc.flag.Reset()
+	detach := cancel.Bind(ctx, &sc.flag)
 	var lastErr error
 	for attempt := 0; attempt < readMaxAttempts; attempt++ {
-		payload, retryable, err := c.readOnce(ctx, fileID, fetcher, start, level)
+		payload, retryable, err := c.readOnce(ctx, sc, fileID, fetcher, dst, start, level)
 		if err == nil {
 			if c.adm != nil {
 				c.adm.observe(time.Since(start))
 			}
+			detach()
+			putReadScratch(sc)
 			return payload, nil
 		}
 		lastErr = err
-		if !retryable || ctx.Err() != nil {
+		if !retryable || sc.flag.IsSet() {
+			detach()
+			putReadScratch(sc)
 			return nil, err
 		}
 		c.stats.readRetries.Add(1)
+		if sc.outstanding > 0 {
+			// The failed attempt left fetches in flight; their stale results
+			// must never be mistaken for this retry's. Retire the scratch
+			// (the stragglers keep writing into it harmlessly) and rebind a
+			// fresh one.
+			detach()
+			putReadScratch(sc)
+			sc = getReadScratch()
+			sc.flag.Reset()
+			detach = cancel.Bind(ctx, &sc.flag)
+		}
 	}
+	detach()
+	putReadScratch(sc)
 	return nil, lastErr
 }
 
-// readOnce performs one read attempt. It reports whether a failure is worth
-// retrying: stripe-version mismatches and decode errors can be caused by an
-// overwrite committing mid-read and usually resolve on the next attempt.
-func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetcher, start time.Time, level int) ([]byte, bool, error) {
+// readOnce performs one read attempt against the scratch. It reports
+// whether a failure is worth retrying: stripe-version mismatches and decode
+// errors can be caused by an overwrite committing mid-read and usually
+// resolve on the next attempt.
+func (c *Controller) readOnce(ctx context.Context, sc *readScratch, fileID int, fetcher ChunkFetcher, dst []byte, start time.Time, level int) ([]byte, bool, error) {
 	ep := c.epoch.Load()
 	if ep.plan == nil {
 		return nil, false, ErrNoPlan
@@ -90,12 +126,13 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 	// read retries instead of mixing old cached chunks with new storage
 	// chunks under the new record.
 	cacheStripe := c.cacheInfo[fileID].Load()
-	chunks := make([]erasure.Chunk, 0, meta.K)
+	sc.chunks = sc.chunks[:0]
+	sc.infos = sc.infos[:0]
 	c.cache.VisitFile(fileID, func(idx int, data []byte) bool {
-		chunks = append(chunks, erasure.Chunk{Index: idx, Data: data})
-		return len(chunks) < meta.K
+		sc.chunks = append(sc.chunks, erasure.Chunk{Index: idx, Data: data})
+		return len(sc.chunks) < meta.K
 	})
-	fromCache := len(chunks)
+	fromCache := len(sc.chunks)
 
 	need := meta.K - fromCache
 	// Deepest brownout level: reads the plan values least are shed when they
@@ -109,7 +146,7 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 	var stripe StripeInfo
 	sawUnversioned := false
 	if need > 0 {
-		fetched, infos, errs, err := c.fetchChunks(ctx, fetcher, ep, meta, chunks, need, level)
+		errs, err := c.fetchChunks(ctx, sc, fetcher, ep, meta, need, level)
 		if err != nil {
 			return nil, false, err
 		}
@@ -118,7 +155,7 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 		// an overwrite committed between two fetches of this read. A chunk
 		// with no version next to versioned siblings also means a mix: the
 		// backend became versioned between the two fetches.
-		for _, info := range infos {
+		for _, info := range sc.infos {
 			if info.Version == 0 {
 				sawUnversioned = true
 				continue
@@ -132,7 +169,6 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 		if sawUnversioned && stripe.Version != 0 {
 			return nil, true, fmt.Errorf("core: file %d: fetched chunks mix versioned and unversioned stripes", fileID)
 		}
-		chunks = append(chunks, fetched...)
 	}
 	// The cache contents must not have been swapped while we were reading
 	// (a concurrent Write or Invalidate publishes a new stripe record).
@@ -151,11 +187,11 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 		}
 		return nil, true, fmt.Errorf("core: file %d: cached chunks are from stripe v%d, storage serves v%d", fileID, cacheStripe.Version, stripe.Version)
 	}
-	if len(chunks) < meta.K {
-		return nil, false, fmt.Errorf("core: only %d of %d chunks available for file %d", len(chunks), meta.K, fileID)
+	if len(sc.chunks) < meta.K {
+		return nil, false, fmt.Errorf("core: only %d of %d chunks available for file %d", len(sc.chunks), meta.K, fileID)
 	}
 
-	dataChunks, err := meta.Code.Reconstruct(chunks)
+	dataChunks, err := meta.Code.ReconstructInto(&sc.dec, sc.chunks)
 	if err != nil {
 		return nil, true, err
 	}
@@ -166,7 +202,7 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 	case fromCache > 0 && cacheStripe != nil && cacheStripe.Size != 0:
 		size = cacheStripe.Size
 	}
-	payload, err := meta.Code.Join(dataChunks, size)
+	payload, err := meta.Code.AppendJoin(dst[:0], dataChunks, size)
 	if err != nil {
 		return nil, true, err
 	}
@@ -190,7 +226,7 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 
 	c.stats.reads.Add(1)
 	c.stats.chunksFromCache.Add(int64(fromCache))
-	c.stats.chunksFromDisk.Add(int64(len(chunks) - fromCache))
+	c.stats.chunksFromDisk.Add(int64(len(sc.chunks) - fromCache))
 	if cacheOnly {
 		c.stats.cacheOnlyReads.Add(1)
 	}
@@ -212,6 +248,8 @@ func (c *Controller) readOnce(ctx context.Context, fileID int, fetcher ChunkFetc
 			if fillStripe.Version == 0 && cacheStripe != nil {
 				fillStripe = *cacheStripe
 			}
+			// enqueueFill copies the data chunks out of sc.dec — the fill
+			// outlives this read's scratch lease.
 			c.enqueueFill(fileID, dataChunks, fillStripe)
 		}
 	}
@@ -238,54 +276,56 @@ type fetchCandidate struct {
 	nodeID     int
 }
 
-// candidates lists the storage sources for a read in preference order: the
-// scheduler-selected nodes first, then the rest of the file's placement as
-// backups (used when the scheduler yields fewer distinct nodes than needed,
-// when fetches fail, and as hedge targets). Down nodes are skipped
-// entirely — fetching from them would only burn a failover. haveIdx are
-// chunk indices already in hand (from the cache).
-func (c *Controller) candidates(ep *epoch, meta FileMeta, have []erasure.Chunk) ([]fetchCandidate, int) {
-	used := make(map[int]bool, len(have))
-	for _, ch := range have {
-		used[ch.Index] = true
+// candidates fills sc.cands with the storage sources for a read in
+// preference order: the scheduler-selected nodes first, then the rest of
+// the file's placement as backups (used when the scheduler yields fewer
+// distinct nodes than needed, when fetches fail, and as hedge targets).
+// Down nodes are skipped entirely — fetching from them would only burn a
+// failover. sc.chunks holds the chunks already in hand (from the cache).
+// Returns the healthy-candidate boundary (see demoteTripped).
+func (c *Controller) candidates(sc *readScratch, ep *epoch, meta FileMeta) int {
+	sc.used = [4]uint64{}
+	for _, ch := range sc.chunks {
+		sc.markUsed(ch.Index)
 	}
 	rng := c.rngPool.Get().(*rand.Rand)
 	u := rng.Float64()
 	c.rngPool.Put(rng)
-	targets := ep.assignment.PickFrom(meta.ID, u)
+	sc.picks = ep.assignment.AppendPickFrom(sc.picks[:0], meta.ID, u)
 
-	cands := make([]fetchCandidate, 0, len(meta.Placement))
-	for _, node := range targets {
+	sc.cands = sc.cands[:0]
+	for _, node := range sc.picks {
 		ci := chunkIndexOnNode(meta, node)
-		if ci < 0 || used[ci] || ep.down[node] {
+		if ci < 0 || sc.isUsed(ci) || ep.down[node] {
 			continue
 		}
-		used[ci] = true
-		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
+		sc.markUsed(ci)
+		sc.cands = append(sc.cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
 	}
 	for ci, node := range meta.Placement {
-		if used[ci] || ep.down[node] {
+		if sc.isUsed(ci) || ep.down[node] {
 			continue
 		}
-		cands = append(cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
+		sc.cands = append(sc.cands, fetchCandidate{chunkIndex: ci, nodeID: nodeIDAt(ep.clu, node)})
 	}
-	return c.demoteTripped(cands)
+	return c.demoteTripped(sc)
 }
 
-// demoteTripped reorders candidates so nodes whose circuit breaker rejects
+// demoteTripped reorders sc.cands so nodes whose circuit breaker rejects
 // traffic sink to the tail: they are avoided while healthier sources exist
 // but remain reachable when nothing else is left — unlike down nodes, which
 // candidates() excludes outright. Order within each group is preserved. The
-// second return is the number of non-demoted candidates at the head: the
-// boundary hedging must not cross, because speculative fetches into a
-// tripped node waste the very capacity the breaker is protecting (and, on
-// an emulated or real store, tie up a server worker for the full stall).
-func (c *Controller) demoteTripped(cands []fetchCandidate) ([]fetchCandidate, int) {
+// return is the number of non-demoted candidates at the head: the boundary
+// hedging must not cross, because speculative fetches into a tripped node
+// waste the very capacity the breaker is protecting (and, on an emulated or
+// real store, tie up a server worker for the full stall).
+func (c *Controller) demoteTripped(sc *readScratch) int {
 	br := c.serve.Breakers
+	cands := sc.cands
 	if br == nil || len(cands) < 2 {
-		return cands, len(cands)
+		return len(cands)
 	}
-	var demoted []fetchCandidate
+	demoted := sc.demoted[:0]
 	kept := cands[:0]
 	for _, cand := range cands {
 		if br.Allow(cand.nodeID) {
@@ -294,11 +334,13 @@ func (c *Controller) demoteTripped(cands []fetchCandidate) ([]fetchCandidate, in
 			demoted = append(demoted, cand)
 		}
 	}
+	sc.demoted = demoted
 	if len(demoted) > 0 {
 		c.stats.breakerDemotions.Add(int64(len(demoted)))
 	}
 	healthy := len(kept)
-	return append(kept, demoted...), healthy
+	sc.cands = append(kept, demoted...)
+	return healthy
 }
 
 // fetchChunkObserved fetches one chunk and reports the outcome to the
@@ -311,27 +353,28 @@ func (c *Controller) fetchChunkObserved(ctx context.Context, fetcher ChunkFetche
 	return data, info, err
 }
 
-func (c *Controller) fetchChunks(ctx context.Context, fetcher ChunkFetcher, ep *epoch, meta FileMeta, have []erasure.Chunk, need, level int) ([]erasure.Chunk, []StripeInfo, int, error) {
-	cands, healthy := c.candidates(ep, meta, have)
+// fetchChunks appends the needed storage chunks (and their stripe infos)
+// onto sc.chunks and sc.infos. It returns the number of fetch errors the
+// read absorbed.
+func (c *Controller) fetchChunks(ctx context.Context, sc *readScratch, fetcher ChunkFetcher, ep *epoch, meta FileMeta, need, level int) (int, error) {
+	healthy := c.candidates(sc, ep, meta)
 	if c.serve.SequentialFetch {
-		return c.fetchSequential(ctx, fetcher, meta.ID, cands, need)
+		return c.fetchSequential(ctx, sc, fetcher, meta.ID, need)
 	}
-	return c.fetchParallel(ctx, fetcher, meta.ID, cands, healthy, need, level)
+	return c.fetchParallel(ctx, sc, fetcher, meta.ID, healthy, need, level)
 }
 
 // fetchSequential is the seed's serialised fetch loop, kept as the measured
 // A/B baseline: one chunk at a time, moving to the next candidate on error.
-// It returns the chunks, their stripe infos, and the number of fetch errors
-// the read absorbed.
-func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, need int) ([]erasure.Chunk, []StripeInfo, int, error) {
-	chunks := make([]erasure.Chunk, 0, need)
-	infos := make([]StripeInfo, 0, need)
+func (c *Controller) fetchSequential(ctx context.Context, sc *readScratch, fetcher ChunkFetcher, fileID, need int) (int, error) {
 	fetchErrs := 0
+	got := 0
 	var lastErr error
-	for _, cand := range cands {
-		if len(chunks) >= need {
+	for i := range sc.cands {
+		if got >= need {
 			break
 		}
+		cand := sc.cands[i]
 		data, info, err := c.fetchChunkObserved(ctx, fetcher, fileID, cand)
 		if err != nil {
 			lastErr = fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)
@@ -339,86 +382,103 @@ func (c *Controller) fetchSequential(ctx context.Context, fetcher ChunkFetcher, 
 			c.stats.fetchFailovers.Add(1)
 			continue
 		}
-		chunks = append(chunks, erasure.Chunk{Index: cand.chunkIndex, Data: data})
-		infos = append(infos, info)
+		sc.chunks = append(sc.chunks, erasure.Chunk{Index: cand.chunkIndex, Data: data})
+		sc.infos = append(sc.infos, info)
+		got++
 	}
-	if len(chunks) < need {
-		return nil, nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
+	if got < need {
+		return fetchErrs, fetchShortfallError(fileID, got, need, lastErr)
 	}
-	return chunks, infos, fetchErrs, nil
+	return fetchErrs, nil
 }
 
-type fetchResult struct {
-	chunk  erasure.Chunk
-	info   StripeInfo
-	hedged bool
-	err    error
-}
-
-// fetchParallel fans the needed chunk fetches out concurrently over the
-// candidate nodes. Failures fail over to the next unused candidate. When
-// hedging is enabled and the read is still incomplete after HedgeDelay, up
-// to HedgeExtra additional candidates are launched and the fastest
-// responses win; once enough chunks are in hand the shared context is
-// cancelled so losing fetches stop early. Brownout level >= 1 suppresses
-// hedging: speculative load is the first capacity given back under
-// saturation. Hedges only target the first `healthy` (non-breaker-demoted)
-// candidates — failover may fall back to a tripped node when nothing else
-// is left, but speculative work never should. The one exception: a read
-// already forced below the healthy boundary at launch (healthy < need) has
-// a required fetch running on a suspect node, so hedging over the
-// remaining demoted candidates is rescue, not waste.
-func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fileID int, cands []fetchCandidate, healthy, need, level int) ([]erasure.Chunk, []StripeInfo, int, error) {
-	fctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	results := make(chan fetchResult, len(cands))
-	launch := func(i int, hedged bool) {
-		cand := cands[i]
-		go func() {
-			data, info, err := c.fetchChunkObserved(fctx, fetcher, fileID, cand)
-			if err != nil {
-				results <- fetchResult{hedged: hedged, err: fmt.Errorf("core: fetching chunk %d of file %d: %w", cand.chunkIndex, fileID, err)}
-				return
-			}
-			results <- fetchResult{chunk: erasure.Chunk{Index: cand.chunkIndex, Data: data}, info: info, hedged: hedged}
-		}()
+// fetchParallel fans the needed chunk fetches out concurrently over
+// sc.cands via the controller's reusable fetch workers. Failures fail over
+// to the next unused candidate. When hedging is enabled and the read is
+// still incomplete after HedgeDelay, up to HedgeExtra additional candidates
+// are launched and the fastest responses win; once enough chunks are in
+// hand the hedge context is cancelled so losing fetches stop early.
+// Brownout level >= 1 suppresses hedging: speculative load is the first
+// capacity given back under saturation. Hedges only target the first
+// `healthy` (non-breaker-demoted) candidates — failover may fall back to a
+// tripped node when nothing else is left, but speculative work never
+// should. The one exception: a read already forced below the healthy
+// boundary at launch (healthy < need) has a required fetch running on a
+// suspect node, so hedging over the remaining demoted candidates is rescue,
+// not waste.
+//
+// A derived cancellable context is created only when hedging actually arms:
+// without hedges every launched fetch's result is received before success,
+// so there is nothing to cancel and the fast path skips the two
+// context.WithCancel allocations.
+func (c *Controller) fetchParallel(ctx context.Context, sc *readScratch, fetcher ChunkFetcher, fileID int, healthy, need, level int) (int, error) {
+	cands := sc.cands
+	if cap(sc.slots) < len(cands) {
+		sc.slots = make([]fetchSlot, len(cands))
 	}
-
-	next := 0 // next unused candidate
-	for ; next < len(cands) && next < need; next++ {
-		launch(next, false)
+	slots := sc.slots[:len(cands)]
+	if cap(sc.results) < len(cands) {
+		sc.results = make(chan int32, len(cands))
 	}
-	outstanding := next
+	results := sc.results
 
+	initial := need
+	if initial > len(cands) {
+		initial = len(cands)
+	}
 	hedgeBound := healthy
 	if healthy < need {
 		hedgeBound = len(cands)
 	}
+	hedging := c.serve.HedgeDelay > 0 && c.serve.HedgeExtra > 0 && initial < hedgeBound
+	if hedging && level >= 1 {
+		c.stats.hedgesSuppressed.Add(1)
+		hedging = false
+	}
+	fctx := ctx
 	var hedgeC <-chan time.Time
-	if c.serve.HedgeDelay > 0 && c.serve.HedgeExtra > 0 && next < hedgeBound {
-		if level >= 1 {
-			c.stats.hedgesSuppressed.Add(1)
-		} else {
-			timer := time.NewTimer(c.serve.HedgeDelay)
-			defer timer.Stop()
-			hedgeC = timer.C
-		}
+	if hedging {
+		var cancelHedges context.CancelFunc
+		fctx, cancelHedges = context.WithCancel(ctx)
+		defer cancelHedges()
+		timer := time.NewTimer(c.serve.HedgeDelay)
+		defer timer.Stop()
+		hedgeC = timer.C
 	}
 
-	chunks := make([]erasure.Chunk, 0, need)
-	infos := make([]StripeInfo, 0, need)
+	launch := func(i int, hedged bool) {
+		slot := &slots[i]
+		slot.ctx = fctx
+		slot.fetcher = fetcher
+		slot.sc = sc
+		slot.fileID = fileID
+		slot.idx = int32(i)
+		slot.hedged = hedged
+		slot.cand = cands[i]
+		slot.data, slot.err = nil, nil
+		c.dispatchFetch(slot)
+	}
+
+	for i := 0; i < initial; i++ {
+		launch(i, false)
+	}
+	next := initial
+	outstanding := initial
+
+	got := 0
 	fetchErrs := 0
 	var lastErr error
-	for len(chunks) < need && outstanding > 0 {
+	for got < need && outstanding > 0 {
 		select {
-		case res := <-results:
+		case idx := <-results:
 			outstanding--
-			if res.err != nil {
-				if ctx.Err() != nil {
-					return nil, nil, fetchErrs, ctx.Err()
+			slot := &slots[idx]
+			if slot.err != nil {
+				if sc.flag.IsSet() {
+					sc.outstanding = outstanding
+					return fetchErrs, ctx.Err()
 				}
-				lastErr = res.err
+				lastErr = fmt.Errorf("core: fetching chunk %d of file %d: %w", slot.cand.chunkIndex, fileID, slot.err)
 				// Count every failure (degraded-read classification) even
 				// when no backup candidate remains to launch — an in-flight
 				// hedge may still complete the read.
@@ -431,9 +491,10 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 				}
 				continue
 			}
-			chunks = append(chunks, res.chunk)
-			infos = append(infos, res.info)
-			if res.hedged {
+			sc.chunks = append(sc.chunks, erasure.Chunk{Index: slot.cand.chunkIndex, Data: slot.data})
+			sc.infos = append(sc.infos, slot.info)
+			got++
+			if slot.hedged {
 				c.stats.hedgeWins.Add(1)
 			}
 		case <-hedgeC:
@@ -445,13 +506,15 @@ func (c *Controller) fetchParallel(ctx context.Context, fetcher ChunkFetcher, fi
 				c.stats.hedgesLaunched.Add(1)
 			}
 		case <-ctx.Done():
-			return nil, nil, fetchErrs, ctx.Err()
+			sc.outstanding = outstanding
+			return fetchErrs, ctx.Err()
 		}
 	}
-	if len(chunks) < need {
-		return nil, nil, fetchErrs, fetchShortfallError(fileID, len(chunks), need, lastErr)
+	sc.outstanding = outstanding
+	if got < need {
+		return fetchErrs, fetchShortfallError(fileID, got, need, lastErr)
 	}
-	return chunks, infos, fetchErrs, nil
+	return fetchErrs, nil
 }
 
 func fetchShortfallError(fileID, got, need int, lastErr error) error {

@@ -40,6 +40,7 @@ func BenchmarkEncode(b *testing.B) {
 			b.Run(fmt.Sprintf("n%d_k%d/%s", nk.n, nk.k, cs.name), func(b *testing.B) {
 				code, chunks := benchSetup(b, nk.n, nk.k, cs.size)
 				b.SetBytes(int64(nk.k * cs.size))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := code.Encode(chunks); err != nil {
@@ -69,6 +70,7 @@ func BenchmarkReconstruct(b *testing.B) {
 					sel = append(sel, Chunk{Index: idx, Data: storage[idx]})
 				}
 				b.SetBytes(int64(nk.k * cs.size))
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := code.Reconstruct(sel); err != nil {
@@ -95,6 +97,7 @@ func BenchmarkReconstructColdPlan(b *testing.B) {
 		sel = append(sel, Chunk{Index: idx, Data: storage[idx]})
 	}
 	b.SetBytes(int64(k * 4 << 10))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		code.SetPlanCacheSize(1) // drops all cached plans

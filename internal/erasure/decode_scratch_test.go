@@ -1,0 +1,185 @@
+package erasure
+
+import (
+	"bytes"
+	"testing"
+
+	"sprout/internal/arena"
+)
+
+func reconstructInput(t *testing.T, c *Code, data []byte, indices []int) []Chunk {
+	t.Helper()
+	dataChunks, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([]Chunk, 0, len(indices))
+	for _, idx := range indices {
+		ch, err := c.ChunkAt(idx, dataChunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, Chunk{Index: idx, Data: ch})
+	}
+	return chunks
+}
+
+func TestReconstructIntoMatchesReconstruct(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("the quick brown fox jumps over the lazy dog, twice over")
+	sc := new(DecodeScratch)
+	for _, indices := range [][]int{
+		{0, 1, 2},       // all systematic
+		{2, 4, 6},       // mixed, unsorted
+		{7, 5, 3},       // parity-heavy, reversed
+		{6, 0, 4, 1, 2}, // extra chunks beyond k
+	} {
+		chunks := reconstructInput(t, c, data, indices)
+		want, err := c.Reconstruct(chunks)
+		if err != nil {
+			t.Fatalf("Reconstruct(%v): %v", indices, err)
+		}
+		got, err := c.ReconstructInto(sc, chunks)
+		if err != nil {
+			t.Fatalf("ReconstructInto(%v): %v", indices, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("chunk count %d != %d", len(got), len(want))
+		}
+		for i := range want {
+			if !bytes.Equal(got[i], want[i]) {
+				t.Fatalf("indices %v: chunk %d differs after scratch reuse", indices, i)
+			}
+		}
+	}
+}
+
+// TestReconstructIntoReusedBacking checks the dense-row outputs are
+// zeroed between decodes: a stale accumulation from the previous decode
+// would corrupt the XOR-accumulating kernels.
+func TestReconstructIntoReusedBacking(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := new(DecodeScratch)
+	dataA := bytes.Repeat([]byte{0xA5}, 100)
+	dataB := bytes.Repeat([]byte{0x3C}, 100)
+	for i := 0; i < 3; i++ {
+		for _, data := range [][]byte{dataA, dataB} {
+			chunks := reconstructInput(t, c, data, []int{3, 5}) // parity-only: dense rows
+			got, err := c.ReconstructInto(sc, chunks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			joined, err := c.AppendJoin(nil, got, len(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(joined, data) {
+				t.Fatalf("round %d: decode through reused scratch corrupted data", i)
+			}
+		}
+	}
+}
+
+func TestReconstructIntoErrors(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := new(DecodeScratch)
+	if _, err := c.ReconstructInto(sc, []Chunk{{Index: 0, Data: []byte{1}}}); err == nil {
+		t.Fatal("short data not rejected")
+	}
+	dup := []Chunk{{Index: 1, Data: []byte{1, 2}}, {Index: 1, Data: []byte{3, 4}}}
+	if _, err := c.ReconstructInto(sc, dup); err == nil {
+		t.Fatal("duplicate index not rejected")
+	}
+	mismatch := []Chunk{{Index: 0, Data: []byte{1, 2}}, {Index: 1, Data: []byte{3}}}
+	if _, err := c.ReconstructInto(sc, mismatch); err == nil {
+		t.Fatal("shape mismatch not rejected")
+	}
+	bad := []Chunk{{Index: 0, Data: []byte{1}}, {Index: 99, Data: []byte{2}}}
+	if _, err := c.ReconstructInto(sc, bad); err == nil {
+		t.Fatal("out-of-range index not rejected")
+	}
+}
+
+func TestAppendJoin(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]byte{{1, 2, 3}, {4, 5, 6}}
+	out, err := c.AppendJoin(nil, chunks, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{1, 2, 3, 4, 5}) {
+		t.Fatalf("AppendJoin = %v", out)
+	}
+	prefix := []byte{9}
+	out, err = c.AppendJoin(prefix, chunks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, []byte{9, 1, 2, 3, 4}) {
+		t.Fatalf("AppendJoin with prefix = %v", out)
+	}
+	if _, err := c.AppendJoin(nil, chunks, 7); err == nil {
+		t.Fatal("oversized join not rejected")
+	}
+	if _, err := c.AppendJoin(nil, chunks[:1], 3); err == nil {
+		t.Fatal("wrong chunk count not rejected")
+	}
+}
+
+// TestReconstructIntoZeroAlloc is the point of the scratch API: a warm
+// decode (cached plan, grown scratch, small inline-coded chunks) must
+// not allocate.
+func TestReconstructIntoZeroAlloc(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{7}, 300)
+	chunks := reconstructInput(t, c, data, []int{4, 6, 2})
+	sc := new(DecodeScratch)
+	if _, err := c.ReconstructInto(sc, chunks); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := c.ReconstructInto(sc, chunks); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm ReconstructInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestStripeScratchBalanced audits the stripe-scratch pool: after any
+// mix of codings, every lease must be back in the pool.
+func TestStripeScratchBalanced(t *testing.T) {
+	c, err := New(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x42}, 4096)
+	dataChunks, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(dataChunks); err != nil {
+		t.Fatal(err)
+	}
+	chunks := reconstructInput(t, c, data, []int{5, 6, 7, 8})
+	if _, err := c.Reconstruct(chunks); err != nil {
+		t.Fatal(err)
+	}
+	arena.CheckBalanced(t, StripeScratchPool())
+}

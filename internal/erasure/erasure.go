@@ -14,7 +14,6 @@ package erasure
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"sprout/internal/gf256"
@@ -121,17 +120,7 @@ func (c *Code) Split(data []byte) ([][]byte, error) {
 // Join concatenates data chunks and trims the result to size bytes, the
 // inverse of Split.
 func (c *Code) Join(chunks [][]byte, size int) ([]byte, error) {
-	if len(chunks) != c.k {
-		return nil, fmt.Errorf("%w: want %d data chunks, got %d", ErrShapeMismatch, c.k, len(chunks))
-	}
-	out := make([]byte, 0, size)
-	for _, ch := range chunks {
-		out = append(out, ch...)
-	}
-	if size > len(out) {
-		return nil, fmt.Errorf("%w: joined %d bytes, need %d", ErrShortData, len(out), size)
-	}
-	return out[:size], nil
+	return c.AppendJoin(make([]byte, 0, size), chunks, size)
 }
 
 // Encode produces the n storage chunks for the given data chunks. The first
@@ -228,63 +217,9 @@ type Chunk struct {
 // unit vectors (systematic chunks present in the input) become plain
 // copies, and the remaining rows run through the striped parallel kernels.
 func (c *Code) Reconstruct(chunks []Chunk) ([][]byte, error) {
-	if len(chunks) < c.k {
-		return nil, fmt.Errorf("%w: have %d, need %d", ErrShortData, len(chunks), c.k)
-	}
-	// Sort the first k chunks by index: the decode output is order-invariant
-	// and a canonical order lets every permutation of the same erasure
-	// pattern share one cached plan.
-	use := append(make([]Chunk, 0, c.k), chunks[:c.k]...)
-	sort.Slice(use, func(i, j int) bool { return use[i].Index < use[j].Index })
-	size := len(use[0].Data)
-	rows := make([]int, c.k)
-	key := make([]byte, c.k)
-	payloads := make([][]byte, c.k)
-	for i, ch := range use {
-		if ch.Index < 0 || ch.Index >= c.TotalChunks() {
-			return nil, fmt.Errorf("%w: index %d", ErrUnknownChunk, ch.Index)
-		}
-		if i > 0 && ch.Index == use[i-1].Index {
-			return nil, fmt.Errorf("%w: duplicate chunk index %d", ErrInvalidParams, ch.Index)
-		}
-		if len(ch.Data) != size {
-			return nil, ErrShapeMismatch
-		}
-		rows[i] = ch.Index
-		key[i] = byte(ch.Index)
-		payloads[i] = ch.Data
-	}
-	plans := c.plans.Load()
-	inv := plans.get(planKey(key))
-	if inv == nil {
-		sub := c.generator.SelectRows(rows)
-		var err error
-		inv, err = sub.Invert()
-		if err != nil {
-			return nil, fmt.Errorf("erasure: selected chunks not decodable: %w", err)
-		}
-		plans.put(planKey(key), inv)
-	}
-	out := allocChunks(c.k, size)
-	// Split inverse rows into unit-vector rows (plain copies: the data
-	// chunk was supplied directly) and dense rows for the striped kernels.
-	denseRows := make([][]byte, 0, c.k)
-	denseOuts := make([][]byte, 0, c.k)
-	for r := 0; r < c.k; r++ {
-		if j := unitColumn(inv.Data[r]); j >= 0 {
-			copy(out[r], payloads[j])
-			continue
-		}
-		denseRows = append(denseRows, inv.Data[r])
-		denseOuts = append(denseOuts, out[r])
-	}
-	if len(denseRows) > 0 {
-		parallel := codeRows(denseRows, payloads, denseOuts)
-		c.counters.countOp(parallel)
-	}
-	c.counters.reconstructs.Add(1)
-	c.counters.bytesReconstructed.Add(int64(size) * int64(c.k))
-	return out, nil
+	// A fresh scratch means the returned chunks own fresh backing; the
+	// zero-allocation path is ReconstructInto with a recycled scratch.
+	return c.ReconstructInto(new(DecodeScratch), chunks)
 }
 
 // unitColumn returns j if row is the unit vector e_j, and -1 otherwise.

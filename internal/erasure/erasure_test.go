@@ -356,6 +356,7 @@ func BenchmarkEncode7of4_1MB(b *testing.B) {
 	data := randomData(rng, 1<<20)
 	dataChunks, _ := code.Split(data)
 	b.SetBytes(1 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := code.Encode(dataChunks); err != nil {
@@ -377,6 +378,7 @@ func BenchmarkDecode7of4_1MB(b *testing.B) {
 		{Index: 6, Data: storage[6]},
 	}
 	b.SetBytes(1 << 20)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := code.Reconstruct(chunks); err != nil {

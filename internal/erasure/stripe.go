@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 
+	"sprout/internal/arena"
 	"sprout/internal/gf256"
 )
 
@@ -54,7 +55,13 @@ type stripeScratch struct {
 	srcs [][]byte
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(stripeScratch) }}
+// scratchPool is counted so tests can assert every Get is matched by a
+// Put on success, error, and panic paths alike.
+var scratchPool = arena.NewCountedPool("erasure_stripe_scratch", func() any { return new(stripeScratch) })
+
+// StripeScratchPool exposes the stripe-scratch pool's lease accounting
+// for leak checks and metrics.
+func StripeScratchPool() *arena.CountedPool { return scratchPool }
 
 // putScratch zeroes the retained views before pooling so a parked scratch
 // does not pin the caller's chunk buffers until the next reuse.
@@ -72,8 +79,8 @@ func codeRows(rows [][]byte, srcs [][]byte, outs [][]byte) bool {
 	size := len(srcs[0])
 	if size < parallelThreshold || runtime.GOMAXPROCS(0) < 2 {
 		sc := scratchPool.Get().(*stripeScratch)
+		defer putScratch(sc) // deferred: a panicking kernel must not leak the lease
 		applyRows(rows, srcs, outs, 0, size, sc)
-		putScratch(sc)
 		return false
 	}
 	codePoolOnce.Do(startCodePool)
@@ -90,8 +97,8 @@ func codeRows(rows [][]byte, srcs [][]byte, outs [][]byte) bool {
 		submitStripe(func() {
 			defer wg.Done()
 			sc := scratchPool.Get().(*stripeScratch)
+			defer putScratch(sc)
 			applyRows(rows, srcs, outs, lo, hi, sc)
-			putScratch(sc)
 		})
 	}
 	wg.Wait()

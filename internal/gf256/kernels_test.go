@@ -143,6 +143,7 @@ func benchmarkMulSlice(b *testing.B, kernel func(c byte, src, dst []byte), size 
 		src[i] = byte(i*7 + 3)
 	}
 	b.SetBytes(int64(size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		kernel(0x9c, src, dst)
@@ -189,6 +190,7 @@ func BenchmarkMulAccumulateRows(b *testing.B) {
 	}
 	dst := make([]byte, size)
 	b.SetBytes(int64(k * size))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		MulAccumulateRows(row, srcs, dst)

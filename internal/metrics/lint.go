@@ -11,7 +11,7 @@ import (
 // the quantity they measure.
 var gaugeUnits = []string{
 	"bytes", "chunks", "seconds", "ratio", "level", "requests", "files",
-	"plans", "objects", "info",
+	"plans", "objects", "info", "leases", "count",
 }
 
 // Lint applies promlint-style conformance rules to every registered family

@@ -41,6 +41,15 @@ type Sources struct {
 	OSDHealth func() []objstore.OSDHealth
 	// Chaos snapshots the fault injector (usually only set in harnesses).
 	Chaos func() transport.ChaosStats
+	// Runtime, when true, exposes the Go runtime's GC pause, heap, and
+	// goroutine series alongside the planes they serve.
+	Runtime bool
+	// Pools bridges named buffer arenas and counted scratch pools
+	// (lease hits, misses, outstanding).
+	Pools []PoolSource
+	// Rings bridges named lock-free work queues (pushes, pops, rejects,
+	// parks).
+	Rings []RingSource
 }
 
 // Register wires every non-nil source into the registry.
@@ -59,6 +68,15 @@ func Register(r *metrics.Registry, s Sources) {
 	}
 	if s.Chaos != nil {
 		registerChaos(r, s.Chaos)
+	}
+	if s.Runtime {
+		registerRuntime(r)
+	}
+	if len(s.Pools) > 0 {
+		registerPools(r, s.Pools)
+	}
+	if len(s.Rings) > 0 {
+		registerRings(r, s.Rings)
 	}
 }
 

@@ -12,11 +12,13 @@ import (
 
 	"sprout/internal/cluster"
 	"sprout/internal/core"
+	"sprout/internal/erasure"
 	"sprout/internal/metrics"
 	"sprout/internal/objstore"
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/repair"
+	"sprout/internal/ring"
 	"sprout/internal/transport"
 )
 
@@ -58,7 +60,19 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 				{ID: 1, State: objstore.StateDown, Errors: 1, LostChunks: 2},
 			}
 		},
-		Chaos: func() transport.ChaosStats { return transport.ChaosStats{DelaysInjected: 1} },
+		Chaos:   func() transport.ChaosStats { return transport.ChaosStats{DelaysInjected: 1} },
+		Runtime: true,
+		Pools: []PoolSource{
+			transport.FrameArena(),
+			core.FillArena(),
+			core.ReadScratchPool(),
+			erasure.StripeScratchPool(),
+		},
+		Rings: []RingSource{
+			{Name: "controller_fill", Stats: ctrl.FillQueueStats},
+			{Name: "transport_work", Stats: func() ring.Stats { return ring.Stats{Pushes: 1, Pops: 1} }},
+			{Name: "repair_wake", Stats: func() ring.Stats { return ring.Stats{} }},
+		},
 	})
 }
 

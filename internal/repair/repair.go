@@ -11,6 +11,8 @@ import (
 	"sprout/internal/erasure"
 	"sprout/internal/objstore"
 	"sprout/internal/resilience"
+	"sprout/internal/ring"
+	"sprout/internal/tick"
 )
 
 // Config tunes the repair manager.
@@ -30,6 +32,12 @@ type Config struct {
 	// with immediate replays. The zero value uses the resilience defaults
 	// (2ms base, 250ms cap, doubling).
 	RetryBackoff resilience.Backoff
+	// Tick, when set, is a shared scheduler the periodic degradation scan
+	// runs on instead of the manager owning a scan goroutine — one
+	// process-wide timer batches every subsystem's periodic work. The
+	// caller owns the scheduler's lifetime; Close only unregisters the
+	// scan job. Nil means the manager owns a private scheduler.
+	Tick *tick.Scheduler
 	// Breakers, when set, are per-OSD circuit breakers consulted when
 	// picking survivors to read: OSDs whose breaker rejects traffic sit a
 	// repair read out while at least k healthier survivors remain. Every
@@ -88,7 +96,12 @@ type Manager struct {
 	cfg  Config
 
 	queue *repairQueue
-	kick  chan struct{}
+
+	// sched drives the periodic degradation scan (and Kick requests);
+	// ownSched records whether Close must stop it or only unregister.
+	sched    *tick.Scheduler
+	ownSched bool
+	scanJob  string
 
 	// attemptMu guards the persistent retry bookkeeping. attempts carries a
 	// chunk's failure count across scans; stalled maps a chunk that
@@ -121,37 +134,56 @@ type Manager struct {
 
 // NewManager builds a repair manager over the pool. Call Start to launch
 // the workers and the periodic scan.
+// managerSeq makes scan-job names unique so several managers can share one
+// injected scheduler.
+var managerSeq atomic.Int64
+
 func NewManager(pool *objstore.Pool, cfg Config) *Manager {
+	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Manager{
+	m := &Manager{
 		pool:     pool,
-		cfg:      cfg.withDefaults(),
-		queue:    newRepairQueue(),
-		kick:     make(chan struct{}, 1),
+		cfg:      cfg,
+		queue:    newRepairQueue(cfg.Workers),
+		scanJob:  fmt.Sprintf("repair-scan-%d", managerSeq.Add(1)),
 		attempts: make(map[string]int),
 		stalled:  make(map[string]int),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
+	// The scheduler is picked here, not in Start, so Kick never races the
+	// startOnce body; the scan job itself is only registered by Start.
+	if m.sched = cfg.Tick; m.sched == nil {
+		m.sched = tick.New()
+		m.ownSched = true
+	}
+	return m
 }
 
-// Start launches the worker pool and, when ScanInterval is set, the
-// periodic degradation scan.
+// Start launches the worker pool and registers the degradation scan on the
+// scheduler. With ScanInterval set the scan is periodic; without it the
+// job is kick-only (Kick and ScanOnce still work).
 func (m *Manager) Start() {
 	m.startOnce.Do(func() {
 		for i := 0; i < m.cfg.Workers; i++ {
 			m.wg.Add(1)
 			go m.worker()
 		}
-		m.wg.Add(1)
-		go m.scanLoop()
+		m.sched.Register(m.scanJob, m.cfg.ScanInterval, func(time.Time) { m.scanTick() })
 	})
 }
 
-// Close stops the scan loop and workers. In-flight repairs are cancelled.
+// Close stops the scan job and workers. In-flight repairs are cancelled.
 func (m *Manager) Close() {
 	m.closeOnce.Do(func() {
 		m.cancel()
+		if m.sched != nil {
+			if m.ownSched {
+				m.sched.Close()
+			} else {
+				m.sched.Unregister(m.scanJob)
+			}
+		}
 		m.queue.close()
 	})
 	m.wg.Wait()
@@ -159,11 +191,9 @@ func (m *Manager) Close() {
 
 // Kick triggers an immediate degradation scan (e.g. right after a failure
 // was injected or detected) without waiting for the next periodic tick.
+// A Kick before Start is a no-op (the scan job is not registered yet).
 func (m *Manager) Kick() {
-	select {
-	case m.kick <- struct{}{}:
-	default:
-	}
+	m.sched.Kick(m.scanJob)
 }
 
 // ScanOnce scans the pool for degraded objects and enqueues their missing
@@ -236,6 +266,10 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
+// QueueStats returns the telemetry counters of the lock-free ring that
+// hands prioritized repairs to the worker pool.
+func (m *Manager) QueueStats() ring.Stats { return m.queue.stats() }
+
 // WaitIdle blocks until no repairs are queued or running, or the context is
 // done. A drained queue does not imply a healthy pool: chunks with too few
 // survivors are deferred to later scans.
@@ -270,28 +304,17 @@ func (m *Manager) enqueue(object string, chunk, surviving, attempts int) bool {
 	return true
 }
 
-func (m *Manager) scanLoop() {
-	defer m.wg.Done()
-	var tickC <-chan time.Time
-	if m.cfg.ScanInterval > 0 {
-		ticker := time.NewTicker(m.cfg.ScanInterval)
-		defer ticker.Stop()
-		tickC = ticker.C
+// scanTick is one degradation scan on the scheduler: enqueue missing
+// chunks, and when the pool is fully healthy promote Recovering OSDs back
+// to Up — the pool has regained full redundancy.
+func (m *Manager) scanTick() {
+	if m.ctx.Err() != nil {
+		return
 	}
-	for {
-		select {
-		case <-m.ctx.Done():
-			return
-		case <-tickC:
-		case <-m.kick:
-		}
-		if m.ScanOnce() == 0 && m.queue.len() == 0 && m.inFlight.Load() == 0 {
-			// Nothing degraded: promote Recovering OSDs to Up — the pool has
-			// regained full redundancy.
-			for _, osd := range m.pool.OSDs() {
-				if osd.State() == objstore.StateRecovering {
-					osd.MarkUp()
-				}
+	if m.ScanOnce() == 0 && m.queue.len() == 0 && m.inFlight.Load() == 0 {
+		for _, osd := range m.pool.OSDs() {
+			if osd.State() == objstore.StateRecovering {
+				osd.MarkUp()
 			}
 		}
 	}

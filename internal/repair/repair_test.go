@@ -97,7 +97,7 @@ func TestDetectorThresholds(t *testing.T) {
 }
 
 func TestQueuePriorityAndDedup(t *testing.T) {
-	q := newRepairQueue()
+	q := newRepairQueue(1)
 	if !q.push("b", 0, 5, 0) {
 		t.Fatal("push rejected")
 	}

@@ -1,0 +1,127 @@
+package ring
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// The benchmarks compare the ring against a buffered channel of the same
+// capacity under the serving path's actual shape: N producers handing
+// small work items to one consumer. This is the comparison the hotpath
+// experiment in internal/bench re-runs for the CI bench gate.
+
+const benchCap = 256
+
+func benchRingMPSC(b *testing.B, producers int) {
+	b.ReportAllocs()
+	q := New[int](benchCap)
+	var wg sync.WaitGroup
+	per := b.N / producers
+	b.ResetTimer()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for !q.TryPush(i) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	for i := 0; i < per*producers; i++ {
+		if _, ok := q.PopWait(nil); !ok {
+			b.Fatal("unexpected close")
+		}
+	}
+	wg.Wait()
+}
+
+func benchChanMPSC(b *testing.B, producers int) {
+	b.ReportAllocs()
+	ch := make(chan int, benchCap)
+	var wg sync.WaitGroup
+	per := b.N / producers
+	b.ResetTimer()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				ch <- i
+			}
+		}()
+	}
+	for i := 0; i < per*producers; i++ {
+		<-ch
+	}
+	wg.Wait()
+}
+
+func benchRingBatchMPSC(b *testing.B, producers int) {
+	b.ReportAllocs()
+	q := New[int](benchCap)
+	var wg sync.WaitGroup
+	per := b.N / producers
+	b.ResetTimer()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				for !q.TryPush(i) {
+					runtime.Gosched()
+				}
+			}
+		}()
+	}
+	buf := make([]int, 64)
+	for got := 0; got < per*producers; {
+		n, ok := q.PopBatchWait(buf, nil)
+		if !ok {
+			b.Fatal("unexpected close")
+		}
+		got += n
+	}
+	wg.Wait()
+}
+
+func BenchmarkRingMPSC(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", p), func(b *testing.B) { benchRingMPSC(b, p) })
+	}
+}
+
+func BenchmarkRingBatchMPSC(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", p), func(b *testing.B) { benchRingBatchMPSC(b, p) })
+	}
+}
+
+func BenchmarkChanMPSC(b *testing.B) {
+	for _, p := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("producers=%d", p), func(b *testing.B) { benchChanMPSC(b, p) })
+	}
+}
+
+// BenchmarkRingUncontended measures the raw push+pop pair cost with no
+// concurrency — the floor the serving path pays per hand-off.
+func BenchmarkRingUncontended(b *testing.B) {
+	b.ReportAllocs()
+	q := New[int](benchCap)
+	for i := 0; i < b.N; i++ {
+		q.TryPush(i)
+		q.TryPop()
+	}
+}
+
+func BenchmarkChanUncontended(b *testing.B) {
+	b.ReportAllocs()
+	ch := make(chan int, benchCap)
+	for i := 0; i < b.N; i++ {
+		ch <- i
+		<-ch
+	}
+}

@@ -1,0 +1,408 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 2}, {1, 2}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {64, 64}, {100, 128},
+	} {
+		if got := New[int](tc.in).Cap(); got != tc.want {
+			t.Errorf("New(%d).Cap() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestFIFOAndFull(t *testing.T) {
+	b := New[int](4)
+	for i := 0; i < 4; i++ {
+		if !b.TryPush(i) {
+			t.Fatalf("push %d rejected on non-full ring", i)
+		}
+	}
+	if b.TryPush(99) {
+		t.Fatal("push accepted on full ring")
+	}
+	if got := b.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		v, ok := b.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := b.TryPop(); ok {
+		t.Fatal("pop succeeded on empty ring")
+	}
+	st := b.Stats()
+	if st.Pushes != 4 || st.Pops != 4 || st.Rejects != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	b := New[int](2)
+	for i := 0; i < 1000; i++ {
+		if !b.TryPush(i) {
+			t.Fatalf("push %d rejected", i)
+		}
+		v, ok := b.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got (%d, %v)", i, v, ok)
+		}
+	}
+}
+
+// TestMPSCOrdered checks that every item arrives exactly once and that
+// each producer's items arrive in its own push order.
+func TestMPSCOrdered(t *testing.T) {
+	const producers = 8
+	const perProducer = 2000
+	b := New[[2]int](64)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !b.TryPush([2]int{p, i}) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+
+	done := make(chan struct{})
+	lastSeen := make([]int, producers)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	go func() {
+		defer close(done)
+		for n := 0; n < producers*perProducer; n++ {
+			v, ok := b.PopWait(nil)
+			if !ok {
+				t.Errorf("PopWait returned !ok mid-stream")
+				return
+			}
+			p, i := v[0], v[1]
+			if i != lastSeen[p]+1 {
+				t.Errorf("producer %d: got item %d after %d", p, i, lastSeen[p])
+				return
+			}
+			lastSeen[p] = i
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("consumer did not drain in time")
+	}
+	for p, last := range lastSeen {
+		if last != perProducer-1 {
+			t.Errorf("producer %d: last item %d, want %d", p, last, perProducer-1)
+		}
+	}
+}
+
+// TestMPMC hammers the ring with concurrent producers and consumers and
+// checks conservation: every pushed item is popped exactly once.
+func TestMPMC(t *testing.T) {
+	const producers = 4
+	const consumers = 4
+	const perProducer = 5000
+	b := New[int](32)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !b.TryPush(p*perProducer + i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		b.Close()
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]bool, producers*perProducer)
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				v, ok := b.PopWait(nil)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("item %d popped twice", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("popped %d distinct items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+// TestCloseDrains checks that consumers parked in PopWait wake on Close,
+// drain the remaining items, and then observe exhaustion.
+func TestCloseDrains(t *testing.T) {
+	b := New[int](8)
+	for i := 0; i < 5; i++ {
+		b.TryPush(i)
+	}
+	b.Close()
+	for i := 0; i < 5; i++ {
+		v, ok := b.PopWait(nil)
+		if !ok || v != i {
+			t.Fatalf("drain %d: got (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := b.PopWait(nil); ok {
+		t.Fatal("PopWait returned ok on closed empty ring")
+	}
+	b.Close() // idempotent
+}
+
+// TestCloseWakesParked starts a parked consumer and checks Close unblocks
+// it without leaking the goroutine.
+func TestCloseWakesParked(t *testing.T) {
+	b := New[int](8)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := b.PopWait(nil)
+		done <- ok
+	}()
+	waitParked(t, b)
+	b.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("parked consumer got an item from an empty closed ring")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not wake the parked consumer")
+	}
+}
+
+// TestStopAbandons checks the stop channel: a parked consumer returns
+// immediately and queued items are left behind for the owner to drain.
+func TestStopAbandons(t *testing.T) {
+	b := New[int](8)
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := b.PopWait(stop)
+		done <- ok
+	}()
+	waitParked(t, b)
+	b.TryPush(7) // may or may not be claimed before stop; push after park
+	v, ok := b.PopWait(nil)
+	if !ok || v != 7 {
+		t.Fatalf("wake pop: got (%d, %v)", v, ok)
+	}
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("stopped consumer reported an item")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stop did not wake the parked consumer")
+	}
+	b.TryPush(8)
+	if _, ok := b.PopWait(stop); ok {
+		t.Fatal("PopWait ignored an already-fired stop channel")
+	}
+	if v, ok := b.TryPop(); !ok || v != 8 {
+		t.Fatal("stop consumed the queued item instead of leaving it")
+	}
+}
+
+// TestWakeAfterPark is the core park/unpark race: push strictly after the
+// consumer has parked and check the wake token arrives.
+func TestWakeAfterPark(t *testing.T) {
+	b := New[int](8)
+	got := make(chan int, 1)
+	go func() {
+		v, _ := b.PopWait(nil)
+		got <- v
+	}()
+	waitParked(t, b)
+	if !b.TryPush(42) {
+		t.Fatal("push rejected")
+	}
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d, want 42", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked consumer never woke for the push")
+	}
+}
+
+func TestPopBatch(t *testing.T) {
+	b := New[int](8)
+	buf := make([]int, 16)
+	if n := b.PopBatch(buf); n != 0 {
+		t.Fatalf("PopBatch on empty ring = %d", n)
+	}
+	for i := 0; i < 6; i++ {
+		b.TryPush(i)
+	}
+	if n := b.PopBatch(buf[:4]); n != 4 {
+		t.Fatalf("PopBatch claimed %d, want 4", n)
+	}
+	for i := 0; i < 4; i++ {
+		if buf[i] != i {
+			t.Fatalf("batch[%d] = %d, want %d", i, buf[i], i)
+		}
+	}
+	if n := b.PopBatch(buf); n != 2 || buf[0] != 4 || buf[1] != 5 {
+		t.Fatalf("second batch = %d (%v)", n, buf[:2])
+	}
+	if n := b.PopBatch(nil); n != 0 {
+		t.Fatalf("PopBatch(nil) = %d", n)
+	}
+}
+
+// TestPopBatchWrap forces the batch claim across the ring's wrap point.
+func TestPopBatchWrap(t *testing.T) {
+	b := New[int](4)
+	buf := make([]int, 4)
+	for lap := 0; lap < 5; lap++ {
+		base := lap * 3
+		for i := 0; i < 3; i++ {
+			if !b.TryPush(base + i) {
+				t.Fatalf("push %d rejected", base+i)
+			}
+		}
+		if n := b.PopBatch(buf); n != 3 {
+			t.Fatalf("lap %d: claimed %d, want 3", lap, n)
+		}
+		for i := 0; i < 3; i++ {
+			if buf[i] != base+i {
+				t.Fatalf("lap %d: batch[%d] = %d, want %d", lap, i, buf[i], base+i)
+			}
+		}
+	}
+}
+
+// TestPopBatchMPMC checks conservation with batch and single-item
+// consumers mixed under concurrency.
+func TestPopBatchMPMC(t *testing.T) {
+	const producers = 4
+	const perProducer = 5000
+	b := New[int](32)
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				for !b.TryPush(p*perProducer + i) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		b.Close()
+	}()
+
+	var mu sync.Mutex
+	seen := make(map[int]bool, producers*perProducer)
+	record := func(vs ...int) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, v := range vs {
+			if seen[v] {
+				t.Errorf("item %d popped twice", v)
+			}
+			seen[v] = true
+		}
+	}
+	var cwg sync.WaitGroup
+	cwg.Add(2)
+	go func() { // batch consumer
+		defer cwg.Done()
+		buf := make([]int, 7)
+		for {
+			n, ok := b.PopBatchWait(buf, nil)
+			if !ok {
+				return
+			}
+			record(buf[:n]...)
+		}
+	}()
+	go func() { // single-item consumer
+		defer cwg.Done()
+		for {
+			v, ok := b.PopWait(nil)
+			if !ok {
+				return
+			}
+			record(v)
+		}
+	}()
+	cwg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("popped %d distinct items, want %d", len(seen), producers*perProducer)
+	}
+}
+
+func TestPopBatchWaitStop(t *testing.T) {
+	b := New[int](8)
+	stop := make(chan struct{})
+	close(stop)
+	if n, ok := b.PopBatchWait(make([]int, 4), stop); ok || n != 0 {
+		t.Fatalf("PopBatchWait ignored fired stop: (%d, %v)", n, ok)
+	}
+	b.TryPush(1)
+	b.Close()
+	buf := make([]int, 4)
+	if n, ok := b.PopBatchWait(buf, nil); !ok || n != 1 || buf[0] != 1 {
+		t.Fatalf("closed drain: (%d, %v)", n, ok)
+	}
+	if n, ok := b.PopBatchWait(buf, nil); ok || n != 0 {
+		t.Fatalf("closed empty: (%d, %v)", n, ok)
+	}
+}
+
+// waitParked blocks until at least one consumer has registered as a
+// waiter (it may still be in its final re-poll, which is fine: the wake
+// protocol covers that window).
+func waitParked(t *testing.T, b *Buf[int]) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for b.waiters.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("consumer never parked")
+		}
+		runtime.Gosched()
+	}
+}

@@ -98,7 +98,21 @@ func (p *Picker) PickFrom(u float64) []int {
 	} else if u >= 1 {
 		u = math.Nextafter(1, 0)
 	}
-	out := make([]int, 0, p.setSize)
+	return p.AppendPickFrom(make([]int, 0, p.setSize), u)
+}
+
+// AppendPickFrom is PickFrom appending onto dst — allocation-free when
+// dst has capacity, which is how the controller's pooled read scratch
+// draws node sets on the hot path.
+func (p *Picker) AppendPickFrom(dst []int, u float64) []int {
+	if p.setSize == 0 {
+		return dst
+	}
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
 	for t := 0; t < p.setSize; t++ {
 		target := u + float64(t)
 		// Find the interval (cum[i], cum[i+1]] containing target.
@@ -109,9 +123,9 @@ func (p *Picker) PickFrom(u float64) []int {
 		if i > len(p.nodes) {
 			i = len(p.nodes)
 		}
-		out = append(out, p.nodes[i-1])
+		dst = append(dst, p.nodes[i-1])
 	}
-	return out
+	return dst
 }
 
 // Excluding derives a picker that never selects nodes for which alive
@@ -225,6 +239,12 @@ func (a *Assignment) Pick(file int, rng *rand.Rand) []int {
 // a caller-supplied uniform draw; see Picker.PickFrom.
 func (a *Assignment) PickFrom(file int, u float64) []int {
 	return a.pickers[file].PickFrom(u)
+}
+
+// AppendPickFrom selects the storage nodes for one request of the given
+// file, appending onto dst; see Picker.AppendPickFrom.
+func (a *Assignment) AppendPickFrom(dst []int, file int, u float64) []int {
+	return a.pickers[file].AppendPickFrom(dst, u)
 }
 
 // Excluding derives an assignment whose per-file pickers never select nodes

@@ -52,6 +52,7 @@ func BenchmarkTransportBinaryGetChunk(b *testing.B) {
 	defer client.Close()
 	ctx := context.Background()
 	b.SetBytes(4 << 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := client.GetChunk(ctx, "data", "obj", i%5); err != nil {
@@ -75,6 +76,7 @@ func BenchmarkTransportBinaryGetChunkParallel(b *testing.B) {
 	ctx := context.Background()
 	b.SetBytes(4 << 10)
 	b.SetParallelism(16)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
@@ -103,6 +105,7 @@ func BenchmarkTransportGobGetChunk(b *testing.B) {
 	}
 	defer client.Close()
 	b.SetBytes(4 << 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := client.GetChunk("data", "obj", i%5); err != nil {
@@ -117,6 +120,7 @@ func BenchmarkTransportEncodeRequest(b *testing.B) {
 	req := Request{ID: 1, Op: OpPut, Pool: "data", Object: "object-000", Data: data}
 	buf := make([]byte, 0, 5<<10)
 	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		req.ID = uint64(i)

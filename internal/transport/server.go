@@ -14,8 +14,21 @@ import (
 	"syscall"
 	"time"
 
+	"sprout/internal/arena"
 	"sprout/internal/objstore"
+	"sprout/internal/ring"
+	"sprout/internal/tick"
 )
+
+// frameArena recycles the per-batch response-encode buffers: a write loop
+// leases one when a batch starts and releases it after the flush, so idle
+// connections pin no encode memory and busy ones recycle size-classed
+// backing instead of growing a private slice each.
+var frameArena = arena.New("transport_frame_encode")
+
+// FrameArena exposes the response-encode arena for metrics export and
+// leak-counting tests.
+func FrameArena() *arena.Arena { return frameArena }
 
 // ServerConfig tunes the server's admission control and framing.
 type ServerConfig struct {
@@ -25,7 +38,9 @@ type ServerConfig struct {
 	Workers int
 	// MaxInFlight bounds the request queue feeding the worker pool. A frame
 	// arriving while the queue is full is answered immediately with an
-	// overload response instead of being buffered. Default: 256.
+	// overload response instead of being buffered. The queue is a lock-free
+	// ring, so the effective bound is MaxInFlight rounded up to the next
+	// power of two (minimum 2). Default: 256.
 	MaxInFlight int
 	// MaxFrameSize bounds accepted frame payloads. Default:
 	// DefaultMaxFrameSize.
@@ -42,6 +57,12 @@ type ServerConfig struct {
 	// and CommitObject cannot leak staged chunks forever. Zero disables the
 	// janitor (default).
 	StagedPutTTL time.Duration
+	// Tick, when set, is a shared scheduler the staged-put janitor runs on
+	// instead of the server owning a goroutine for it — one process-wide
+	// timer batches every subsystem's periodic work. The caller owns the
+	// scheduler's lifetime; Close only unregisters the job. Nil means the
+	// server owns a private scheduler when StagedPutTTL is set.
+	Tick *tick.Scheduler
 	// Chaos, when set, injects per-OSD latency, errors, stalls, and
 	// partitions into chunk-addressed requests, and optionally hangs newly
 	// accepted connections — the fault-injection harness behind the chaos
@@ -77,8 +98,14 @@ type Server struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	work   chan task
+	work   *ring.Buf[task]
 	nic    *netMeter
+
+	// sched runs the staged-put janitor; nil when StagedPutTTL is unset.
+	// ownSched records whether Close must stop it (private) or only
+	// unregister the job (shared via ServerConfig.Tick).
+	sched    *tick.Scheduler
+	ownSched bool
 
 	counters transportCounters
 
@@ -111,7 +138,7 @@ func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 		cfg:     cfg,
 		ctx:     ctx,
 		cancel:  cancel,
-		work:    make(chan task, cfg.MaxInFlight),
+		work:    ring.New[task](cfg.MaxInFlight),
 		conns:   make(map[*serverConn]struct{}),
 	}
 	if cfg.NICBandwidth > 0 {
@@ -122,6 +149,10 @@ func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 
 // Stats returns a snapshot of the server's transport counters.
 func (s *Server) Stats() TransportStats { return s.counters.snapshot() }
+
+// WorkQueueStats returns the telemetry counters of the lock-free request
+// ring feeding the worker pool.
+func (s *Server) WorkQueueStats() ring.Stats { return s.work.Stats() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -151,8 +182,7 @@ func (s *Server) Listen(addr string) (string, error) {
 			go s.worker()
 		}
 		if s.cfg.StagedPutTTL > 0 {
-			s.workerWG.Add(1)
-			go s.stagedJanitor()
+			s.startStagedJanitor()
 		}
 	}
 	s.mu.Unlock()
@@ -207,10 +237,17 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// worker executes requests from the bounded queue.
+// worker executes requests from the bounded queue, parking on the ring's
+// eventcount when it is empty. A nil stop channel is deliberate: shutdown
+// is signalled by closing the ring, which lets workers drain every request
+// that was admitted before the close.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
-	for t := range s.work {
+	for {
+		t, ok := s.work.PopWait(nil)
+		if !ok {
+			return
+		}
 		// A request whose deadline expired while it sat in the queue is dead
 		// weight: nobody is waiting for the answer, so shed it before paying
 		// for the handler.
@@ -466,11 +503,20 @@ func (s *Server) Close() error {
 		sc.teardown()
 	}
 	s.connWG.Wait()
-	// All readers have exited, so nothing can enqueue work anymore.
+	// All readers have exited, so nothing can enqueue work anymore. Closing
+	// the ring wakes parked workers; they drain whatever was admitted and
+	// then exit.
 	if started {
-		close(s.work)
+		s.work.Close()
 	}
 	s.workerWG.Wait()
+	if s.sched != nil {
+		if s.ownSched {
+			s.sched.Close()
+		} else {
+			s.sched.Unregister(stagedJanitorJob)
+		}
+	}
 	return err
 }
 
@@ -552,10 +598,9 @@ func (sc *serverConn) readLoop() {
 			sc.send(&Response{ID: req.ID, Code: codeDeadlineExceeded, Err: context.DeadlineExceeded.Error()})
 			continue
 		}
-		select {
-		case sc.srv.work <- task{sc: sc, req: req}:
+		if sc.srv.work.TryPush(task{sc: sc, req: req}) {
 			sc.srv.counters.requests.Add(1)
-		default:
+		} else {
 			// Queue full: shed load with an explicit overload response
 			// instead of buffering unboundedly.
 			sc.srv.counters.overloadRejections.Add(1)
@@ -567,13 +612,10 @@ func (sc *serverConn) readLoop() {
 func (sc *serverConn) writeLoop() {
 	defer sc.srv.connWG.Done()
 	bw := bufio.NewWriterSize(sc.conn, 64<<10)
-	var buf []byte
 	for {
 		select {
 		case resp := <-sc.out:
-			ok := false
-			buf, ok = sc.writeBatch(bw, buf, resp)
-			if !ok {
+			if !sc.writeBatch(bw, resp) {
 				sc.teardown()
 				return
 			}
@@ -583,16 +625,35 @@ func (sc *serverConn) writeLoop() {
 	}
 }
 
-// writeBatch encodes resp into the reusable buffer and writes it, then
-// keeps draining queued responses — yielding once when the queue looks
-// empty so responses finishing close together coalesce — and flushes once
-// per batch, amortising syscalls under load.
-func (sc *serverConn) writeBatch(bw *bufio.Writer, buf []byte, resp *Response) ([]byte, bool) {
+// frameSizeHint estimates the encoded size of resp so the batch lease
+// starts in the right arena size class. Underestimates are benign: the
+// buffer grows with append and the original backing still returns to its
+// class on release.
+func frameSizeHint(resp *Response) int {
+	n := 128 + len(resp.Data) + len(resp.Err)
+	for _, name := range resp.Names {
+		n += len(name) + 4
+	}
+	return n
+}
+
+// writeBatch leases an encode buffer from the frame arena, encodes resp
+// into it and writes it, then keeps draining queued responses — yielding
+// once when the queue looks empty so responses finishing close together
+// coalesce — and flushes once per batch, amortising syscalls under load.
+// The lease is released after the flush (on error paths too), so encode
+// memory is pinned only while a batch is actually in flight: idle
+// connections hold no buffer, and busy ones share size-classed backing
+// instead of each growing a private slice.
+func (sc *serverConn) writeBatch(bw *bufio.Writer, resp *Response) bool {
+	lease := frameArena.Lease(frameSizeHint(resp))
+	defer lease.Release()
+	buf := lease.B
 	yielded := false
 	for {
 		buf = appendResponse(buf[:0], resp)
 		if _, err := bw.Write(buf); err != nil {
-			return buf, false
+			return false
 		}
 		sc.srv.counters.countFrameOut(len(buf))
 		select {
@@ -610,7 +671,7 @@ func (sc *serverConn) writeBatch(bw *bufio.Writer, buf []byte, resp *Response) (
 			default:
 			}
 		}
-		return buf, bw.Flush() == nil
+		return bw.Flush() == nil
 	}
 }
 
@@ -673,23 +734,25 @@ func (s *Server) nicWait(ctx context.Context, bytes int64) {
 	}
 }
 
-// stagedJanitor periodically aborts staged puts that outlived StagedPutTTL
-// in every pool — a client that died between BeginPut and CommitObject must
-// not leak staged chunks on the OSDs forever.
-func (s *Server) stagedJanitor() {
-	defer s.workerWG.Done()
+// stagedJanitorJob is the scheduler job name for the staged-put sweep.
+const stagedJanitorJob = "transport-staged-janitor"
+
+// startStagedJanitor registers the periodic staged-put sweep: staged puts
+// that outlived StagedPutTTL are aborted in every pool — a client that died
+// between BeginPut and CommitObject must not leak staged chunks on the OSDs
+// forever. The sweep runs on the shared scheduler when one was injected,
+// otherwise on a private one the server owns.
+func (s *Server) startStagedJanitor() {
 	interval := s.cfg.StagedPutTTL / 2
 	if interval < 10*time.Millisecond {
 		interval = 10 * time.Millisecond
 	}
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-s.ctx.Done():
-			return
-		case <-ticker.C:
-		}
+	s.sched = s.cfg.Tick
+	if s.sched == nil {
+		s.sched = tick.New()
+		s.ownSched = true
+	}
+	s.sched.Register(stagedJanitorJob, interval, func(time.Time) {
 		for _, name := range s.cluster.PoolNames() {
 			pool, err := s.cluster.Pool(name)
 			if err != nil {
@@ -699,5 +762,5 @@ func (s *Server) stagedJanitor() {
 				s.logf("transport: aborted %d stale staged puts in pool %q", aborted, name)
 			}
 		}
-	}
+	})
 }
