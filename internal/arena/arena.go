@@ -37,8 +37,15 @@ const (
 // its backing, so holding a *Buf (not a copy) is part of the protocol.
 type Buf struct {
 	// B is the leased buffer, len == the requested size. Callers may
-	// reslice within its capacity; Release recovers the full backing.
+	// reslice B freely — including rebasing it (b.B = b.B[k:]) — because
+	// Release restores the full backing from the private copy below, not
+	// from whatever B points at when the lease ends.
 	B []byte
+
+	// full is the original full-capacity slice over the class-sized
+	// backing array; Release restores B from it so a rebased B cannot
+	// permanently shrink the class slot.
+	full []byte
 
 	a   *Arena
 	cls int32 // class index, -1 for an oversized one-shot allocation
@@ -57,7 +64,7 @@ func (b *Buf) Release() {
 		b.a = nil // oversized: drop to the GC
 		return
 	}
-	b.B = b.B[:cap(b.B)]
+	b.B = b.full
 	a.classes[b.cls].Put(b)
 }
 
@@ -104,11 +111,12 @@ func (a *Arena) Lease(n int) *Buf {
 	if v := a.classes[cls].Get(); v != nil {
 		a.hits.Add(1)
 		b := v.(*Buf)
-		b.B = b.B[:n]
+		b.B = b.full[:n]
 		return b
 	}
 	a.misses.Add(1)
-	return &Buf{B: make([]byte, n, 1<<(cls+minClassBits)), a: a, cls: int32(cls)}
+	mem := make([]byte, 1<<(cls+minClassBits))
+	return &Buf{B: mem[:n], full: mem, a: a, cls: int32(cls)}
 }
 
 // Outstanding returns the number of leases not yet released.

@@ -3,6 +3,8 @@ package arena
 import (
 	"sync"
 	"testing"
+
+	"sprout/internal/racedetect"
 )
 
 func TestClassFor(t *testing.T) {
@@ -28,14 +30,41 @@ func TestLeaseReuse(t *testing.T) {
 	if len(b2.B) != 900 {
 		t.Fatalf("release len=%d", len(b2.B))
 	}
-	if b2 != b {
+	// Under the race detector sync.Pool drops a random fraction of Puts,
+	// so reuse identity and hit/miss counts only hold in non-race runs.
+	if !racedetect.Enabled && b2 != b {
 		t.Fatal("same-class lease did not reuse the released Buf")
 	}
 	b2.Release()
 	st := a.Stats()
-	if st.Hits != 1 || st.Misses != 1 || st.Outstanding != 0 {
+	if !racedetect.Enabled && (st.Hits != 1 || st.Misses != 1) {
 		t.Fatalf("stats = %+v", st)
 	}
+	if st.Outstanding != 0 {
+		t.Fatalf("outstanding = %d", st.Outstanding)
+	}
+}
+
+// TestRebasedReleaseRecoversBacking leases a buffer, rebases B past its
+// start (as the doc permits), and releases it: the next lease in the
+// class must still see the full class-sized backing, not a slot
+// permanently shrunk to the rebased tail.
+func TestRebasedReleaseRecoversBacking(t *testing.T) {
+	a := New("rebase")
+	b := a.Lease(1024)
+	b.B = b.B[1000:]
+	b.Release()
+	b2 := a.Lease(1024)
+	// Under race, sync.Pool may have dropped the Put; the reuse assertion
+	// only holds (and the regression only reproduces) in non-race runs.
+	if !racedetect.Enabled && b2 != b {
+		t.Fatal("same-class lease did not reuse the released Buf")
+	}
+	if len(b2.B) != 1024 || cap(b2.B) != 1024 {
+		t.Fatalf("post-rebase lease: len=%d cap=%d, want 1024/1024", len(b2.B), cap(b2.B))
+	}
+	b2.Release()
+	CheckBalanced(t, a)
 }
 
 func TestOversizedLease(t *testing.T) {
@@ -99,10 +128,12 @@ func TestCountedPool(t *testing.T) {
 	if st.Outstanding != 0 {
 		t.Fatalf("outstanding = %d", st.Outstanding)
 	}
-	if news != 1 {
+	// Hit/miss accounting depends on the Put surviving, which sync.Pool
+	// does not guarantee under the race detector.
+	if !racedetect.Enabled && news != 1 {
 		t.Fatalf("New called %d times, want 1 (second Get must hit the pool)", news)
 	}
-	if st.Hits != 1 || st.Misses != 1 {
+	if !racedetect.Enabled && (st.Hits != 1 || st.Misses != 1) {
 		t.Fatalf("stats = %+v", st)
 	}
 	CheckBalanced(t, p)

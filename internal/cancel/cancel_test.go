@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"sprout/internal/racedetect"
 )
 
 func TestSetAndReset(t *testing.T) {
@@ -31,6 +33,9 @@ func TestBindBackgroundIsFree(t *testing.T) {
 	}
 	if detach() {
 		t.Fatal("no-op detach reported a stop")
+	}
+	if racedetect.Enabled {
+		t.Skip("alloc counts are meaningless under the race detector")
 	}
 	allocs := testing.AllocsPerRun(100, func() {
 		d := Bind(context.Background(), &f)

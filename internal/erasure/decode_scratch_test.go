@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sprout/internal/arena"
+	"sprout/internal/racedetect"
 )
 
 func reconstructInput(t *testing.T, c *Code, data []byte, indices []int) []Chunk {
@@ -148,6 +149,9 @@ func TestReconstructIntoZeroAlloc(t *testing.T) {
 	}
 	data := bytes.Repeat([]byte{7}, 300)
 	chunks := reconstructInput(t, c, data, []int{4, 6, 2})
+	if racedetect.Enabled {
+		t.Skip("alloc counts are meaningless under the race detector")
+	}
 	sc := new(DecodeScratch)
 	if _, err := c.ReconstructInto(sc, chunks); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package racedetect reports whether the binary was built with the race
+// detector. Tests use it to relax assertions the instrumentation breaks
+// by design: sync.Pool drops a random fraction of Puts under race (so
+// pool-hit identity and hit/miss counts do not hold), and
+// testing.AllocsPerRun measures the instrumentation's own allocations.
+package racedetect
+
+// Enabled is true when the race detector is on.
+const Enabled = false

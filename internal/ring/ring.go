@@ -20,8 +20,14 @@
 // a producer signals only after publishing the slot (seq store), and a
 // consumer re-polls after registering as a waiter, so for any push either
 // the producer observes the waiter and sends a wake token, or the consumer
-// observes the pushed slot — a wakeup is never lost. Spurious wakeups are
-// benign because every woken consumer drains the ring before re-parking.
+// observes the pushed slot — a wakeup is never lost. The wake channel
+// holds at most one token, so a burst of pushes against parked consumers
+// may collapse into a single pending token; to keep that from draining
+// the backlog through one consumer serially, a woken consumer that claims
+// an item re-publishes the token while the ring is still non-empty and
+// other consumers remain parked (wake chaining — the same token-replenish
+// invariant the repair queue documents). Spurious wakeups are benign: a
+// woken consumer that finds the ring empty simply re-parks.
 package ring
 
 import (
@@ -203,6 +209,10 @@ func (b *Buf[T]) PopBatch(dst []T) int {
 // is available. Returns 0 with ok == false under the same conditions as
 // PopWait: stop fired, or the ring is closed and drained.
 func (b *Buf[T]) PopBatchWait(dst []T, stop <-chan struct{}) (int, bool) {
+	// woken: same wake-chaining discipline as PopWait — a batch claim can
+	// leave items behind (backlog longer than dst), and those must not
+	// stall behind this consumer while its peers sleep.
+	woken := false
 	for {
 		select {
 		case <-stop:
@@ -210,11 +220,13 @@ func (b *Buf[T]) PopBatchWait(dst []T, stop <-chan struct{}) (int, bool) {
 		default:
 		}
 		if n := b.PopBatch(dst); n > 0 {
+			b.chainWake(woken)
 			return n, true
 		}
 		for i := 0; i < spinPops; i++ {
 			runtime.Gosched()
 			if n := b.PopBatch(dst); n > 0 {
+				b.chainWake(woken)
 				return n, true
 			}
 		}
@@ -227,11 +239,13 @@ func (b *Buf[T]) PopBatchWait(dst []T, stop <-chan struct{}) (int, bool) {
 		b.waiters.Add(1)
 		if n := b.PopBatch(dst); n > 0 {
 			b.waiters.Add(-1)
+			b.chainWake(woken)
 			return n, true
 		}
 		b.parks.Add(1)
 		select {
 		case <-b.wake:
+			woken = true
 		case <-b.closedCh:
 		case <-stop:
 			b.waiters.Add(-1)
@@ -243,10 +257,30 @@ func (b *Buf[T]) PopBatchWait(dst []T, stop <-chan struct{}) (int, bool) {
 
 // signal hands one wake token to parked consumers. The channel holds at
 // most one token: a dropped send means a token is already pending, and
-// whichever consumer claims it drains the ring before re-parking, so no
-// pushed item is stranded.
+// whichever consumer claims it chains the wake onward (see chainWake), so
+// no pushed item is stranded behind a collapsed burst of signals.
 func (b *Buf[T]) signal() {
 	if b.waiters.Load() == 0 {
+		return
+	}
+	select {
+	case b.wake <- struct{}{}:
+	default:
+	}
+}
+
+// chainWake re-publishes the wake token a parked consumer consumed. A
+// burst of N pushes against an idle pool collapses into one pending token
+// (the channel holds at most one), so the single woken consumer must pass
+// the baton before it goes off to process its item: if the ring still
+// holds work and other consumers remain parked, send the token onward.
+// Each link in the chain wakes one more consumer, so the whole pool spins
+// up instead of one worker draining the backlog serially behind its own
+// (possibly slow) handler. Both load checks race benignly: a missed
+// waiter is still spinning and will re-poll, and an item pushed just
+// after the emptiness check re-signals from its producer.
+func (b *Buf[T]) chainWake(woken bool) {
+	if !woken || b.waiters.Load() == 0 || b.Len() == 0 {
 		return
 	}
 	select {
@@ -266,6 +300,10 @@ const spinPops = 4
 // has been closed and fully drained. A nil stop channel never fires.
 func (b *Buf[T]) PopWait(stop <-chan struct{}) (T, bool) {
 	var zero T
+	// woken records that this consumer consumed a wake token; a successful
+	// pop then chains the wake onward so a burst collapsed into one token
+	// still wakes the whole pool (see chainWake).
+	woken := false
 	for {
 		select {
 		case <-stop:
@@ -273,11 +311,13 @@ func (b *Buf[T]) PopWait(stop <-chan struct{}) (T, bool) {
 		default:
 		}
 		if v, ok := b.TryPop(); ok {
+			b.chainWake(woken)
 			return v, true
 		}
 		for i := 0; i < spinPops; i++ {
 			runtime.Gosched()
 			if v, ok := b.TryPop(); ok {
+				b.chainWake(woken)
 				return v, true
 			}
 		}
@@ -292,11 +332,13 @@ func (b *Buf[T]) PopWait(stop <-chan struct{}) (T, bool) {
 		// concurrent producer either sees the waiter or we see its item.
 		if v, ok := b.TryPop(); ok {
 			b.waiters.Add(-1)
+			b.chainWake(woken)
 			return v, true
 		}
 		b.parks.Add(1)
 		select {
 		case <-b.wake:
+			woken = true
 		case <-b.closedCh:
 		case <-stop:
 			b.waiters.Add(-1)

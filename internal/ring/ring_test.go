@@ -263,6 +263,68 @@ func TestWakeAfterPark(t *testing.T) {
 	}
 }
 
+// TestBurstWakesAllParked is the lost-wakeup regression for wake
+// chaining: the wake channel holds at most one token, so a burst of
+// pushes against a fully parked pool can collapse into a single pending
+// token. Each woken consumer must then re-publish the token while items
+// and waiters remain, or the backlog drains serially through one consumer
+// while its peers sleep. The test constructs the collapsed state directly
+// (publish without signaling, then exactly one token) and requires every
+// parked consumer to receive an item; each consumer stops popping after
+// one item, modeling a worker stuck in a slow handler.
+func TestBurstWakesAllParked(t *testing.T) {
+	const n = 8
+	b := New[int](16)
+	got := make(chan int, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			if v, ok := b.PopWait(nil); ok {
+				got <- v
+			}
+		}()
+	}
+	// Wait until every consumer has finished its pre-park re-poll: parks
+	// counts consumers that found the ring empty and committed to the
+	// park select, so none of them can observe the raw pushes below by
+	// polling — they can only be woken by a token.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.parks.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d consumers parked", b.parks.Load(), n)
+		}
+		runtime.Gosched()
+	}
+	// Publish the burst without signaling — TryPush's slot protocol minus
+	// signal() — then hand over exactly one wake token. This is the state
+	// a real burst reaches when every push's signal finds the previous
+	// token still pending.
+	for i := 0; i < n; i++ {
+		pos := b.tail.Load()
+		s := &b.slots[pos&b.mask]
+		if s.seq.Load() != pos {
+			t.Fatalf("slot for push %d not free", i)
+		}
+		b.tail.Store(pos + 1)
+		s.val = i
+		s.seq.Store(pos + 1)
+	}
+	b.wake <- struct{}{}
+
+	seen := make(map[int]bool, n)
+	timeout := time.After(10 * time.Second)
+	for i := 0; i < n; i++ {
+		select {
+		case v := <-got:
+			seen[v] = true
+		case <-timeout:
+			t.Fatalf("lost wakeup: only %d of %d parked consumers woke for the burst", i, n)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct items, want %d", len(seen), n)
+	}
+}
+
 func TestPopBatch(t *testing.T) {
 	b := New[int](8)
 	buf := make([]int, 16)

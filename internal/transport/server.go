@@ -11,6 +11,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -103,9 +104,11 @@ type Server struct {
 
 	// sched runs the staged-put janitor; nil when StagedPutTTL is unset.
 	// ownSched records whether Close must stop it (private) or only
-	// unregister the job (shared via ServerConfig.Tick).
-	sched    *tick.Scheduler
-	ownSched bool
+	// unregister the job (shared via ServerConfig.Tick). janitorJob is
+	// this server's unique job name on that scheduler.
+	sched      *tick.Scheduler
+	ownSched   bool
+	janitorJob string
 
 	counters transportCounters
 
@@ -514,7 +517,7 @@ func (s *Server) Close() error {
 		if s.ownSched {
 			s.sched.Close()
 		} else {
-			s.sched.Unregister(stagedJanitorJob)
+			s.sched.Unregister(s.janitorJob)
 		}
 	}
 	return err
@@ -734,8 +737,11 @@ func (s *Server) nicWait(ctx context.Context, bytes int64) {
 	}
 }
 
-// stagedJanitorJob is the scheduler job name for the staged-put sweep.
-const stagedJanitorJob = "transport-staged-janitor"
+// janitorSeq makes staged-janitor job names unique so several servers can
+// share one injected scheduler: tick.Register replaces same-name jobs, so
+// a fixed name would let a second server silently evict the first
+// server's sweep.
+var janitorSeq atomic.Int64
 
 // startStagedJanitor registers the periodic staged-put sweep: staged puts
 // that outlived StagedPutTTL are aborted in every pool — a client that died
@@ -752,7 +758,8 @@ func (s *Server) startStagedJanitor() {
 		s.sched = tick.New()
 		s.ownSched = true
 	}
-	s.sched.Register(stagedJanitorJob, interval, func(time.Time) {
+	s.janitorJob = fmt.Sprintf("transport-staged-janitor-%d", janitorSeq.Add(1))
+	s.sched.Register(s.janitorJob, interval, func(time.Time) {
 		for _, name := range s.cluster.PoolNames() {
 			pool, err := s.cluster.Pool(name)
 			if err != nil {
