@@ -147,6 +147,13 @@ func experiments() []experiment {
 			}
 			return bench.AutoscaleTable(r), nil
 		}},
+		{"shard", "sharded metadata plane: router throughput scaling over 1-4 shard controllers", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.ShardScaling(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.ShardTable(r), nil
+		}},
 		{"hotpath", "serving hot path: lock-free MPSC ring vs channel hand-off, zero-alloc read checks", func(cfg bench.Config) (*bench.Table, error) {
 			r, err := bench.HotpathQueues(cfg)
 			if err != nil {

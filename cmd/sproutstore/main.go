@@ -14,6 +14,8 @@
 //	sproutstore -mode demo
 //	sproutstore -mode ctrl -clients 8 -duration 3s -hedge-delay 10ms -replan-every 500ms
 //	sproutstore -mode ctrl -duration 3s -fail "500ms:2,5" -recover "2s:2" -lose
+//	sproutstore -mode ctrl -controllers 4 -clients 32 -duration 3s
+//	sproutstore -mode serve -controllers 4   # shard endpoints alongside the store
 package main
 
 import (
@@ -40,6 +42,7 @@ import (
 	"sprout/internal/optimizer"
 	"sprout/internal/queue"
 	"sprout/internal/repair"
+	"sprout/internal/router"
 	"sprout/internal/tick"
 	"sprout/internal/transport"
 	"sprout/internal/workload"
@@ -66,6 +69,7 @@ func main() {
 		writeFrac = flag.Float64("writefrac", 0, "load: fraction of requests that are striped writes (0..1)")
 
 		// Controller serving path (ctrl mode).
+		controllers = flag.Int("controllers", 1, "ctrl/serve: shard controllers behind the consistent-hash router (1 = unsharded)")
 		cacheChunks = flag.Int("cache", 0, "ctrl: functional-cache capacity in chunks (0 = 3 per object)")
 		hedgeDelay  = flag.Duration("hedge-delay", 10*time.Millisecond, "ctrl: hedge timer for straggling fetches (0 disables)")
 		hedgeExtra  = flag.Int("hedge-extra", 1, "ctrl: max extra hedged fetches per read")
@@ -153,6 +157,17 @@ func main() {
 		if chaos != nil {
 			fmt.Printf("sproutstore: chaos rules active: %s\n", *chaosSpec)
 		}
+		if *controllers > 1 {
+			rt, eps, err := serveShardEndpoints(cluster, *controllers, *objects, *objSize, *workers)
+			if err != nil {
+				fail(err)
+			}
+			defer rt.Close()
+			for i, ep := range eps {
+				fmt.Printf("sproutstore: shard shard-%d serving controller ops on %s\n", i, ep.Addr())
+				defer ep.Close()
+			}
+		}
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 		<-sig
@@ -179,6 +194,7 @@ func main() {
 		}
 		runCtrl(cluster, ctrlConfig{
 			osds:          *osds,
+			controllers:   *controllers,
 			objects:       *objects,
 			objSize:       *objSize,
 			cacheChunks:   *cacheChunks,
@@ -209,6 +225,7 @@ func main() {
 // ctrlConfig gathers the knobs of the controller serving mode.
 type ctrlConfig struct {
 	osds        int
+	controllers int
 	objects     int
 	objSize     int
 	cacheChunks int
@@ -323,6 +340,10 @@ func parseChaosRules(spec string) (*transport.Chaos, error) {
 // -fail/-recover — OSD failures injected under live load with the repair
 // plane reconstructing lost chunks concurrently.
 func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
+	if cfg.controllers > 1 {
+		runCtrlSharded(oc, cfg)
+		return
+	}
 	ctx := context.Background()
 	pool, err := oc.Pool("ec-7-4")
 	if err != nil {
@@ -493,6 +514,320 @@ func runCtrl(oc *objstore.Cluster, cfg ctrlConfig) {
 		down := ctrl.DownNodes()
 		fmt.Printf("  membership: down OSDs at exit: %v\n", down)
 	}
+}
+
+// shardObjName is the object naming scheme shared by the sharded ctrl and
+// serve paths, matching the ingest loop's "file-%04d".
+func shardObjName(fileID int) string { return fmt.Sprintf("file-%04d", fileID) }
+
+// poolShardFetcher adapts the erasure pool's versioned chunk reads to the
+// controller fetcher interface, so shard caches learn the stripe version of
+// every chunk they hold and late invalidations can be recognised as stale.
+type poolShardFetcher struct{ pool *objstore.Pool }
+
+func (f *poolShardFetcher) FetchChunk(ctx context.Context, fileID, chunkIndex, nodeID int) ([]byte, error) {
+	data, _, err := f.FetchChunkV(ctx, fileID, chunkIndex, nodeID)
+	return data, err
+}
+
+func (f *poolShardFetcher) FetchChunkV(ctx context.Context, fileID, chunkIndex, _ int) ([]byte, core.StripeInfo, error) {
+	data, version, size, err := f.pool.GetChunkV(ctx, shardObjName(fileID), chunkIndex)
+	if err != nil {
+		return nil, core.StripeInfo{}, err
+	}
+	return data, core.StripeInfo{Version: version, Size: size}, nil
+}
+
+// poolShardWriter commits whole-object overwrites through the pool and
+// reports the committed stripe version for the invalidation fan-out.
+type poolShardWriter struct{ pool *objstore.Pool }
+
+func (w *poolShardWriter) WriteObject(ctx context.Context, fileID int, data []byte) (uint64, error) {
+	return w.pool.PutV(ctx, shardObjName(fileID), data)
+}
+
+// runCtrlSharded is runCtrl with the namespace consistent-hash-sharded over
+// cfg.controllers in-process shard controllers behind the read/write router.
+// The total cache budget is split evenly across shards, each shard plans only
+// its owned slice (lambda-masked), and readers go through the router's
+// ownership routing.
+func runCtrlSharded(oc *objstore.Cluster, cfg ctrlConfig) {
+	ctx := context.Background()
+	pool, err := oc.Pool("ec-7-4")
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("sproutstore: writing %d objects of %d bytes into ec-7-4...\n", cfg.objects, cfg.objSize)
+	rng := rand.New(rand.NewSource(6))
+	payload := make([]byte, cfg.objSize)
+	for i := 0; i < cfg.objects; i++ {
+		rng.Read(payload)
+		if err := pool.Put(ctx, shardObjName(i), payload); err != nil {
+			fail(err)
+		}
+	}
+
+	lambdas := workload.Zipf(cfg.objects, 1.1, 50)
+	clu, err := pool.ClusterView(lambdas)
+	if err != nil {
+		fail(err)
+	}
+	capacity := cfg.cacheChunks
+	if capacity <= 0 {
+		capacity = 3 * cfg.objects
+	}
+	perShard := capacity / cfg.controllers
+	if perShard < 1 {
+		perShard = 1
+	}
+	sched := tick.New()
+	defer sched.Close()
+	cfg.serve.Tick = sched
+
+	r := router.New(router.Options{FanoutWorkers: 2})
+	defer r.Close()
+	ctrls := make([]*core.Controller, cfg.controllers)
+	for i := range ctrls {
+		ctrl, err := core.NewControllerWith(clu, perShard, optimizer.Options{MaxOuterIter: 10}, cfg.serve, int64(i+1))
+		if err != nil {
+			fail(err)
+		}
+		defer ctrl.Close()
+		ctrls[i] = ctrl
+		if err := r.AddShard(router.Shard{ID: fmt.Sprintf("shard-%d", i), Ctrl: ctrl}); err != nil {
+			fail(err)
+		}
+	}
+	fetcher := &poolShardFetcher{pool: pool}
+	// The router masks each shard's lambdas to its owned files, so every
+	// shard spends its cache slice only on content it actually serves.
+	if err := r.PlanTimeBin(lambdas); err != nil {
+		fail(err)
+	}
+	if err := r.PrefetchCache(ctx, fetcher); err != nil {
+		fail(err)
+	}
+
+	mgr := repair.NewManager(pool, repair.Config{
+		Workers:      cfg.repairWorkers,
+		ScanInterval: cfg.repairScan,
+		Tick:         sched,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	mgr.Start()
+	defer mgr.Close()
+
+	if cfg.metricsAddr != "" {
+		shardSrcs := make([]obs.ShardSource, len(ctrls))
+		for i, ctrl := range ctrls {
+			shardSrcs[i] = obs.ShardSource{Shard: fmt.Sprintf("shard-%d", i), Controller: ctrl}
+		}
+		serveMetrics(cfg.metricsAddr, obs.Sources{
+			Router:    r,
+			Shards:    shardSrcs,
+			Repair:    mgr.Stats,
+			OSDHealth: oc.Health,
+			Runtime:   true,
+			Pools: []obs.PoolSource{
+				core.FillArena(), core.ReadScratchPool(), erasure.StripeScratchPool(),
+			},
+			Rings: []obs.RingSource{
+				{Name: "repair_wake", Stats: mgr.QueueStats},
+			},
+		})
+	}
+
+	fmt.Printf("sproutstore: serving %d readers for %v across %d shards (cache %d chunks/shard, hedge %v +%d, replan every %v)\n",
+		cfg.clients, cfg.duration, cfg.controllers, perShard,
+		cfg.serve.HedgeDelay, cfg.serve.HedgeExtra, cfg.serve.ReplanInterval)
+	picker := workload.NewRatePicker(lambdas)
+	stop := time.Now().Add(cfg.duration)
+	start := time.Now()
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rr := rand.New(rand.NewSource(int64(w) + 40))
+			var dst []byte
+			for time.Now().Before(stop) {
+				fileID := picker.Pick(rr.Float64())
+				out, err := r.ReadInto(ctx, fileID, fetcher, dst)
+				if err != nil {
+					fail(err)
+				}
+				dst = out
+				reads.Add(1)
+			}
+		}(w)
+	}
+
+	var injectWG sync.WaitGroup
+	inject := func(events []osdEvent, action func(ids []int)) {
+		for _, ev := range events {
+			injectWG.Add(1)
+			go func(ev osdEvent) {
+				defer injectWG.Done()
+				wait := time.Until(start.Add(ev.after))
+				if wait > 0 {
+					time.Sleep(wait)
+				}
+				action(ev.ids)
+			}(ev)
+		}
+	}
+	inject(cfg.failures, func(ids []int) {
+		if err := oc.FailOSDs(cfg.loseChunks, ids...); err != nil {
+			fmt.Fprintf(os.Stderr, "sproutstore: fail injection: %v\n", err)
+			return
+		}
+		for _, ctrl := range ctrls {
+			for _, id := range ids {
+				ctrl.SetNodeDown(id)
+			}
+		}
+		mgr.Kick()
+		fmt.Printf("sproutstore: failed OSDs %v (lose chunks: %v)\n", ids, cfg.loseChunks)
+	})
+	inject(cfg.recoveries, func(ids []int) {
+		if err := oc.RecoverOSDs(ids...); err != nil {
+			fmt.Fprintf(os.Stderr, "sproutstore: recover injection: %v\n", err)
+			return
+		}
+		for _, ctrl := range ctrls {
+			for _, id := range ids {
+				ctrl.SetNodeUp(id)
+			}
+		}
+		mgr.Kick()
+		fmt.Printf("sproutstore: recovered OSDs %v\n", ids)
+	})
+
+	wg.Wait()
+	injectWG.Wait()
+	for _, ctrl := range ctrls {
+		ctrl.WaitFills()
+	}
+
+	stats := r.AggregateStats()
+	lat := r.AggregateReadLatency()
+	rs := r.Stats()
+	fmt.Printf("served %d reads (%.0f/s) across %d shards\n",
+		reads.Load(), float64(reads.Load())/cfg.duration.Seconds(), cfg.controllers)
+	fmt.Printf("  aggregate latency: p50 %9v  p90 %9v  p99 %9v  (mean %v over %d reads)\n",
+		lat.P50, lat.P90, lat.P99, lat.Mean, lat.Count)
+	for i, ctrl := range ctrls {
+		var routed int64
+		for _, s := range rs.Shards {
+			if s.ID == fmt.Sprintf("shard-%d", i) {
+				routed = s.Reads
+			}
+		}
+		cl := ctrl.ReadLatency()
+		cs := ctrl.Stats()
+		fmt.Printf("  shard-%d: %6d routed reads, %d/%d chunks cache/OSD, storage p99 %9v\n",
+			i, routed, cs.ChunksFromCache, cs.ChunksFromDisk, cl.Storage.P99)
+	}
+	fmt.Printf("  chunks: %d from cache, %d from OSDs; %d background fills (%d dropped)\n",
+		stats.ChunksFromCache, stats.ChunksFromDisk, stats.LazyFills, stats.FillsDropped)
+	fmt.Printf("  hedges: %d launched, %d wins; failovers: %d; cache rescues: %d\n",
+		stats.HedgesLaunched, stats.HedgeWins, stats.FetchFailovers, stats.CacheRescues)
+	fmt.Printf("  plans: %d total, %d auto-replans, %d rejected; ring version %d\n",
+		stats.PlanUpdates, stats.AutoReplans, stats.ReplanErrors, rs.RingVersion)
+	if rs.InvalidationsSent > 0 || rs.Fanouts > 0 {
+		fmt.Printf("  invalidations: %d sent, %d errors; fan-out p99 %v\n",
+			rs.InvalidationsSent, rs.InvalidationErrors, rs.FanoutLatency.P99)
+	}
+	if len(cfg.failures) > 0 {
+		rps := mgr.Stats()
+		degraded := len(pool.DegradedObjects())
+		fmt.Printf("  repair: %d chunks (%d KiB) reconstructed in %v, %d deferred, %d failures; degraded objects left: %d\n",
+			rps.ChunksRepaired, rps.BytesRepaired>>10, rps.RepairTime.Round(time.Millisecond),
+			rps.Deferred, rps.Failures, degraded)
+	}
+}
+
+// serveShardEndpoints ingests the working set into ec-7-4 and exposes N
+// shard controllers as TCP endpoints speaking the controller op set, next to
+// the plain object-store server. The in-process router is the membership
+// authority remote routers sync from (CtrlMembership); reads and writes
+// arrive at the shard endpoints from remote routers, which fan invalidations
+// out to peers themselves.
+func serveShardEndpoints(oc *objstore.Cluster, shards, objects, objSize, workers int) (*router.Router, []*router.PeerEndpoint, error) {
+	ctx := context.Background()
+	pool, err := oc.Pool("ec-7-4")
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(6))
+	payload := make([]byte, objSize)
+	for i := 0; i < objects; i++ {
+		rng.Read(payload)
+		if err := pool.Put(ctx, shardObjName(i), payload); err != nil {
+			return nil, nil, err
+		}
+	}
+	lambdas := workload.Zipf(objects, 1.1, 50)
+	clu, err := pool.ClusterView(lambdas)
+	if err != nil {
+		return nil, nil, err
+	}
+	capacity := 3 * objects / shards
+	if capacity < 1 {
+		capacity = 1
+	}
+	fetcher := &poolShardFetcher{pool: pool}
+	writer := &poolShardWriter{pool: pool}
+	r := router.New(router.Options{FanoutWorkers: 2})
+	var eps []*router.PeerEndpoint
+	var ctrls []*core.Controller
+	cleanup := func() {
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+		for _, ctrl := range ctrls {
+			_ = ctrl.Close()
+		}
+		_ = r.Close()
+	}
+	for i := 0; i < shards; i++ {
+		ctrl, err := core.NewControllerWith(clu, capacity, optimizer.Options{MaxOuterIter: 10}, core.ServeOptions{}, int64(i+1))
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		ctrls = append(ctrls, ctrl)
+		ep, err := router.ServeShard(ctrl, fetcher, writer, r, "127.0.0.1:0", transport.ServerConfig{
+			Workers:      workers,
+			StagedPutTTL: time.Minute,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		eps = append(eps, ep)
+		if err := r.AddShard(router.Shard{ID: fmt.Sprintf("shard-%d", i), Addr: ep.Addr()}); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	// Plan once the ring is complete so each shard's lambda mask matches the
+	// ownership remote routers will compute after a membership sync.
+	for i, ctrl := range ctrls {
+		if _, err := ctrl.PlanTimeBin(r.MaskLambdas(fmt.Sprintf("shard-%d", i), lambdas)); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if err := ctrl.PrefetchCache(ctx, fetcher); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+	}
+	return r, eps, nil
 }
 
 // runLoad drives mixed GetChunk/striped-write traffic at a remote server and

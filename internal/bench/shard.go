@@ -1,0 +1,366 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout/internal/cluster"
+	"sprout/internal/core"
+	"sprout/internal/erasure"
+	"sprout/internal/optimizer"
+	"sprout/internal/router"
+	"sprout/internal/transport"
+	"sprout/internal/workload"
+)
+
+// ShardResult is one sweep point of the sharded metadata plane: the full
+// client population driving N shard controllers through the read/write
+// router, each shard serving behind its own bounded transport worker pool.
+type ShardResult struct {
+	Shards    int
+	Clients   int
+	Ops       int
+	OpsPerSec float64
+	P50ms     float64
+	P99ms     float64
+	// PerShardP99ms is each shard controller's storage-read p99, ring order.
+	PerShardP99ms []float64
+	// PerShardReads is each shard's routed-read count, ring order.
+	PerShardReads []int64
+	// Fan-out protocol counters after the write burst.
+	Writes               int
+	InvalidationsSent    int64
+	InvalidationsApplied int64
+	InvalidationErrors   int64
+	FanoutP99ms          float64
+}
+
+// shardWorkers bounds each shard endpoint's transport worker pool. The
+// experiment's capacity unit: one controller serves at most this many
+// requests concurrently, so aggregate capacity grows with the shard count
+// while the client population and the per-op storage latency stay fixed.
+const shardWorkers = 4
+
+// shardClients is the fixed total client population across every sweep
+// point — large enough to saturate the 4-shard worker pool.
+const shardClients = 48
+
+// ShardScaling sweeps 1 → 4 shard controllers at fixed total client load.
+// Every shard runs over the full namespace but plans only its slice
+// (lambda-masked), serves behind its own TCP endpoint with a bounded
+// worker pool, and reads pay an emulated storage latency per chunk — so
+// throughput is capacity-bound by workers × shards, the regime the
+// multi-controller plane exists for. A write burst through the router at
+// the end of each point exercises the cross-shard invalidation fan-out.
+func ShardScaling(cfg Config) ([]ShardResult, error) {
+	cfg = cfg.withDefaults()
+	files := cfg.Files
+	if files > 160 {
+		files = 160 // bounds the per-shard optimizer cost; N shards each plan the namespace
+	}
+	ops := 25 * files
+	if ops < 1500 {
+		ops = 1500
+	}
+	if ops > 2000 {
+		ops = 2000
+	}
+
+	clu, lambdas, err := shardCluster(files, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	chunks, err := encodeReadCorpus(clu, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []ShardResult
+	for _, shards := range []int{1, 2, 4} {
+		res, err := shardPoint(clu, lambdas, chunks, cfg, shards, ops)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// shardCluster is readCluster with a small object size: the sweep measures
+// control-plane capacity (requests through bounded shard worker pools), and
+// big payloads would re-measure the 1-vCPU data plane's copy/decode ceiling
+// instead of the router's scaling.
+func shardCluster(files int, seed int64) (*cluster.Cluster, []float64, error) {
+	cfg := cluster.Config{
+		NumNodes:     12,
+		NumFiles:     files,
+		N:            7,
+		K:            4,
+		FileSize:     8 << 10,
+		ServiceRates: append([]float64(nil), cluster.PaperServiceRates...),
+		Seed:         seed,
+	}
+	clu, err := cfg.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	lambdas := workload.Zipf(files, 1.1, 0.2)
+	clu, err = clu.WithArrivalRates(lambdas)
+	if err != nil {
+		return nil, nil, err
+	}
+	return clu, lambdas, nil
+}
+
+// storeWriter adapts the latency stores to core.ObjectWriter: an overwrite
+// re-encodes the payload and installs the new stripe in every shard's store
+// view under one version, which the router then fans out to peer shards as
+// an invalidation. The stores advance their version sequences in lockstep
+// because every write hits all of them in the same order (under wmu).
+type storeWriter struct {
+	clu    *cluster.Cluster
+	stores []*LatencyStore
+	wmu    sync.Mutex
+}
+
+func (w *storeWriter) WriteObject(_ context.Context, fileID int, data []byte) (uint64, error) {
+	f := w.clu.Files[fileID]
+	code, err := erasure.New(f.N, f.K)
+	if err != nil {
+		return 0, err
+	}
+	dataChunks, err := code.Split(data)
+	if err != nil {
+		return 0, err
+	}
+	coded, err := code.Encode(dataChunks)
+	if err != nil {
+		return 0, err
+	}
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	var version uint64
+	for _, s := range w.stores {
+		version = s.SetFile(fileID, coded, len(data))
+	}
+	return version, nil
+}
+
+// shardPoint measures one shard count: build N controllers behind TCP
+// endpoints, register them with a router as remote shards, plan each over
+// its masked slice, then drive the fixed client population through the
+// router and finish with a small overwrite burst.
+func shardPoint(clu *cluster.Cluster, lambdas []float64, chunks [][][]byte, cfg Config, shards, totalOps int) (ShardResult, error) {
+	// One store instance per shard over the shared corpus: the store
+	// emulates per-path storage service time, and a single instance's
+	// internal mutex would convoy the fetchers of every shard — a harness
+	// bottleneck, not a plane under test.
+	stores := make([]*LatencyStore, shards)
+	for i := range stores {
+		stores[i] = NewLatencyStore(chunks, cfg.Seed+5+int64(i), 2*time.Millisecond, 2*time.Millisecond, 0, 1)
+	}
+	writer := &storeWriter{clu: clu, stores: stores}
+
+	r := router.New(router.Options{FanoutWorkers: 2, Client: transport.ClientConfig{Conns: 4}})
+	defer r.Close()
+
+	ctrls := make([]*core.Controller, shards)
+	endpoints := make([]*router.PeerEndpoint, shards)
+	defer func() {
+		for _, ep := range endpoints {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+		for _, c := range ctrls {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := 0; i < shards; i++ {
+		ctrl, err := core.NewControllerWith(clu, 0,
+			optimizer.Options{MaxOuterIter: cfg.MaxOuterIter}, core.ServeOptions{}, cfg.Seed)
+		if err != nil {
+			return ShardResult{}, err
+		}
+		ctrls[i] = ctrl
+		ep, err := router.ServeShard(ctrl, stores[i], writer, r, "127.0.0.1:0",
+			transport.ServerConfig{Workers: shardWorkers})
+		if err != nil {
+			return ShardResult{}, err
+		}
+		endpoints[i] = ep
+		if err := r.AddShard(router.Shard{ID: fmt.Sprintf("shard-%d", i), Addr: ep.Addr()}); err != nil {
+			return ShardResult{}, err
+		}
+	}
+	// Each shard plans only its namespace slice: the router masks the
+	// arrival rates of files other shards own to zero.
+	for i, ctrl := range ctrls {
+		masked := r.MaskLambdas(fmt.Sprintf("shard-%d", i), lambdas)
+		if _, err := ctrl.PlanTimeBin(masked); err != nil {
+			return ShardResult{}, err
+		}
+	}
+
+	// The request mix is uniform across the namespace: the sweep measures
+	// capacity scaling, and the ring balances uniform keys to within ~1.15x
+	// across shards (the shard package's balance bound). A skewed mix
+	// measures hot-shard placement instead — that regime is the planner's
+	// problem (each shard caches its own hot slice), not the router's.
+	reqRNG := rand.New(rand.NewSource(cfg.Seed + 6))
+	requests := make([]int, totalOps)
+	for i := range requests {
+		requests[i] = reqRNG.Intn(len(lambdas))
+	}
+	ctx := context.Background()
+	var next atomic.Int64
+	latencies := make([][]time.Duration, shardClients)
+	errs := make([]error, shardClients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < shardClients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []time.Duration
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= totalOps {
+					break
+				}
+				opStart := time.Now()
+				if _, err := r.Read(ctx, requests[i], stores[0]); err != nil {
+					errs[w] = err
+					return
+				}
+				lats = append(lats, time.Since(opStart))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ShardResult{}, err
+		}
+	}
+
+	// Overwrite burst: a handful of writes through the router, each fanning
+	// a versioned invalidation out to every peer shard.
+	const writes = 8
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	payload := make([]byte, clu.Files[0].SizeBytes)
+	for i := 0; i < writes; i++ {
+		rng.Read(payload)
+		if err := r.Write(ctx, requests[i%totalOps], payload, writer); err != nil {
+			return ShardResult{}, err
+		}
+	}
+
+	var merged []time.Duration
+	for _, l := range latencies {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	pct := func(p float64) float64 {
+		if len(merged) == 0 {
+			return 0
+		}
+		return float64(merged[int(p*float64(len(merged)-1))]) / float64(time.Millisecond)
+	}
+
+	st := r.Stats()
+	res := ShardResult{
+		Shards:               shards,
+		Clients:              shardClients,
+		Ops:                  len(merged),
+		OpsPerSec:            float64(len(merged)) / elapsed.Seconds(),
+		P50ms:                pct(0.50),
+		P99ms:                pct(0.99),
+		Writes:               writes,
+		InvalidationsSent:    st.InvalidationsSent,
+		InvalidationsApplied: st.InvalidationsApplied,
+		InvalidationErrors:   st.InvalidationErrors,
+		FanoutP99ms:          float64(st.FanoutLatency.P99) / float64(time.Millisecond),
+	}
+	for _, ctrl := range ctrls {
+		res.PerShardP99ms = append(res.PerShardP99ms,
+			float64(ctrl.ReadLatency().Storage.P99)/float64(time.Millisecond))
+	}
+	for _, s := range st.Shards {
+		res.PerShardReads = append(res.PerShardReads, s.Reads)
+	}
+	return res, nil
+}
+
+// ShardTable renders the sweep and derives the gated scaling ratio: 4-shard
+// aggregate throughput over the single-controller baseline at equal total
+// client load.
+func ShardTable(results []ShardResult) *Table {
+	t := &Table{
+		Title:   "sharded metadata plane: aggregate throughput vs shard count at fixed client load",
+		Headers: []string{"shards", "clients", "ops", "ops/s", "p50 ms", "p99 ms", "scaling", "per-shard p99 ms", "inv sent/applied"},
+		Notes: []string{
+			fmt.Sprintf("each shard serves behind its own endpoint with a %d-worker transport pool; storage pays 2ms+Exp(2ms) per chunk", shardWorkers),
+			"uniform request mix isolates capacity scaling (the ring balances uniform keys to ~1.15x); skewed mixes measure planner placement instead",
+			"shards plan lambda-masked namespace slices; the router routes by consistent hash and fans write invalidations out to peers",
+			fmt.Sprintf("every point finishes with %d router writes; inv counters show the versioned fan-out (peers = shards-1 per write)", 8),
+		},
+	}
+	var base float64
+	for _, r := range results {
+		if r.Shards == 1 {
+			base = r.OpsPerSec
+		}
+	}
+	var ratio4 float64
+	for _, r := range results {
+		scaling := "1.00x"
+		if base > 0 && r.Shards != 1 {
+			ratio := r.OpsPerSec / base
+			scaling = fmt.Sprintf("%.2fx", ratio)
+			if r.Shards == 4 {
+				ratio4 = ratio
+			}
+		}
+		perShard := make([]string, len(r.PerShardP99ms))
+		for i, p := range r.PerShardP99ms {
+			perShard[i] = fmt.Sprintf("%.1f", p)
+		}
+		t.AddRow(
+			itoa(r.Shards),
+			itoa(r.Clients),
+			itoa(r.Ops),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			fmt.Sprintf("%.2f", r.P50ms),
+			fmt.Sprintf("%.2f", r.P99ms),
+			scaling,
+			strings.Join(perShard, " "),
+			fmt.Sprintf("%d/%d", r.InvalidationsSent, r.InvalidationsApplied),
+		)
+	}
+	// Scaling is queueing-bound, not CPU-bound, so it holds on shared
+	// 1-vCPU runners; still, gate with wide slack against scheduler noise.
+	t.AddMetric("shard_scaling_4x_vs_1", ratio4, "ratio", true, 0.5)
+	for _, r := range results {
+		if r.Shards == 2 && base > 0 {
+			// Informational: the mid-sweep point.
+			t.Metrics = append(t.Metrics,
+				Metric{Name: "shard_scaling_2x_vs_1", Value: r.OpsPerSec / base, Unit: "ratio", HigherIsBetter: true, Tolerance: -1})
+		}
+		if r.Shards == 4 {
+			t.Metrics = append(t.Metrics,
+				Metric{Name: "shard_fanout_p99_ms", Value: r.FanoutP99ms, Unit: "ms", Tolerance: -1})
+		}
+	}
+	return t
+}

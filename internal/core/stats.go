@@ -28,13 +28,15 @@ type counters struct {
 	cacheRescues      atomic.Int64
 	membershipChanges atomic.Int64
 
-	writes             atomic.Int64
-	writeErrors        atomic.Int64
-	writeBytes         atomic.Int64
-	cacheInvalidations atomic.Int64
-	writeThroughChunks atomic.Int64
-	staleCacheReloads  atomic.Int64
-	readRetries        atomic.Int64
+	writes               atomic.Int64
+	writeErrors          atomic.Int64
+	writeBytes           atomic.Int64
+	cacheInvalidations   atomic.Int64
+	writeThroughChunks   atomic.Int64
+	staleCacheReloads    atomic.Int64
+	readRetries          atomic.Int64
+	invalidationsApplied atomic.Int64
+	invalidationsStale   atomic.Int64
 
 	breakerDemotions atomic.Int64
 	brownoutReads    atomic.Int64
@@ -105,6 +107,12 @@ type Stats struct {
 	// read attempts repeated after any stripe-consistency violation.
 	StaleCacheReloads int64
 	ReadRetries       int64
+	// InvalidationsApplied counts versioned peer invalidations that were
+	// newer than the local stripe record and dropped cached state;
+	// InvalidationsStale counts late or duplicate peer invalidations
+	// discarded as no-ops by the version comparison.
+	InvalidationsApplied int64
+	InvalidationsStale   int64
 
 	// BreakerDemotions counts fetch candidates pushed to the tail of the
 	// candidate order because their node's circuit breaker was open.
@@ -163,6 +171,9 @@ func (c *Controller) Stats() Stats {
 		WriteThroughChunks: c.stats.writeThroughChunks.Load(),
 		StaleCacheReloads:  c.stats.staleCacheReloads.Load(),
 		ReadRetries:        c.stats.readRetries.Load(),
+
+		InvalidationsApplied: c.stats.invalidationsApplied.Load(),
+		InvalidationsStale:   c.stats.invalidationsStale.Load(),
 
 		BreakerDemotions: c.stats.breakerDemotions.Load(),
 		BrownoutReads:    c.stats.brownoutReads.Load(),
@@ -407,6 +418,22 @@ func (c *Controller) ReadLatencyBuckets() map[string]HistogramBuckets {
 func (c *Controller) WriteLatencyBuckets() HistogramBuckets {
 	return c.writeHist.bucketsSnapshot()
 }
+
+// LatencyHist is the controller's lock-free log2 latency histogram, exported
+// for other planes (the shard router records invalidation fan-out latency in
+// one). The zero value is ready to use.
+type LatencyHist struct {
+	h latencyHist
+}
+
+// Observe records one latency sample.
+func (l *LatencyHist) Observe(d time.Duration) { l.h.observe(d) }
+
+// Snapshot summarises the distribution observed so far.
+func (l *LatencyHist) Snapshot() LatencySnapshot { return l.h.snapshot() }
+
+// Buckets returns the raw cumulative buckets for the metrics exporter.
+func (l *LatencyHist) Buckets() HistogramBuckets { return l.h.bucketsSnapshot() }
 
 // InFlightReads reports the number of reads currently inside the admission
 // gate (0 when admission control is off).

@@ -23,9 +23,17 @@ import (
 // versioned chunk keys), and the read plane's stripe-version check retries
 // any read that catches the flip between its chunk fetches.
 func (c *Controller) Write(ctx context.Context, fileID int, data []byte, writer ObjectWriter) error {
+	_, err := c.WriteVersion(ctx, fileID, data, writer)
+	return err
+}
+
+// WriteVersion is Write, additionally returning the stripe version the
+// storage plane committed (0 for unversioned backends). The sharded router
+// uses it to stamp the invalidation messages it fans out to peer shards.
+func (c *Controller) WriteVersion(ctx context.Context, fileID int, data []byte, writer ObjectWriter) (uint64, error) {
 	start := time.Now()
 	if fileID < 0 || fileID >= len(c.files) {
-		return fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
+		return 0, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
 	}
 	meta := c.files[fileID]
 	if c.est != nil {
@@ -46,7 +54,7 @@ func (c *Controller) Write(ctx context.Context, fileID int, data []byte, writer 
 		var err error
 		if dataChunks, err = meta.Code.Split(data); err != nil {
 			c.stats.writeErrors.Add(1)
-			return err
+			return 0, err
 		}
 	}
 	var version uint64
@@ -60,7 +68,7 @@ func (c *Controller) Write(ctx context.Context, fileID int, data []byte, writer 
 	}
 	if err != nil {
 		c.stats.writeErrors.Add(1)
-		return err
+		return 0, err
 	}
 
 	// The storage plane now serves the new stripe; generate the target cache
@@ -70,7 +78,7 @@ func (c *Controller) Write(ctx context.Context, fileID int, data []byte, writer 
 	if target > 0 {
 		if cacheChunks, err = meta.Code.CacheChunks(dataChunks, target); err != nil {
 			c.stats.writeErrors.Add(1)
-			return fmt.Errorf("core: generating cache chunks for file %d: %w", fileID, err)
+			return 0, fmt.Errorf("core: generating cache chunks for file %d: %w", fileID, err)
 		}
 	}
 
@@ -104,7 +112,7 @@ func (c *Controller) Write(ctx context.Context, fileID int, data []byte, writer 
 	c.stats.cacheInvalidations.Add(int64(evicted))
 	c.stats.writeThroughChunks.Add(int64(installed))
 	c.writeHist.observe(time.Since(start))
-	return nil
+	return version, nil
 }
 
 // Invalidate drops the file's functional cache chunks and stripe record. It
@@ -121,4 +129,40 @@ func (c *Controller) Invalidate(fileID int) (int, error) {
 	c.mu.Unlock()
 	c.stats.cacheInvalidations.Add(int64(evicted))
 	return evicted, nil
+}
+
+// InvalidateVersion applies a versioned peer invalidation: a write committed
+// through another controller shard at the given stripe version. If this
+// controller's stripe record is already at or past that version the message
+// is late or a duplicate and the call is a no-op (applied=false) — the
+// protocol is idempotent under at-least-once delivery. Otherwise the file's
+// cached chunks are dropped and a stripe record carrying the new version and
+// size is installed, which both redirects future decodes to the new size and
+// makes the fill plane's version guard discard any in-flight background fill
+// that decoded the superseded stripe. Pending fill targets stay planned: the
+// next read re-materialises the allocation from the new committed data.
+//
+// version must be non-zero; unversioned backends use Invalidate.
+func (c *Controller) InvalidateVersion(fileID int, version uint64, size int) (bool, error) {
+	if fileID < 0 || fileID >= len(c.files) {
+		return false, fmt.Errorf("%w: %d", ErrUnknownFile, fileID)
+	}
+	if version == 0 {
+		return false, fmt.Errorf("core: versioned invalidation for file %d carries version 0", fileID)
+	}
+	c.mu.Lock()
+	if existing := c.cacheInfo[fileID].Load(); existing != nil && existing.Version >= version {
+		c.mu.Unlock()
+		c.stats.invalidationsStale.Add(1)
+		return false, nil
+	}
+	evicted := c.cache.DeleteFile(fileID)
+	c.cacheInfo[fileID].Store(&StripeInfo{Version: version, Size: size})
+	if size > 0 {
+		c.fileSizes[fileID].Store(int64(size))
+	}
+	c.mu.Unlock()
+	c.stats.cacheInvalidations.Add(int64(evicted))
+	c.stats.invalidationsApplied.Add(1)
+	return true, nil
 }

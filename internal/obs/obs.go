@@ -21,6 +21,7 @@ import (
 	"sprout/internal/metrics"
 	"sprout/internal/objstore"
 	"sprout/internal/repair"
+	"sprout/internal/router"
 	"sprout/internal/transport"
 )
 
@@ -50,6 +51,18 @@ type Sources struct {
 	// Rings bridges named lock-free work queues (pushes, pops, rejects,
 	// parks).
 	Rings []RingSource
+	// Router bridges the shard router: routed operations per shard, the
+	// invalidation fan-out protocol counters, and fan-out latency.
+	Router *router.Router
+	// Shards bridges per-shard controller series under shared families with
+	// a shard label, so one scrape shows every shard of the metadata plane.
+	Shards []ShardSource
+}
+
+// ShardSource names one shard controller for per-shard series.
+type ShardSource struct {
+	Shard      string
+	Controller *core.Controller
 }
 
 // Register wires every non-nil source into the registry.
@@ -77,6 +90,12 @@ func Register(r *metrics.Registry, s Sources) {
 	}
 	if len(s.Rings) > 0 {
 		registerRings(r, s.Rings)
+	}
+	if s.Router != nil {
+		registerRouter(r, s.Router)
+	}
+	if len(s.Shards) > 0 {
+		registerShards(r, s.Shards)
 	}
 }
 
@@ -166,6 +185,18 @@ func registerController(r *metrics.Registry, c *core.Controller) {
 	}
 
 	r.MustRegister(metrics.Desc{
+		Name: "sprout_peer_invalidations_total",
+		Help: "Versioned peer invalidations received: applied, or dropped as stale (late or duplicate).",
+		Kind: metrics.KindCounter, Labels: []string{"result"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		s := st()
+		return []metrics.Sample{
+			{LabelValues: []string{"applied"}, Value: float64(s.InvalidationsApplied)},
+			{LabelValues: []string{"stale_dropped"}, Value: float64(s.InvalidationsStale)},
+		}
+	}))
+
+	r.MustRegister(metrics.Desc{
 		Name: "sprout_read_chunks_total", Help: "Chunks consumed by reads, by source.",
 		Kind: metrics.KindCounter, Labels: []string{"source"},
 	}, metrics.CollectorFunc(func() []metrics.Sample {
@@ -250,6 +281,116 @@ func registerController(r *metrics.Registry, c *core.Controller) {
 		}
 		return sum
 	})
+}
+
+// registerRouter bridges the shard router's routing and fan-out counters.
+func registerRouter(r *metrics.Registry, rt *router.Router) {
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_router_reads_total", Help: "Reads routed to each shard.",
+		Kind: metrics.KindCounter, Labels: []string{"shard"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		st := rt.Stats()
+		out := make([]metrics.Sample, len(st.Shards))
+		for i, s := range st.Shards {
+			out[i] = metrics.Sample{LabelValues: []string{s.ID}, Value: float64(s.Reads)}
+		}
+		return out
+	}))
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_router_writes_total", Help: "Writes routed to each shard.",
+		Kind: metrics.KindCounter, Labels: []string{"shard"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		st := rt.Stats()
+		out := make([]metrics.Sample, len(st.Shards))
+		for i, s := range st.Shards {
+			out[i] = metrics.Sample{LabelValues: []string{s.ID}, Value: float64(s.Writes)}
+		}
+		return out
+	}))
+	counter(r, "sprout_router_invalidations_sent_total",
+		"Invalidation deliveries handed to the fan-out pool.",
+		func() int64 { return rt.Stats().InvalidationsSent })
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_router_invalidation_acks_total",
+		Help: "Invalidation delivery outcomes: applied by the peer, dropped as stale (late or duplicate), or failed.",
+		Kind: metrics.KindCounter, Labels: []string{"result"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		st := rt.Stats()
+		return []metrics.Sample{
+			{LabelValues: []string{"applied"}, Value: float64(st.InvalidationsApplied)},
+			{LabelValues: []string{"stale_dropped"}, Value: float64(st.InvalidationsStale)},
+			{LabelValues: []string{"error"}, Value: float64(st.InvalidationErrors)},
+		}
+	}))
+	counter(r, "sprout_router_fanouts_total", "Writes that fanned an invalidation out to peer shards.",
+		func() int64 { return rt.Stats().Fanouts })
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_router_fanout_latency_seconds",
+		Help: "Write-side latency of the full invalidation fan-out barrier.",
+		Kind: metrics.KindHistogram,
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		return []metrics.Sample{{Hist: histValue(rt.FanoutLatencyBuckets())}}
+	}))
+	gauge(r, "sprout_router_shard_count", "Shards currently on the hash ring.",
+		func() float64 { return float64(len(rt.Stats().Shards)) })
+	counter(r, "sprout_router_ring_version_total", "Ring membership version (bumps on every add/remove).",
+		func() int64 { return int64(rt.Stats().RingVersion) })
+}
+
+// registerShards exposes per-shard controller series under shared families
+// with a shard label.
+func registerShards(r *metrics.Registry, shards []ShardSource) {
+	perShard := func(name, help string, kind metrics.Kind, fn func(*core.Controller) float64) {
+		r.MustRegister(metrics.Desc{Name: name, Help: help, Kind: kind, Labels: []string{"shard"}},
+			metrics.CollectorFunc(func() []metrics.Sample {
+				out := make([]metrics.Sample, len(shards))
+				for i, s := range shards {
+					out[i] = metrics.Sample{LabelValues: []string{s.Shard}, Value: fn(s.Controller)}
+				}
+				return out
+			}))
+	}
+	perShard("sprout_shard_reads_total", "Reads served by each shard controller.", metrics.KindCounter,
+		func(c *core.Controller) float64 { return float64(c.Stats().Reads) })
+	perShard("sprout_shard_writes_total", "Writes committed by each shard controller.", metrics.KindCounter,
+		func(c *core.Controller) float64 { return float64(c.Stats().Writes) })
+	perShard("sprout_shard_lazy_fills_total", "Background cache fills completed by each shard.", metrics.KindCounter,
+		func(c *core.Controller) float64 { return float64(c.Stats().LazyFills) })
+	perShard("sprout_shard_plan_updates_total", "Cache plans applied by each shard.", metrics.KindCounter,
+		func(c *core.Controller) float64 { return float64(c.Stats().PlanUpdates) })
+	perShard("sprout_shard_cache_used_chunks", "Functional-cache chunks resident on each shard.", metrics.KindGauge,
+		func(c *core.Controller) float64 { return float64(c.Cache().Len()) })
+	perShard("sprout_shard_cache_capacity_chunks", "Functional-cache capacity of each shard.", metrics.KindGauge,
+		func(c *core.Controller) float64 { return float64(c.Cache().Capacity()) })
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_shard_invalidations_total",
+		Help: "Versioned peer invalidations received by each shard: applied, or dropped as stale (late or duplicate).",
+		Kind: metrics.KindCounter, Labels: []string{"shard", "result"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		out := make([]metrics.Sample, 0, 2*len(shards))
+		for _, s := range shards {
+			st := s.Controller.Stats()
+			out = append(out,
+				metrics.Sample{LabelValues: []string{s.Shard, "applied"}, Value: float64(st.InvalidationsApplied)},
+				metrics.Sample{LabelValues: []string{s.Shard, "stale_dropped"}, Value: float64(st.InvalidationsStale)})
+		}
+		return out
+	}))
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_shard_read_latency_seconds",
+		Help: "Read latency per shard, all serving classes folded.",
+		Kind: metrics.KindHistogram, Labels: []string{"shard"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		out := make([]metrics.Sample, len(shards))
+		for i, s := range shards {
+			var all core.HistogramBuckets
+			for _, b := range s.Controller.ReadLatencyBuckets() {
+				all = all.Add(b)
+			}
+			out[i] = metrics.Sample{LabelValues: []string{s.Shard}, Hist: histValue(all)}
+		}
+		return out
+	}))
 }
 
 func registerErasure(r *metrics.Registry, st func() erasure.CoderStats) {

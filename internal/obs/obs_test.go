@@ -19,6 +19,7 @@ import (
 	"sprout/internal/queue"
 	"sprout/internal/repair"
 	"sprout/internal/ring"
+	"sprout/internal/router"
 	"sprout/internal/transport"
 )
 
@@ -49,6 +50,12 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 	}
 	t.Cleanup(func() { ctrl.Close() })
 
+	rt := router.New(router.Options{FanoutWorkers: 1})
+	if err := rt.AddShard(router.Shard{ID: "shard-0", Ctrl: ctrl}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+
 	return NewRegistry(Sources{
 		Controller:      ctrl,
 		TransportClient: func() transport.TransportStats { return transport.TransportStats{Requests: 1} },
@@ -73,6 +80,8 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 			{Name: "transport_work", Stats: func() ring.Stats { return ring.Stats{Pushes: 1, Pops: 1} }},
 			{Name: "repair_wake", Stats: func() ring.Stats { return ring.Stats{} }},
 		},
+		Router: rt,
+		Shards: []ShardSource{{Shard: "shard-0", Controller: ctrl}},
 	})
 }
 
@@ -110,6 +119,13 @@ func TestExpositionParsesStrictly(t *testing.T) {
 		"sprout_osd_state_info",
 		"sprout_erasure_plan_hits_total",
 		"sprout_chaos_delays_total",
+		"sprout_peer_invalidations_total",
+		"sprout_router_reads_total",
+		"sprout_router_invalidations_sent_total",
+		"sprout_router_fanout_latency_seconds",
+		"sprout_shard_reads_total",
+		"sprout_shard_invalidations_total",
+		"sprout_shard_read_latency_seconds",
 	} {
 		if fams[want] == nil {
 			t.Errorf("exposition missing family %s", want)

@@ -180,6 +180,13 @@ func popularityAllocation(p *Problem) []int {
 		if remaining <= 0 {
 			break
 		}
+		// The order is rate-descending, so the first zero-rate file ends the
+		// loop: a cached chunk of a never-requested file serves nothing, and
+		// spilling leftover capacity there would hand sharded controllers
+		// cache outside their namespace slice.
+		if p.Files[i].Lambda == 0 {
+			break
+		}
 		take := p.Files[i].K
 		if take > remaining {
 			take = remaining

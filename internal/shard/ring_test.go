@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringWith(t *testing.T, vnodes int, ids ...string) *Ring {
+	t.Helper()
+	r := New(vnodes)
+	for _, id := range ids {
+		if err := r.Add(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func owners(t *testing.T, r *Ring, files int) []string {
+	t.Helper()
+	out := make([]string, files)
+	for f := 0; f < files; f++ {
+		id, ok := r.Owner(f)
+		if !ok {
+			t.Fatalf("file %d: no owner", f)
+		}
+		out[f] = id
+	}
+	return out
+}
+
+// TestBalance pins the quantitative balance bound from the issue: over 1k
+// files at 4 shards the most-loaded shard holds at most 1.15x the files of
+// the least-loaded one. The ring is deterministic, so this is a fixed
+// property of the hash, not a flaky statistical test.
+func TestBalance(t *testing.T) {
+	const files = 1000
+	r := ringWith(t, 0, "shard-0", "shard-1", "shard-2", "shard-3")
+	load := map[string]int{}
+	for _, id := range owners(t, r, files) {
+		load[id]++
+	}
+	min, max := files, 0
+	for _, id := range r.Members() {
+		n := load[id]
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	t.Logf("load per shard: %v (max/min = %.3f)", load, float64(max)/float64(min))
+	if min == 0 {
+		t.Fatalf("a shard owns zero files: %v", load)
+	}
+	if ratio := float64(max) / float64(min); ratio > 1.15 {
+		t.Fatalf("max/min load ratio %.3f > 1.15: %v", ratio, load)
+	}
+}
+
+// TestMinimalMovementOnAdd checks that growing the ring only moves files
+// onto the new shard — no file changes hands between surviving shards —
+// and that the moved fraction is about 1/N (bounded here by the balance
+// slack over the new shard's fair share).
+func TestMinimalMovementOnAdd(t *testing.T) {
+	files := 1000
+	r := ringWith(t, 0, "shard-0", "shard-1", "shard-2", "shard-3")
+	before := owners(t, r, files)
+	if err := r.Add("shard-4"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, files)
+
+	moved := 0
+	for f := range before {
+		if before[f] == after[f] {
+			continue
+		}
+		moved++
+		if after[f] != "shard-4" {
+			t.Fatalf("file %d moved %s -> %s, not to the new shard", f, before[f], after[f])
+		}
+	}
+	bound := int(1.15 * float64(files) / 5)
+	t.Logf("moved %d/%d files to the new shard (bound %d)", moved, files, bound)
+	if moved == 0 {
+		t.Fatal("new shard received no files")
+	}
+	if moved > bound {
+		t.Fatalf("add moved %d files, want <= %d (~1/N with balance slack)", moved, bound)
+	}
+}
+
+// TestMinimalMovementOnRemove checks that shrinking the ring only moves the
+// removed shard's files; everything else stays put.
+func TestMinimalMovementOnRemove(t *testing.T) {
+	files := 1000
+	r := ringWith(t, 0, "shard-0", "shard-1", "shard-2", "shard-3")
+	before := owners(t, r, files)
+	if err := r.Remove("shard-2"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, files)
+
+	moved := 0
+	for f := range before {
+		switch {
+		case before[f] == "shard-2":
+			moved++
+			if after[f] == "shard-2" {
+				t.Fatalf("file %d still owned by removed shard", f)
+			}
+		case before[f] != after[f]:
+			t.Fatalf("file %d moved %s -> %s though its owner stayed on the ring",
+				f, before[f], after[f])
+		}
+	}
+	bound := int(1.15 * float64(files) / 4)
+	t.Logf("remove moved %d/%d files (bound %d)", moved, files, bound)
+	if moved > bound {
+		t.Fatalf("remove moved %d files, want <= %d (~1/N with balance slack)", moved, bound)
+	}
+}
+
+// TestStableMappingAcrossInstances verifies that two rings built from the
+// same membership — in different insertion orders — agree on every owner.
+// That property lets each process route independently.
+func TestStableMappingAcrossInstances(t *testing.T) {
+	a := ringWith(t, 64, "alpha", "beta", "gamma")
+	b := ringWith(t, 64, "gamma", "alpha", "beta")
+	for f := 0; f < 500; f++ {
+		oa, _ := a.Owner(f)
+		ob, _ := b.Owner(f)
+		if oa != ob {
+			t.Fatalf("file %d: owner %q vs %q across instances", f, oa, ob)
+		}
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	r := New(8)
+	if _, ok := r.Owner(1); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if err := r.Add(""); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := r.Add("s0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("s0"); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+	if err := r.Remove("nope"); err == nil {
+		t.Fatal("removing unknown member accepted")
+	}
+	if v := r.Version(); v != 1 {
+		t.Fatalf("version = %d after one add, want 1", v)
+	}
+	if err := r.Remove("s0"); err != nil {
+		t.Fatal(err)
+	}
+	if v := r.Version(); v != 2 {
+		t.Fatalf("version = %d after add+remove, want 2", v)
+	}
+	if got := r.Len(); got != 0 {
+		t.Fatalf("Len = %d, want 0", got)
+	}
+}
+
+func TestSingleMemberOwnsAll(t *testing.T) {
+	r := ringWith(t, 16, "only")
+	for f := 0; f < 64; f++ {
+		if id, ok := r.Owner(f); !ok || id != "only" {
+			t.Fatalf("file %d: owner %q ok=%v", f, id, ok)
+		}
+	}
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := New(0)
+	for i := 0; i < 8; i++ {
+		if err := r.Add(fmt.Sprintf("shard-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner(i & 1023)
+	}
+}

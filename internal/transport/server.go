@@ -73,6 +73,11 @@ type ServerConfig struct {
 	// frames, unexpected disconnects) that would otherwise only show up in
 	// the DecodeErrors counter.
 	Logf func(format string, args ...any)
+	// Peer, when set, serves the controller-to-controller op set (CtrlRead,
+	// CtrlWrite, Invalidate, ShardInfo) — the endpoint one shard of the
+	// sharded metadata plane exposes to the router and its peer shards. A
+	// server may carry both a cluster and a Peer, or only one of the two.
+	Peer PeerOps
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -132,7 +137,9 @@ func NewServer(cluster *objstore.Cluster) *Server {
 	return NewServerWithConfig(cluster, ServerConfig{})
 }
 
-// NewServerWithConfig wraps a cluster for serving with explicit limits.
+// NewServerWithConfig wraps a cluster for serving with explicit limits. A
+// nil cluster builds a peer-only endpoint: it serves the controller op set
+// through ServerConfig.Peer and rejects storage ops.
 func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
@@ -184,7 +191,7 @@ func (s *Server) Listen(addr string) (string, error) {
 			s.workerWG.Add(1)
 			go s.worker()
 		}
-		if s.cfg.StagedPutTTL > 0 {
+		if s.cfg.StagedPutTTL > 0 && s.cluster != nil {
 			s.startStagedJanitor()
 		}
 	}
@@ -345,6 +352,14 @@ func (s *Server) handle(ctx context.Context, req *Request) Response {
 	}
 	// Request payload bytes crossed the emulated fabric to reach us.
 	s.nicWait(ctx, int64(len(req.Data)))
+	switch req.Op {
+	case OpCtrlRead, OpCtrlWrite, OpInvalidate, OpShardInfo:
+		return s.handlePeer(ctx, req, fail, ok)
+	}
+	if s.cluster == nil {
+		// A peer-only shard endpoint serves just the controller op set.
+		return fail(errors.New("transport: no object store attached to this endpoint"))
+	}
 	switch req.Op {
 	case OpPut:
 		pool, err := s.cluster.Pool(req.Pool)

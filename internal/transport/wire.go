@@ -82,6 +82,17 @@ const (
 	OpCommitObject
 	OpAbortPut
 	OpPoolInfo
+	// Controller-to-controller ops (served when ServerConfig.Peer is set).
+	// CtrlRead/CtrlWrite route a file read/write to the shard controller
+	// owning the file (Chunk carries the file ID); Invalidate fans a
+	// committed write's versioned invalidation out to peer shards (Version
+	// carries the stripe version, Data an 8-byte payload size); ShardInfo
+	// exchanges ring membership (Response.Names holds id/address pairs,
+	// Response.Version the ring version).
+	OpCtrlRead
+	OpCtrlWrite
+	OpInvalidate
+	OpShardInfo
 )
 
 func (o Op) String() string {
@@ -114,6 +125,14 @@ func (o Op) String() string {
 		return "abort-put"
 	case OpPoolInfo:
 		return "pool-info"
+	case OpCtrlRead:
+		return "ctrl-read"
+	case OpCtrlWrite:
+		return "ctrl-write"
+	case OpInvalidate:
+		return "invalidate"
+	case OpShardInfo:
+		return "shard-info"
 	default:
 		return fmt.Sprintf("op(%d)", byte(o))
 	}
