@@ -154,6 +154,13 @@ func experiments() []experiment {
 			}
 			return bench.ShardTable(r), nil
 		}},
+		{"tenants", "multi-tenant QoS: bronze surge at 4x fair load vs gold p99, weighted-fair sharing end to end", func(cfg bench.Config) (*bench.Table, error) {
+			r, err := bench.TenantQoS(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return bench.TenantTable(r), nil
+		}},
 		{"hotpath", "serving hot path: lock-free MPSC ring vs channel hand-off, zero-alloc read checks", func(cfg bench.Config) (*bench.Table, error) {
 			r, err := bench.HotpathQueues(cfg)
 			if err != nil {

@@ -1,0 +1,357 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sprout/internal/core"
+	"sprout/internal/objstore"
+	"sprout/internal/optimizer"
+	"sprout/internal/queue"
+	"sprout/internal/resilience"
+	"sprout/internal/transport"
+	"sprout/internal/workload"
+)
+
+// TenantResult measures one arm of the multi-tenant QoS experiment: gold and
+// bronze tenants sharing one stack, with bronze at its fair load or surging
+// to 4x it.
+type TenantResult struct {
+	Arm string // "fair" or "surge"
+
+	GoldOps     int
+	BronzeOps   int
+	GoldP50ms   float64
+	GoldP99ms   float64
+	BronzeP99ms float64
+	// GoldSheds/BronzeSheds are reads rejected under brownout, per tenant;
+	// the SLO ladder should put (almost) all of them on bronze.
+	GoldSheds   int64
+	BronzeSheds int64
+	// Errors are hard failures — anything that is not a deliberate
+	// shed/overload rejection. Should be zero.
+	Errors    int64
+	OpsPerSec float64
+	// PriorityHedges counts gold reads that kept their hedge timer through
+	// brownout level 1.
+	PriorityHedges int64
+}
+
+// tenantStack is the two-tenant bench stack: one erasure-coded pool behind a
+// weighted-fair transport server, one controller with tenant policies, and
+// one wire client per tenant so requests carry their tenant through the
+// frame and the server's deficit-round-robin queues.
+type tenantStack struct {
+	cluster *objstore.Cluster
+	pool    *objstore.Pool
+	server  *transport.Server
+	clients map[string]*transport.Client
+	fetch   map[string]*transport.RemoteFetcher
+	ctrl    *core.Controller
+	lambdas []float64
+	objects int
+}
+
+func (s *tenantStack) close() {
+	if s.ctrl != nil {
+		_ = s.ctrl.Close()
+	}
+	for _, c := range s.clients {
+		_ = c.Close()
+	}
+	if s.server != nil {
+		_ = s.server.Close()
+	}
+}
+
+// tenantFiles splits the object space: gold owns the first half (the hot
+// head of the Zipf curve), bronze the rest.
+func tenantFiles(objects int) (gold, bronze []int) {
+	for f := 0; f < objects; f++ {
+		if f < objects/2 {
+			gold = append(gold, f)
+		} else {
+			bronze = append(bronze, f)
+		}
+	}
+	return gold, bronze
+}
+
+func newTenantStack(cfg Config) (*tenantStack, error) {
+	const (
+		numOSDs = 12
+		objSize = 16 << 10
+	)
+	objects := cfg.Files
+	if objects > 24 {
+		objects = 24
+	}
+	if objects < 4 {
+		objects = 4
+	}
+
+	s := &tenantStack{objects: objects, clients: map[string]*transport.Client{}, fetch: map[string]*transport.RemoteFetcher{}}
+	cluster, err := objstore.NewCluster(objstore.ClusterConfig{
+		NumOSDs:      numOSDs,
+		Services:     []queue.Dist{queue.Deterministic{Value: 0.0003}},
+		RefChunkSize: objSize / 4,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.cluster = cluster
+	if s.pool, err = cluster.CreatePool("ec", 7, 4); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	payload := make([]byte, objSize)
+	for i := 0; i < objects; i++ {
+		rng.Read(payload)
+		if err := s.pool.Put(ctx, fmt.Sprintf("file-%04d", i), payload); err != nil {
+			return nil, err
+		}
+	}
+
+	goldFiles, bronzeFiles := tenantFiles(objects)
+	s.server = transport.NewServerWithConfig(cluster, transport.ServerConfig{
+		TenantWeights: map[string]int{"gold": 4, "bronze": 1},
+	})
+	addr, err := s.server.Listen("127.0.0.1:0")
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	for _, tenant := range []string{"gold", "bronze"} {
+		cl, err := transport.DialConfig(addr, transport.ClientConfig{Conns: 3, Retries: 4, Tenant: tenant})
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		s.clients[tenant] = cl
+		s.fetch[tenant] = &transport.RemoteFetcher{Client: cl, Pool: "ec"}
+	}
+
+	s.lambdas = workload.Zipf(objects, 1.1, 50)
+	view, err := s.pool.ClusterView(s.lambdas)
+	if err != nil {
+		s.close()
+		return nil, err
+	}
+	serve := core.ServeOptions{
+		HedgeDelay: 12 * time.Millisecond,
+		HedgeExtra: 1,
+		Admission:  &core.AdmissionConfig{MaxInFlight: 12},
+		Tenants: []core.TenantPolicy{
+			{Name: "gold", Class: core.ClassGold, Weight: 4, Files: goldFiles},
+			{Name: "bronze", Class: core.ClassBronze, Weight: 1, Files: bronzeFiles},
+		},
+	}
+	if s.ctrl, err = core.NewControllerWith(view, 2*objects, optimizer.Options{MaxOuterIter: cfg.MaxOuterIter}, serve, cfg.Seed); err != nil {
+		s.close()
+		return nil, err
+	}
+	if _, err := s.ctrl.PlanTimeBin(s.lambdas); err != nil {
+		s.close()
+		return nil, err
+	}
+	if err := s.ctrl.PrefetchCache(ctx, s.fetch["gold"]); err != nil {
+		s.close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// tenantDrive runs one tenant's closed loop: readers goroutines each doing
+// opsEach Zipf-picked reads over the tenant's own files, through the
+// tenant's own wire client, with the tenant stamped on the read context.
+func (s *tenantStack) tenantDrive(cfg Config, tenant string, files []int, readers, opsEach int, wg *sync.WaitGroup, out *tenantDriveResult) {
+	sub := make([]float64, len(files))
+	for i, f := range files {
+		sub[i] = s.lambdas[f]
+	}
+	picker := workload.NewRatePicker(sub)
+	fetcher := s.fetch[tenant]
+	ctx := core.WithTenant(context.Background(), tenant)
+	lats := make([][]time.Duration, readers)
+	var inner sync.WaitGroup
+	for w := 0; w < readers; w++ {
+		inner.Add(1)
+		go func(w int) {
+			defer inner.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + 500 + int64(w)))
+			l := make([]time.Duration, 0, opsEach)
+			for i := 0; i < opsEach; i++ {
+				fileID := files[picker.Pick(r.Float64())]
+				opStart := time.Now()
+				_, err := s.ctrl.Read(ctx, fileID, fetcher)
+				switch {
+				case err == nil:
+					l = append(l, time.Since(opStart))
+				case errors.Is(err, core.ErrSaturated) || resilience.IsOverload(err):
+					out.sheds.Add(1)
+				default:
+					out.errors.Add(1)
+				}
+			}
+			lats[w] = l
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		inner.Wait()
+		var merged []time.Duration
+		for _, l := range lats {
+			merged = append(merged, l...)
+		}
+		out.mu.Lock()
+		out.lats = append(out.lats, merged...)
+		out.mu.Unlock()
+	}()
+}
+
+type tenantDriveResult struct {
+	mu     sync.Mutex
+	lats   []time.Duration
+	sheds  atomic.Int64
+	errors atomic.Int64
+}
+
+// tenantPoint runs one arm: gold at its fixed load, bronze at loadX times
+// its fair share, both driving the same stack concurrently.
+func tenantPoint(cfg Config, arm string, bronzeReaders int) (TenantResult, error) {
+	s, err := newTenantStack(cfg)
+	if err != nil {
+		return TenantResult{}, err
+	}
+	defer s.close()
+	goldFiles, bronzeFiles := tenantFiles(s.objects)
+
+	const goldReaders, opsEach = 4, 120
+
+	// Unmeasured warmup settles the cache fills and the admission EWMA.
+	var warm sync.WaitGroup
+	var wgold, wbronze tenantDriveResult
+	s.tenantDrive(cfg, "gold", goldFiles, goldReaders, 15, &warm, &wgold)
+	s.tenantDrive(cfg, "bronze", bronzeFiles, bronzeReaders, 15, &warm, &wbronze)
+	warm.Wait()
+
+	before := s.ctrl.Stats()
+	tsBefore := s.ctrl.TenantStats()
+	var wg sync.WaitGroup
+	var gold, bronze tenantDriveResult
+	start := time.Now()
+	s.tenantDrive(cfg, "gold", goldFiles, goldReaders, opsEach, &wg, &gold)
+	s.tenantDrive(cfg, "bronze", bronzeFiles, bronzeReaders, opsEach, &wg, &bronze)
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := s.ctrl.Stats()
+	ts := s.ctrl.TenantStats()
+
+	return TenantResult{
+		Arm:            arm,
+		GoldOps:        len(gold.lats),
+		BronzeOps:      len(bronze.lats),
+		GoldP50ms:      chaosPct(gold.lats, 0.50),
+		GoldP99ms:      chaosPct(gold.lats, 0.99),
+		BronzeP99ms:    chaosPct(bronze.lats, 0.99),
+		GoldSheds:      ts["gold"].Sheds - tsBefore["gold"].Sheds,
+		BronzeSheds:    ts["bronze"].Sheds - tsBefore["bronze"].Sheds,
+		Errors:         gold.errors.Load() + bronze.errors.Load(),
+		OpsPerSec:      float64(len(gold.lats)+len(bronze.lats)) / elapsed.Seconds(),
+		PriorityHedges: stats.PriorityHedges - before.PriorityHedges,
+	}, nil
+}
+
+// TenantQoS is the multi-tenant isolation experiment: a gold and a bronze
+// tenant share one stack end to end — wire frames carry the tenant, the
+// server queues requests under deficit round-robin, the controller applies
+// the SLO ladder, and the cache budget is split by weight. The fair arm runs
+// both tenants at their fair load; the surge arm drives bronze at 4x while
+// gold's load is unchanged. Isolation holds if gold's p99 barely moves while
+// bronze absorbs the shedding.
+func TenantQoS(cfg Config) ([]TenantResult, error) {
+	cfg = cfg.withDefaults()
+	var out []TenantResult
+	for _, arm := range []struct {
+		name          string
+		bronzeReaders int
+	}{
+		{"fair", 4},
+		{"surge", 16}, // 4x bronze's fair concurrency
+	} {
+		res, err := tenantPoint(cfg, arm.name, arm.bronzeReaders)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tenants %s arm: %w", arm.name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// TenantTable renders the QoS A/B and wires the isolation gates: gold's p99
+// under the bronze surge vs the fair arm, and the shed split.
+func TenantTable(results []TenantResult) *Table {
+	t := &Table{
+		Title:   "multi-tenant QoS: bronze surging to 4x fair load vs gold's SLO",
+		Headers: []string{"arm", "gold ops", "bronze ops", "gold p50 ms", "gold p99 ms", "bronze p99 ms", "gold sheds", "bronze sheds", "errors", "ops/s", "priority hedges"},
+		Notes: []string{
+			"fair: gold and bronze each at 4 readers; surge: bronze at 16 readers (4x), gold unchanged",
+			"tenancy is end-to-end: wire frames carry the tenant, the server runs deficit round-robin, the controller sheds by SLO class",
+			"isolation target: surge moves gold p99 by <= 1.5x while bronze absorbs >= 95% of the shedding",
+		},
+	}
+	var fair, surge *TenantResult
+	for i := range results {
+		r := &results[i]
+		t.AddRow(
+			r.Arm,
+			itoa(r.GoldOps),
+			itoa(r.BronzeOps),
+			f2(r.GoldP50ms),
+			f2(r.GoldP99ms),
+			f2(r.BronzeP99ms),
+			i64toa(r.GoldSheds),
+			i64toa(r.BronzeSheds),
+			i64toa(r.Errors),
+			fmt.Sprintf("%.0f", r.OpsPerSec),
+			i64toa(r.PriorityHedges),
+		)
+		switch r.Arm {
+		case "fair":
+			fair = r
+		case "surge":
+			surge = r
+		}
+	}
+	if fair != nil && surge != nil && fair.GoldP99ms > 0 {
+		// The acceptance bound is 1.5x; the tolerance leaves headroom for
+		// runner jitter around a baseline recorded well inside the bound.
+		t.AddMetric("gold_p99_surge_ratio", surge.GoldP99ms/fair.GoldP99ms, "ratio", false, 0.4)
+	}
+	if surge != nil {
+		share := 1.0 // no sheds at all: bronze trivially absorbed them
+		if total := surge.GoldSheds + surge.BronzeSheds; total > 0 {
+			share = float64(surge.BronzeSheds) / float64(total)
+		}
+		t.AddMetric("bronze_shed_share", share, "ratio", true, 0.05)
+		// Gold is never shed by the SLO ladder; ideal is zero, with a small
+		// absolute allowance so a pathological runner cannot flake the gate.
+		t.Metrics = append(t.Metrics, Metric{
+			Name: "gold_shed_reads", Value: float64(surge.GoldSheds),
+			Unit: "reads", HigherIsBetter: false, AbsTolerance: 2,
+		})
+		t.AddMetric("surge_hard_errors", float64(surge.Errors), "errors", false, 0)
+		t.AddMetric("surge_bronze_sheds", float64(surge.BronzeSheds), "reads", true, -1)
+		t.AddMetric("surge_ops_per_sec", surge.OpsPerSec, "ops/s", true, -1)
+	}
+	return t
+}

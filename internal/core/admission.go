@@ -104,17 +104,24 @@ func (g *admissionGate) leave() { g.inflight.Add(-1) }
 // asymmetric-EWMA quantile tracker: samples above the estimate pull it up
 // with weight alpha, samples below push it down with weight alpha/99, so
 // the estimate settles near the 99th percentile without keeping a
-// histogram. Shed reads are not observed — their fast failures would drag
-// the estimate down and make the gate flap open.
+// histogram. The very first sample seeds the estimate directly — warming
+// up from zero would take ~1/Alpha samples, leaving the latency signal
+// blind exactly during a cold-start stampede. Shed reads are not observed —
+// their fast failures would drag the estimate down and make the gate flap
+// open.
 func (g *admissionGate) observe(d time.Duration) {
 	sample := float64(d)
 	for {
 		old := g.p99bits.Load()
 		est := math.Float64frombits(old)
 		var next float64
-		if sample > est {
+		switch {
+		case old == 0:
+			// Unseeded (Float64bits(0) == 0): adopt the first sample whole.
+			next = sample
+		case sample > est:
 			next = est + g.cfg.Alpha*(sample-est)
-		} else {
+		default:
 			next = est + g.cfg.Alpha/99*(sample-est)
 		}
 		if g.p99bits.CompareAndSwap(old, math.Float64bits(next)) {
@@ -174,10 +181,15 @@ func (c *Controller) SaturationScore() float64 {
 
 // lowValueFiles marks the files whose planned arrival rate is strictly
 // below the median — the reads the deepest brownout level sheds first,
-// because the plan assigns them the least latency value. With uniform
-// rates nothing is marked and level 3 sheds nothing.
+// because the plan assigns them the least latency value. When ties at the
+// median swallow the bottom half (fewer than ⌊n/2⌋ files are strictly
+// below it — e.g. two files at identical rates), the strict rule would
+// leave level 3 with nothing to shed even under hard saturation, so it
+// falls back to marking the bottom ⌊n/2⌋ files by rank (ties broken by
+// file ID).
 func lowValueFiles(lambdas []float64) []bool {
-	if len(lambdas) == 0 {
+	n := len(lambdas)
+	if n == 0 {
 		return nil
 	}
 	sorted := append([]float64(nil), lambdas...)
@@ -188,10 +200,38 @@ func lowValueFiles(lambdas []float64) []bool {
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	median := sorted[len(sorted)/2]
-	low := make([]bool, len(lambdas))
+	median := sorted[n/2]
+	low := make([]bool, n)
+	marked := 0
 	for i, l := range lambdas {
-		low[i] = l < median
+		if l < median {
+			low[i] = true
+			marked++
+		}
+	}
+	if marked >= n/2 {
+		return low
+	}
+	// Tie fallback: rank files by (rate, ID) and mark the bottom ⌊n/2⌋.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j], idx[j-1]
+			if lambdas[a] < lambdas[b] || (lambdas[a] == lambdas[b] && a < b) {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			} else {
+				break
+			}
+		}
+	}
+	for i := range low {
+		low[i] = false
+	}
+	for _, f := range idx[:n/2] {
+		low[f] = true
 	}
 	return low
 }

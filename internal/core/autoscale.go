@@ -85,15 +85,26 @@ type autoscaler struct {
 	targetMu   sync.Mutex
 	target     []int // current per-file allocation targets
 	coldStreak []int
+
+	// owner/budgets mirror the controller's tenant cache-budget partition:
+	// owner[fileID] indexes budgets, the per-tenant chunk shares. Nil when
+	// no split is configured — the budget is then one shared pool.
+	owner   []int
+	budgets []int
 }
 
 func newAutoscaler(c *Controller, cfg AutoscaleConfig) *autoscaler {
-	return &autoscaler{
+	a := &autoscaler{
 		c:          c,
 		cfg:        cfg.withDefaults(),
 		target:     make([]int, len(c.files)),
 		coldStreak: make([]int, len(c.files)),
 	}
+	if c.tenantOwner != nil {
+		a.owner = c.tenantOwner
+		a.budgets = optimizer.SplitBudgets(c.capacity, c.tenantShares)
+	}
+	return a
 }
 
 // reset re-derives the overlay from a fresh plan: a replan is the
@@ -115,17 +126,33 @@ func (a *autoscaler) reset(ep *epoch) {
 	}
 }
 
-// freeBudget is the chunk budget not claimed by any file's current target.
-func (a *autoscaler) freeBudget() int {
+// freeBudgetFor is the chunk budget a grow of fileID may draw on: the whole
+// unclaimed capacity without a tenant split, or — with one — the unclaimed
+// slice of the owning tenant's share, so a viral file regrows only within
+// its tenant's budget and can never squeeze another tenant's working set.
+func (a *autoscaler) freeBudgetFor(fileID int) int {
+	if a.owner == nil {
+		used := 0
+		for _, t := range a.target {
+			used += t
+		}
+		return clampFloor(a.c.capacity - used)
+	}
+	tenant := a.owner[fileID]
 	used := 0
-	for _, t := range a.target {
-		used += t
+	for i, t := range a.owner {
+		if t == tenant {
+			used += a.target[i]
+		}
 	}
-	free := a.c.capacity - used
-	if free < 0 {
-		free = 0
+	return clampFloor(a.budgets[tenant] - used)
+}
+
+func clampFloor(v int) int {
+	if v < 0 {
+		return 0
 	}
-	return free
+	return v
 }
 
 // step runs one evaluation against the measured per-file rates.
@@ -168,9 +195,10 @@ func (a *autoscaler) step(rates []float64) {
 		}
 		if want == 0 && rates[i] > a.maxPlanned {
 			// Viral flip: hotter than any rate the plan was computed with.
-			// Hand it the budget cold files freed, up to its k (a functional
-			// cache never needs more than k chunks of one file).
-			grant := a.freeBudget()
+			// Hand it the budget cold files freed (within its tenant's share
+			// when the budget is split), up to its k (a functional cache
+			// never needs more than k chunks of one file).
+			grant := a.freeBudgetFor(i)
 			if k := a.c.files[i].K; grant > k {
 				grant = k
 			}

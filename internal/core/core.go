@@ -33,9 +33,9 @@ import (
 	"sprout/internal/erasure"
 	"sprout/internal/optimizer"
 	"sprout/internal/resilience"
-	"sprout/internal/ring"
 	"sprout/internal/scheduler"
 	"sprout/internal/tick"
+	"sprout/internal/wfq"
 	"sprout/internal/workload"
 )
 
@@ -192,6 +192,17 @@ type ServeOptions struct {
 	// given scheduler (job names are fixed). Nil means the controller owns
 	// a private scheduler when any periodic plane is enabled.
 	Tick *tick.Scheduler
+
+	// Tenants, when non-empty, makes tenants a first-class serving
+	// dimension: reads resolve their tenant from the context (WithTenant —
+	// the transport server stamps it from the request frame), per-tenant
+	// policy shapes hedging, shedding, and rate limits, background fills are
+	// scheduled weighted-fair across tenants, and — when policies list owned
+	// files — the optimizer splits the cache budget across tenants by
+	// weight so the autoscaler regrows within each tenant's share. Requests
+	// from tenants no policy names are accounted under DefaultTenant with
+	// silver semantics.
+	Tenants []TenantPolicy
 }
 
 func (o ServeOptions) withDefaults() ServeOptions {
@@ -280,10 +291,19 @@ type Controller struct {
 	// drops the cache when it turns out stale.
 	cacheInfo []atomic.Pointer[StripeInfo]
 
-	fillQ        *ring.Buf[fillJob]
+	fillQ        *wfq.Sched[fillJob]
 	fillWG       sync.WaitGroup
 	fillInFlight sync.Map // fileID -> struct{}, dedupes queued fills
 	fills        fillTracker
+
+	// tenants maps tenant names to their QoS state; nil when the QoS plane
+	// is off (ServeOptions.Tenants empty). tenantDefault absorbs unnamed and
+	// unknown tenants. tenantShares/tenantShareNames/tenantOwner describe the
+	// cache-budget partition (nil when no policy lists files).
+	tenants       map[string]*tenantState
+	tenantDefault *tenantState
+	tenantShares  []optimizer.TenantShare
+	tenantOwner   []int // file -> index into tenantShares; nil when no split
 
 	// Reusable fetch-worker free list for the read plane's fan-out: a
 	// mutex-guarded idle stack plus a poison protocol on Close. Spawning
@@ -369,11 +389,25 @@ func NewControllerWith(clu *cluster.Cluster, cacheCapacity int, opts optimizer.O
 		nodeIdx:   idx,
 		fileSizes: make([]atomic.Int64, len(files)),
 		cacheInfo: make([]atomic.Pointer[StripeInfo], len(files)),
-		fillQ:     ring.New[fillJob](serve.FillQueue),
+		fillQ:     wfq.New[fillJob](wfq.Config{QueueCap: serve.FillQueue, Weights: tenantWeights(serve.Tenants)}),
 		stopCh:    make(chan struct{}),
 	}
 	for i := range files {
 		c.fileSizes[i].Store(int64(files[i].SizeBytes))
+	}
+	c.tenants, c.tenantDefault = buildTenants(serve.Tenants)
+	if shares, names := tenantShares(serve.Tenants, len(files)); shares != nil {
+		c.tenantShares = shares
+		c.tenantOwner = make([]int, len(files))
+		budgets := optimizer.SplitBudgets(cacheCapacity, shares)
+		for t, sh := range shares {
+			if ts := c.tenants[names[t]]; ts != nil {
+				ts.cacheShare = budgets[t]
+			}
+			for _, f := range sh.Files {
+				c.tenantOwner[f] = t
+			}
+		}
 	}
 	if serve.Admission != nil {
 		c.adm = newAdmissionGate(*serve.Admission)
@@ -524,7 +558,15 @@ func (c *Controller) PlanTimeBin(lambdas []float64) (*optimizer.Plan, error) {
 		opts.WarmStart = prev.D
 	}
 
-	plan, err := optimizer.Optimize(prob, opts)
+	var plan *optimizer.Plan
+	if c.tenantShares != nil {
+		// Tenanted budget split: each tenant's files are optimized against
+		// that tenant's weighted slice of the cache, so no tenant's plan can
+		// squeeze another's working set out of the budget.
+		plan, err = optimizer.OptimizeSplit(prob, opts, c.tenantShares)
+	} else {
+		plan, err = optimizer.Optimize(prob, opts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,9 @@ import (
 	"sprout/internal/ring"
 )
 
+// FillTenantStats exposes the fill scheduler's per-tenant ring telemetry.
+func (c *Controller) FillTenantStats() map[string]ring.Stats { return c.fillQ.TenantStats() }
+
 // fillArena recycles the chunk copies that background fills carry. A read
 // that enqueues a fill does not hand over its decode output — that memory
 // belongs to the read's pooled scratch — it copies the data chunks into a
@@ -69,10 +72,12 @@ func (t *fillTracker) wait() {
 }
 
 // enqueueFill copies a decoded file into an arena lease and hands it to the
-// background materialisation pool through the lock-free fill ring. At most
-// one job per file is in flight; when the ring is full the job is dropped
-// (lease released) and the file's next read re-enqueues it.
-func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte, stripe StripeInfo) {
+// background materialisation pool through the weighted-fair fill scheduler,
+// queued under the reading tenant so one tenant's fill backlog cannot starve
+// or overflow another's. At most one job per file is in flight; when the
+// tenant's ring is full the job is dropped (lease released) and the file's
+// next read re-enqueues it.
+func (c *Controller) enqueueFill(tenant string, fileID int, dataChunks [][]byte, stripe StripeInfo) {
 	if _, loaded := c.fillInFlight.LoadOrStore(fileID, struct{}{}); loaded {
 		return
 	}
@@ -84,7 +89,7 @@ func (c *Controller) enqueueFill(fileID int, dataChunks [][]byte, stripe StripeI
 	}
 	c.fills.add(1)
 	job := fillJob{fileID: fileID, k: k, chunkSize: size, lease: lease, stripe: stripe}
-	if c.fillQ.TryPush(job) {
+	if c.fillQ.Push(tenant, job) {
 		c.stats.fillsEnqueued.Add(1)
 	} else {
 		lease.Release()

@@ -49,6 +49,12 @@ func (c *Controller) Read(ctx context.Context, fileID int, fetcher ChunkFetcher)
 // entry: under pressure it progressively drops hedging, then background
 // fills, and at the deepest level sheds low-value reads that would need
 // storage fetches with ErrSaturated.
+//
+// When tenant policies are configured (ServeOptions.Tenants), the calling
+// tenant is resolved from the context (WithTenant): its rate limit is
+// checked before any work is done, its SLO class shapes the brownout
+// decisions (gold keeps hedging under level 1 and is never shed; bronze is
+// shed first), and its latency histogram observes the read.
 func (c *Controller) ReadInto(ctx context.Context, fileID int, fetcher ChunkFetcher, dst []byte) ([]byte, error) {
 	start := time.Now()
 	if fileID < 0 || fileID >= len(c.files) {
@@ -56,6 +62,12 @@ func (c *Controller) ReadInto(ctx context.Context, fileID int, fetcher ChunkFetc
 	}
 	if c.epoch.Load().plan == nil {
 		return nil, ErrNoPlan
+	}
+	ts := c.tenantOf(TenantFrom(ctx))
+	if ts != nil && !ts.limiter.Allow() {
+		ts.rateLimited.Add(1)
+		c.stats.tenantThrottled.Add(1)
+		return nil, fmt.Errorf("core: tenant %q: %w", ts.policy.Name, ErrTenantThrottled)
 	}
 	if c.est != nil {
 		c.est.Observe(fileID)
@@ -74,10 +86,15 @@ func (c *Controller) ReadInto(ctx context.Context, fileID int, fetcher ChunkFetc
 	detach := cancel.Bind(ctx, &sc.flag)
 	var lastErr error
 	for attempt := 0; attempt < readMaxAttempts; attempt++ {
-		payload, retryable, err := c.readOnce(ctx, sc, fileID, fetcher, dst, start, level)
+		payload, retryable, err := c.readOnce(ctx, sc, fileID, fetcher, dst, start, level, ts)
 		if err == nil {
+			elapsed := time.Since(start)
 			if c.adm != nil {
-				c.adm.observe(time.Since(start))
+				c.adm.observe(elapsed)
+			}
+			if ts != nil {
+				ts.reads.Add(1)
+				ts.hist.observe(elapsed)
 			}
 			detach()
 			putReadScratch(sc)
@@ -111,7 +128,7 @@ func (c *Controller) ReadInto(ctx context.Context, fileID int, fetcher ChunkFetc
 // whether a failure is worth retrying: stripe-version mismatches and decode
 // errors can be caused by an overwrite committing mid-read and usually
 // resolve on the next attempt.
-func (c *Controller) readOnce(ctx context.Context, sc *readScratch, fileID int, fetcher ChunkFetcher, dst []byte, start time.Time, level int) ([]byte, bool, error) {
+func (c *Controller) readOnce(ctx context.Context, sc *readScratch, fileID int, fetcher ChunkFetcher, dst []byte, start time.Time, level int, ts *tenantState) ([]byte, bool, error) {
 	ep := c.epoch.Load()
 	if ep.plan == nil {
 		return nil, false, ErrNoPlan
@@ -135,18 +152,30 @@ func (c *Controller) readOnce(ctx context.Context, sc *readScratch, fileID int, 
 	fromCache := len(sc.chunks)
 
 	need := meta.K - fromCache
-	// Deepest brownout level: reads the plan values least are shed when they
-	// cannot be served from cache alone. Cache-complete reads always pass —
-	// they cost storage nothing.
-	if level >= 3 && need > 0 && fileID < len(ep.lowValue) && ep.lowValue[fileID] {
+	// Deepest brownout level: shedding follows the SLO ladder — bronze
+	// tenants give up every storage-bound read, silver (and the untenanted
+	// default) only the files the plan values least, gold none. Cache-
+	// complete reads always pass — they cost storage nothing.
+	if level >= 3 && need > 0 && ts.shedUnder(ep, fileID) {
 		c.stats.shedReads.Add(1)
+		if ts != nil {
+			ts.sheds.Add(1)
+		}
 		return nil, false, fmt.Errorf("core: file %d: %w", fileID, ErrSaturated)
+	}
+	// Priority hedging: a gold tenant keeps its hedge timer through the
+	// first brownout level — its stragglers are the ones the SLO pays for —
+	// while deeper levels ground everyone.
+	fetchLevel := level
+	if level == 1 && ts.class() == ClassGold {
+		fetchLevel = 0
+		c.stats.priorityHedges.Add(1)
 	}
 	fetchErrs := 0
 	var stripe StripeInfo
 	sawUnversioned := false
 	if need > 0 {
-		errs, err := c.fetchChunks(ctx, sc, fetcher, ep, meta, need, level)
+		errs, err := c.fetchChunks(ctx, sc, fetcher, ep, meta, need, fetchLevel)
 		if err != nil {
 			return nil, false, err
 		}
@@ -249,8 +278,14 @@ func (c *Controller) readOnce(ctx context.Context, sc *readScratch, fileID int, 
 				fillStripe = *cacheStripe
 			}
 			// enqueueFill copies the data chunks out of sc.dec — the fill
-			// outlives this read's scratch lease.
-			c.enqueueFill(fileID, dataChunks, fillStripe)
+			// outlives this read's scratch lease. The job queues under the
+			// reading tenant's name so the fill scheduler can hold each
+			// tenant to its weighted share.
+			fillTenant := ""
+			if ts != nil {
+				fillTenant = ts.policy.Name
+			}
+			c.enqueueFill(fillTenant, fileID, dataChunks, fillStripe)
 		}
 	}
 	return payload, false, nil

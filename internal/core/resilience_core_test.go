@@ -176,7 +176,10 @@ func TestBrownoutSuppressesHedging(t *testing.T) {
 	}
 	saturate(t, ctrl)
 	for fileID := 0; fileID < 3; fileID++ {
-		if _, err := ctrl.Read(context.Background(), fileID, store); err != nil {
+		// With uniform rates the level-3 shed ladder ranks the bottom ⌊n/2⌋
+		// files low-value, so one read may legitimately shed; the reads that
+		// pass must still withhold their hedges.
+		if _, err := ctrl.Read(context.Background(), fileID, store); err != nil && !errors.Is(err, ErrSaturated) {
 			t.Fatalf("file %d: %v", fileID, err)
 		}
 	}
@@ -234,19 +237,57 @@ func TestAdmissionGateLevels(t *testing.T) {
 }
 
 // TestLowValueFiles pins the shed-priority rule: strictly below-median rates
-// are low-value, uniform rates mark nothing.
+// are low-value; when ties at the median swallow the bottom half, the rank
+// fallback marks the bottom ⌊n/2⌋ so level 3 keeps something to shed.
 func TestLowValueFiles(t *testing.T) {
 	low := lowValueFiles([]float64{0.01, 0.5, 0.2})
 	if !low[0] || low[1] || low[2] {
 		t.Fatalf("lowValueFiles = %v, want only the below-median file marked", low)
 	}
-	for i, v := range lowValueFiles([]float64{0.3, 0.3, 0.3}) {
-		if v {
-			t.Fatalf("uniform rates marked file %d low-value", i)
-		}
-	}
 	if lowValueFiles(nil) != nil {
 		t.Fatal("no rates should yield no marks")
+	}
+	if low := lowValueFiles([]float64{0.5}); low[0] {
+		t.Fatal("a lone file must never be marked low-value")
+	}
+	// Two files at identical rates: the strict rule marks nothing (the median
+	// ties both), which made level 3 a no-op under hard saturation. The rank
+	// fallback must mark exactly one — the lower file ID.
+	low = lowValueFiles([]float64{0.3, 0.3})
+	if !low[0] || low[1] {
+		t.Fatalf("two equal rates: lowValueFiles = %v, want exactly file 0 marked", low)
+	}
+	// Uniform rates across n files: fallback marks the bottom half by rank.
+	low = lowValueFiles([]float64{0.3, 0.3, 0.3, 0.3})
+	if !low[0] || !low[1] || low[2] || low[3] {
+		t.Fatalf("uniform rates: lowValueFiles = %v, want bottom half by rank", low)
+	}
+	// A tie above the true bottom half must not trigger the fallback.
+	low = lowValueFiles([]float64{0.1, 0.2, 0.5, 0.5})
+	if !low[0] || !low[1] || low[2] || low[3] {
+		t.Fatalf("ties above median: lowValueFiles = %v, want the two slow files", low)
+	}
+}
+
+// TestAdmissionColdStartSeedsFromFirstSample locks in the cold-start fix:
+// the EWMA p99 estimate must adopt the first observed sample outright, so a
+// single slow burst from idle immediately crosses NoHedgeAt instead of
+// taking ~1/Alpha samples to warm from zero.
+func TestAdmissionColdStartSeedsFromFirstSample(t *testing.T) {
+	g := newAdmissionGate(AdmissionConfig{MaxInFlight: 256, LatencyTarget: 50 * time.Millisecond})
+	// One sample exactly at the latency target: score 1.0 ≥ NoHedgeAt (0.75).
+	// Pre-fix the estimate warmed to Alpha·sample = 0.2 → level 0.
+	g.observe(50 * time.Millisecond)
+	if lvl := g.level(); lvl < 1 {
+		t.Fatalf("level after one target-latency sample from idle = %d, want ≥ 1 (score %v)", lvl, g.score())
+	}
+	// Subsequent samples must keep using the EWMA, not re-seed: a stream of
+	// fast reads pulls the estimate back down.
+	for i := 0; i < 5000; i++ {
+		g.observe(time.Microsecond)
+	}
+	if lvl := g.level(); lvl != 0 {
+		t.Fatalf("level after recovery = %d, want 0 (score %v)", lvl, g.score())
 	}
 }
 

@@ -43,6 +43,8 @@ type counters struct {
 	hedgesSuppressed atomic.Int64
 	fillsSuppressed  atomic.Int64
 	shedReads        atomic.Int64
+	tenantThrottled  atomic.Int64
+	priorityHedges   atomic.Int64
 
 	autoscaleUps     atomic.Int64
 	autoscaleDowns   atomic.Int64
@@ -126,6 +128,11 @@ type Stats struct {
 	HedgesSuppressed int64
 	FillsSuppressed  int64
 	ShedReads        int64
+	// TenantThrottled counts reads refused by a tenant's rate limiter before
+	// any fetch or decode work; PriorityHedges counts gold-tenant reads that
+	// kept their hedge timer through brownout level 1.
+	TenantThrottled int64
+	PriorityHedges  int64
 
 	// AutoscaleUps and AutoscaleDowns count per-file allocation changes made
 	// by the cache autoscaler between replans; AutoscaleToZero is the subset
@@ -180,6 +187,8 @@ func (c *Controller) Stats() Stats {
 		HedgesSuppressed: c.stats.hedgesSuppressed.Load(),
 		FillsSuppressed:  c.stats.fillsSuppressed.Load(),
 		ShedReads:        c.stats.shedReads.Load(),
+		TenantThrottled:  c.stats.tenantThrottled.Load(),
+		PriorityHedges:   c.stats.priorityHedges.Load(),
 
 		AutoscaleUps:     c.stats.autoscaleUps.Load(),
 		AutoscaleDowns:   c.stats.autoscaleDowns.Load(),
@@ -348,12 +357,19 @@ type HistogramBuckets struct {
 	Counts [histBuckets]int64
 	Count  int64
 	SumNS  int64
+	// MaxNS is the largest observation the histogram had seen at snapshot
+	// time. For a windowed delta (Sub) it is an upper bound on the window's
+	// maximum — the cumulative max only grows, so the newer snapshot's max
+	// dominates every sample inside the window. Quantile uses it to keep
+	// overflow-bucket estimates anchored to data that was actually observed.
+	MaxNS int64
 }
 
 // Sub returns the bucket-wise difference s - prev, the delta of two
-// snapshots of the same histogram.
+// snapshots of the same histogram. The delta keeps s's MaxNS: an upper
+// bound on the window max (exact when the max landed inside the window).
 func (s HistogramBuckets) Sub(prev HistogramBuckets) HistogramBuckets {
-	d := HistogramBuckets{Count: s.Count - prev.Count, SumNS: s.SumNS - prev.SumNS}
+	d := HistogramBuckets{Count: s.Count - prev.Count, SumNS: s.SumNS - prev.SumNS, MaxNS: s.MaxNS}
 	for i := range s.Counts {
 		d.Counts[i] = s.Counts[i] - prev.Counts[i]
 	}
@@ -361,11 +377,17 @@ func (s HistogramBuckets) Sub(prev HistogramBuckets) HistogramBuckets {
 }
 
 // Quantile estimates the q-quantile of the (possibly windowed) distribution
-// by interpolating inside the bucket holding the rank.
+// by interpolating inside the bucket holding the rank. A rank that lands in
+// the overflow bucket is clamped to the observed maximum rather than the
+// bucket's synthetic ~134s upper bound — returning the bound would fabricate
+// a latency no read ever exhibited (and, fed to the saturation analyzer,
+// slam the gate to its deepest brownout level). When no max was recorded the
+// overflow bucket contributes its lower bound instead of its width.
 func (s HistogramBuckets) Quantile(q float64) time.Duration {
 	if s.Count <= 0 {
 		return 0
 	}
+	max := time.Duration(s.MaxNS)
 	rank := q * float64(s.Count)
 	var cum float64
 	for b := 0; b < histBuckets; b++ {
@@ -375,19 +397,40 @@ func (s HistogramBuckets) Quantile(q float64) time.Duration {
 		}
 		if cum+n >= rank {
 			lo, hi := bucketBounds(b)
-			frac := (rank - cum) / n
-			return lo + time.Duration(frac*float64(hi-lo))
+			if b == histBuckets-1 {
+				hi = max
+				if hi < lo {
+					hi = lo
+				}
+			}
+			v := lo + time.Duration((rank-cum)/n*float64(hi-lo))
+			if max > 0 && v > max {
+				v = max
+			}
+			return v
 		}
 		cum += n
 	}
-	_, hi := bucketBounds(histBuckets - 1)
-	return hi
+	// Rank beyond the counted mass (float rounding): the distribution's top.
+	if max > 0 {
+		return max
+	}
+	for b := histBuckets - 1; b >= 0; b-- {
+		if s.Counts[b] > 0 {
+			_, hi := bucketBounds(b)
+			return hi
+		}
+	}
+	return 0
 }
 
 // Add returns the bucket-wise sum of two snapshots (for folding the
 // cache-hit/storage/degraded classes into one distribution).
 func (s HistogramBuckets) Add(o HistogramBuckets) HistogramBuckets {
-	t := HistogramBuckets{Count: s.Count + o.Count, SumNS: s.SumNS + o.SumNS}
+	t := HistogramBuckets{Count: s.Count + o.Count, SumNS: s.SumNS + o.SumNS, MaxNS: s.MaxNS}
+	if o.MaxNS > t.MaxNS {
+		t.MaxNS = o.MaxNS
+	}
 	for i := range s.Counts {
 		t.Counts[i] = s.Counts[i] + o.Counts[i]
 	}
@@ -401,6 +444,7 @@ func (h *latencyHist) bucketsSnapshot() HistogramBuckets {
 		s.Count += s.Counts[b]
 	}
 	s.SumNS = h.sumNS.Load()
+	s.MaxNS = h.maxNS.Load()
 	return s
 }
 

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileOverflowClamped locks in the overflow-bucket fix: a
+// windowed delta whose rank lands in the last bucket must report a latency
+// anchored to the observed maximum, not the bucket's synthetic ~134s upper
+// bound — that fabricated value fed the saturation analyzer a p99 no read
+// ever exhibited.
+func TestHistogramQuantileOverflowClamped(t *testing.T) {
+	lo, hi := bucketBounds(histBuckets - 1)
+
+	// All mass in the overflow bucket with a recorded max just above its
+	// lower bound: every quantile must stay within [lo, max].
+	var s HistogramBuckets
+	s.Counts[histBuckets-1] = 10
+	s.Count = 10
+	s.MaxNS = int64(lo + 3*time.Second)
+	for _, q := range []float64{0.5, 0.99, 1.0} {
+		got := s.Quantile(q)
+		if got > time.Duration(s.MaxNS) {
+			t.Fatalf("Quantile(%v) = %v, beyond observed max %v", q, got, time.Duration(s.MaxNS))
+		}
+		if got < lo {
+			t.Fatalf("Quantile(%v) = %v, below the overflow bucket's lower bound %v", q, got, lo)
+		}
+	}
+
+	// No recorded max (foreign snapshot): the overflow bucket must contribute
+	// its lower bound, never interpolate toward the fabricated upper bound.
+	s.MaxNS = 0
+	if got := s.Quantile(0.99); got != lo {
+		t.Fatalf("Quantile with no max = %v, want the bucket floor %v (upper bound is %v)", got, lo, hi)
+	}
+}
+
+// TestHistogramWindowedDeltaCarriesMax drives the real snapshot/Sub path the
+// saturation analyzer uses: one slow read in the overflow bucket must yield
+// a windowed p99 bounded by the observed latency.
+func TestHistogramWindowedDeltaCarriesMax(t *testing.T) {
+	var h latencyHist
+	prev := h.bucketsSnapshot()
+	slow := 90 * time.Second // lands in the overflow bucket (≥ ~67s)
+	h.observe(slow)
+	delta := h.bucketsSnapshot().Sub(prev)
+	if delta.Count != 1 {
+		t.Fatalf("delta count = %d, want 1", delta.Count)
+	}
+	if got := delta.Quantile(0.99); got > slow {
+		t.Fatalf("windowed p99 = %v, want ≤ the observed %v", got, slow)
+	}
+
+	// Folding classes (Add) must keep the larger max.
+	var h2 latencyHist
+	h2.observe(time.Millisecond)
+	sum := delta.Add(h2.bucketsSnapshot())
+	if got := sum.Quantile(1.0); got > slow {
+		t.Fatalf("folded max quantile = %v, want ≤ %v", got, slow)
+	}
+	if sum.MaxNS != int64(slow) {
+		t.Fatalf("folded MaxNS = %v, want %v", time.Duration(sum.MaxNS), slow)
+	}
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+
+	"sprout/internal/optimizer"
+	"sprout/internal/resilience"
+)
+
+// SLO classes order tenants for the QoS plane's degradation decisions: under
+// brownout, gold keeps hedging while others stop, and the deepest level sheds
+// bronze storage-bound reads outright while silver only gives up its
+// low-value files and gold is never shed.
+const (
+	ClassGold   = "gold"
+	ClassSilver = "silver"
+	ClassBronze = "bronze"
+)
+
+// DefaultTenant is the name unknown and unnamed tenants are accounted under.
+// Requests that arrive with no tenant (or one no policy names) share this one
+// state, so the per-tenant metric cardinality is bounded by configuration,
+// not by whatever strings clients send.
+const DefaultTenant = "default"
+
+// TenantPolicy is one tenant's QoS contract with the controller.
+type TenantPolicy struct {
+	// Name is the tenant identifier carried by the wire protocol's Tenant
+	// field and the WithTenant context key.
+	Name string
+	// Class is the SLO class: ClassGold, ClassSilver, or ClassBronze.
+	// Empty defaults to silver — the seed's behaviour.
+	Class string
+	// Weight is the tenant's fair share relative to the others: the
+	// weighted-fair queues, the repair tie-break, and the cache-budget split
+	// all use it. Values < 1 are clamped to 1.
+	Weight int
+	// RateLimit, when positive, caps the tenant's admitted read rate
+	// (requests per second); excess reads fail fast with ErrTenantThrottled
+	// before consuming fetch or decode capacity. Burst is the token-bucket
+	// allowance (default: one second's worth of RateLimit).
+	RateLimit float64
+	Burst     float64
+	// Files lists the file IDs this tenant owns. Ownership drives the
+	// cache-budget split: the optimizer divides the cache across tenants in
+	// proportion to Weight, and the autoscaler regrows only within the
+	// owner's share. Files listed by no tenant belong to the default tenant.
+	Files []int
+}
+
+func (p TenantPolicy) withDefaults() TenantPolicy {
+	if p.Class == "" {
+		p.Class = ClassSilver
+	}
+	if p.Weight < 1 {
+		p.Weight = 1
+	}
+	if p.RateLimit > 0 && p.Burst <= 0 {
+		p.Burst = p.RateLimit
+	}
+	return p
+}
+
+// tenantState is the per-tenant accounting the read plane updates: an SLO
+// policy, a rate limiter, a latency histogram, and shed/throttle counters.
+// States are created at construction and never change, so the read path
+// resolves one with a plain map lookup.
+type tenantState struct {
+	policy      TenantPolicy
+	limiter     *resilience.RateLimiter
+	hist        latencyHist
+	reads       atomic.Int64
+	sheds       atomic.Int64
+	rateLimited atomic.Int64
+	// cacheShare is the tenant's slice of the cache budget in chunks (0 when
+	// no budget split is configured). Written once at construction.
+	cacheShare int
+}
+
+// tenantKey is the context key WithTenant stores the tenant name under.
+type tenantKey struct{}
+
+// WithTenant returns a context carrying the tenant name, read back by the
+// controller's Read path via TenantFrom. The transport server stamps it from
+// the request frame's Tenant field; in-process callers set it directly.
+func WithTenant(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, tenantKey{}, name)
+}
+
+// TenantFrom extracts the tenant name from the context ("" when absent).
+func TenantFrom(ctx context.Context) string {
+	name, _ := ctx.Value(tenantKey{}).(string)
+	return name
+}
+
+// buildTenants materialises the per-tenant states from the serve options.
+// Returns nil maps when no tenants are configured — the read plane then skips
+// tenant accounting entirely.
+func buildTenants(policies []TenantPolicy) (map[string]*tenantState, *tenantState) {
+	if len(policies) == 0 {
+		return nil, nil
+	}
+	states := make(map[string]*tenantState, len(policies)+1)
+	var def *tenantState
+	for _, p := range policies {
+		p = p.withDefaults()
+		ts := &tenantState{policy: p, limiter: resilience.NewRateLimiter(p.RateLimit, p.Burst)}
+		states[p.Name] = ts
+		if p.Name == DefaultTenant {
+			def = ts
+		}
+	}
+	if def == nil {
+		def = &tenantState{policy: TenantPolicy{Name: DefaultTenant}.withDefaults()}
+		states[DefaultTenant] = def
+	}
+	return states, def
+}
+
+// tenantOf resolves the state for a tenant name; unknown and unnamed tenants
+// share the default state. Nil when tenants are not configured.
+func (c *Controller) tenantOf(name string) *tenantState {
+	if c.tenants == nil {
+		return nil
+	}
+	if ts, ok := c.tenants[name]; ok {
+		return ts
+	}
+	return c.tenantDefault
+}
+
+// class returns the SLO class, defaulting to silver semantics for the
+// untenanted case so a controller without tenant policies behaves exactly
+// like the seed.
+func (ts *tenantState) class() string {
+	if ts == nil {
+		return ClassSilver
+	}
+	return ts.policy.Class
+}
+
+// shedUnder reports whether a storage-bound read of fileID by this tenant is
+// shed at the deepest brownout level. The shed order is the SLO ladder:
+// bronze absorbs shedding first (every storage-bound read), silver gives up
+// only the files the plan values least, gold is never shed.
+func (ts *tenantState) shedUnder(ep *epoch, fileID int) bool {
+	switch ts.class() {
+	case ClassGold:
+		return false
+	case ClassBronze:
+		return true
+	default:
+		return fileID < len(ep.lowValue) && ep.lowValue[fileID]
+	}
+}
+
+// tenantThrottledError is ErrTenantThrottled's concrete type; it unwraps to
+// resilience.ErrOverload so throttles classify as load shedding.
+type tenantThrottledError struct{}
+
+func (tenantThrottledError) Error() string {
+	return "core: tenant over its rate limit, read refused"
+}
+func (tenantThrottledError) Unwrap() error { return resilience.ErrOverload }
+
+// ErrTenantThrottled is returned by Read when the calling tenant is over its
+// configured rate limit.
+var ErrTenantThrottled error = tenantThrottledError{}
+
+// TenantSnapshot is one tenant's QoS accounting.
+type TenantSnapshot struct {
+	Policy TenantPolicy
+	// Reads counts served reads; Sheds counts reads rejected with
+	// ErrSaturated under brownout; RateLimited counts reads refused by the
+	// tenant's rate limiter.
+	Reads       int64
+	Sheds       int64
+	RateLimited int64
+	// Latency summarises the tenant's served-read latency distribution.
+	Latency LatencySnapshot
+	// CacheShare is the tenant's slice of the cache budget in chunks (0 when
+	// no budget split is configured).
+	CacheShare int
+}
+
+// TenantStats returns per-tenant QoS snapshots keyed by tenant name (the
+// default tenant under DefaultTenant). Nil when tenants are not configured.
+func (c *Controller) TenantStats() map[string]TenantSnapshot {
+	if c.tenants == nil {
+		return nil
+	}
+	out := make(map[string]TenantSnapshot, len(c.tenants))
+	for name, ts := range c.tenants {
+		out[name] = TenantSnapshot{
+			Policy:      ts.policy,
+			Reads:       ts.reads.Load(),
+			Sheds:       ts.sheds.Load(),
+			RateLimited: ts.rateLimited.Load(),
+			Latency:     ts.hist.snapshot(),
+			CacheShare:  ts.cacheShare,
+		}
+	}
+	return out
+}
+
+// TenantLatencyBuckets returns the raw per-tenant read-latency buckets for
+// the metrics exporter. Nil when tenants are not configured.
+func (c *Controller) TenantLatencyBuckets() map[string]HistogramBuckets {
+	if c.tenants == nil {
+		return nil
+	}
+	out := make(map[string]HistogramBuckets, len(c.tenants))
+	for name, ts := range c.tenants {
+		out[name] = ts.hist.bucketsSnapshot()
+	}
+	return out
+}
+
+// tenantWeights extracts the scheduler weight map for the WFQ fill queue.
+func tenantWeights(policies []TenantPolicy) map[string]int {
+	if len(policies) == 0 {
+		return nil
+	}
+	w := make(map[string]int, len(policies))
+	for _, p := range policies {
+		p = p.withDefaults()
+		w[p.Name] = p.Weight
+	}
+	return w
+}
+
+// tenantShares derives the optimizer's cache-budget partition from the
+// tenant policies: every file listed by a policy belongs to that tenant,
+// everything else to the default tenant. Returns nil (no split) when no
+// policy lists files — the budget then stays one shared pool.
+func tenantShares(policies []TenantPolicy, nFiles int) ([]optimizer.TenantShare, []string) {
+	owned := false
+	for _, p := range policies {
+		if len(p.Files) > 0 {
+			owned = true
+			break
+		}
+	}
+	if !owned {
+		return nil, nil
+	}
+	owner := make([]int, nFiles)
+	for i := range owner {
+		owner[i] = -1
+	}
+	shares := make([]optimizer.TenantShare, 0, len(policies)+1)
+	names := make([]string, 0, len(policies)+1)
+	for _, p := range policies {
+		p = p.withDefaults()
+		sh := optimizer.TenantShare{Weight: p.Weight}
+		for _, f := range p.Files {
+			if f < 0 || f >= nFiles || owner[f] >= 0 {
+				continue
+			}
+			owner[f] = len(shares)
+			sh.Files = append(sh.Files, f)
+		}
+		if len(sh.Files) > 0 {
+			shares = append(shares, sh)
+			names = append(names, p.Name)
+		}
+	}
+	var rest []int
+	for f, o := range owner {
+		if o < 0 {
+			rest = append(rest, f)
+		}
+	}
+	if len(rest) > 0 {
+		shares = append(shares, optimizer.TenantShare{Weight: 1, Files: rest})
+		names = append(names, DefaultTenant)
+	}
+	return shares, names
+}

@@ -292,3 +292,120 @@ func TestChaosOverloadRecovery(t *testing.T) {
 	}
 	readRounds(t, h, 2)
 }
+
+// TestChaosTwoTenantIsolation is the multi-tenant QoS scenario: one OSD
+// turns slow while a bronze tenant surges far past its fair share against a
+// small admission gate. Gold reads must all succeed with correct data — the
+// SLO ladder never sheds gold and priority hedging keeps its tail fetches
+// racing the slow node — while every shed lands on bronze, and the gate
+// reopens for everyone once the surge drains.
+func TestChaosTwoTenantIsolation(t *testing.T) {
+	chaos := transport.NewChaos(9)
+	h, _ := newHarnessWith(t,
+		core.ServeOptions{
+			HedgeDelay: 3 * time.Millisecond,
+			HedgeExtra: 2,
+			Admission:  &core.AdmissionConfig{MaxInFlight: 8},
+			Tenants: []core.TenantPolicy{
+				{Name: "gold", Class: core.ClassGold, Weight: 4},
+				{Name: "bronze", Class: core.ClassBronze, Weight: 1},
+			},
+		},
+		transport.ServerConfig{StagedPutTTL: time.Minute, Chaos: chaos,
+			TenantWeights: map[string]int{"gold": 4, "bronze": 1}},
+		transport.ClientConfig{Conns: 3, Retries: 6})
+
+	// Find an OSD that takes fetch traffic under the plan and slow it down.
+	slow := -1
+	for osd := 0; osd < e2eOSDs; osd++ {
+		before := chaos.Stats().DelaysInjected
+		chaos.SetRule(osd, transport.ChaosRule{Latency: time.Microsecond})
+		readRounds(t, h, 1)
+		chaos.ClearRule(osd)
+		if chaos.Stats().DelaysInjected > before {
+			slow = osd
+			break
+		}
+	}
+	if slow < 0 {
+		t.Fatal("no OSD receives fetch traffic — harness wiring broken")
+	}
+	chaos.SetRule(slow, transport.ChaosRule{Latency: 10 * time.Millisecond})
+
+	const goldReaders, bronzeReaders, opsEach = 3, 16, 12
+	goldCtx := core.WithTenant(context.Background(), "gold")
+	bronzeCtx := core.WithTenant(context.Background(), "bronze")
+	var wg sync.WaitGroup
+	var bronzeOK, bronzeShed atomic.Int64
+	errCh := make(chan error, goldReaders+bronzeReaders)
+	for r := 0; r < goldReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				fileID := (r + i) % e2eObjects
+				// Gold is never shed and never throttled: any error is a
+				// correctness failure.
+				if err := h.readAndCheck(goldCtx, fileID, h.payload(fileID)); err != nil {
+					select {
+					case errCh <- fmt.Errorf("gold reader %d: %w", r, err):
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	for r := 0; r < bronzeReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				fileID := (r + i) % e2eObjects
+				err := h.readAndCheck(bronzeCtx, fileID, h.payload(fileID))
+				switch {
+				case err == nil:
+					bronzeOK.Add(1)
+				case errors.Is(err, core.ErrSaturated) || resilience.IsOverload(err):
+					bronzeShed.Add(1)
+				default:
+					select {
+					case errCh <- fmt.Errorf("bronze reader %d: %w", r, err):
+					default:
+					}
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("hard error under two-tenant chaos: %v", err)
+	}
+
+	ts := h.ctrl.TenantStats()
+	if ts["gold"].Sheds != 0 {
+		t.Fatalf("gold was shed %d times — the SLO ladder must never shed gold", ts["gold"].Sheds)
+	}
+	if total := ts["gold"].Sheds + ts["bronze"].Sheds; total > 0 && ts["bronze"].Sheds != total {
+		t.Fatalf("bronze absorbed %d of %d sheds, want all", ts["bronze"].Sheds, total)
+	}
+	if bronzeOK.Load() == 0 {
+		t.Fatal("no bronze read succeeded — shedding must degrade, not blackout")
+	}
+	if h.ctrl.Stats().BrownoutReads == 0 {
+		t.Fatal("admission gate never engaged under the bronze surge")
+	}
+
+	// Recovery: faults and surge gone, the gate reopens for every tenant.
+	chaos.Reset()
+	if lvl := h.ctrl.SaturationLevel(); lvl == 3 {
+		t.Fatalf("saturation still at level %d after the surge drained", lvl)
+	}
+	for fileID := 0; fileID < e2eObjects; fileID++ {
+		if err := h.readAndCheck(bronzeCtx, fileID, h.payload(fileID)); err != nil {
+			t.Fatalf("bronze read after recovery: %v", err)
+		}
+	}
+}

@@ -14,6 +14,7 @@
 package obs
 
 import (
+	"sort"
 	"strconv"
 
 	"sprout/internal/core"
@@ -179,6 +180,8 @@ func registerController(r *metrics.Registry, c *core.Controller) {
 		{"sprout_autoscale_freed_chunks_total", "Cache chunks released by autoscaler shrinks.", func(s core.Stats) int64 { return s.AutoscaleFreed }},
 		{"sprout_autoscale_granted_chunks_total", "Cache chunk budget handed out by autoscaler grows.", func(s core.Stats) int64 { return s.AutoscaleGranted }},
 		{"sprout_analyzer_shifts_total", "Brownout-level transitions applied by the saturation analyzer.", func(s core.Stats) int64 { return s.AnalyzerShifts }},
+		{"sprout_tenant_throttled_total", "Reads refused because the calling tenant was over its rate limit.", func(s core.Stats) int64 { return s.TenantThrottled }},
+		{"sprout_priority_hedges_total", "Gold-tenant reads that kept their hedge timer through brownout level 1.", func(s core.Stats) int64 { return s.PriorityHedges }},
 	} {
 		fn := m.fn
 		counter(r, m.name, m.help, func() int64 { return fn(st()) })
@@ -270,6 +273,56 @@ func registerController(r *metrics.Registry, c *core.Controller) {
 		out := make([]metrics.Sample, 0, len(targets))
 		for fileID, t := range targets {
 			out = append(out, metrics.Sample{LabelValues: []string{strconv.Itoa(fileID)}, Value: float64(t)})
+		}
+		return out
+	}))
+
+	// Per-tenant QoS families. The label set is bounded by configuration:
+	// unknown tenant names fold into the default state, so a hostile client
+	// cannot inflate the exposition. With no tenants configured the
+	// collectors return no samples.
+	tenantNames := func(snaps map[string]core.TenantSnapshot) []string {
+		names := make([]string, 0, len(snaps))
+		for name := range snaps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	perTenant := func(name, help string, kind metrics.Kind, fn func(core.TenantSnapshot) float64) {
+		r.MustRegister(metrics.Desc{Name: name, Help: help, Kind: kind, Labels: []string{"tenant"}},
+			metrics.CollectorFunc(func() []metrics.Sample {
+				snaps := c.TenantStats()
+				out := make([]metrics.Sample, 0, len(snaps))
+				for _, tn := range tenantNames(snaps) {
+					out = append(out, metrics.Sample{LabelValues: []string{tn}, Value: fn(snaps[tn])})
+				}
+				return out
+			}))
+	}
+	perTenant("sprout_tenant_reads_total", "Reads served, by tenant.", metrics.KindCounter,
+		func(s core.TenantSnapshot) float64 { return float64(s.Reads) })
+	perTenant("sprout_tenant_shed_reads_total", "Reads rejected under brownout shedding, by tenant.", metrics.KindCounter,
+		func(s core.TenantSnapshot) float64 { return float64(s.Sheds) })
+	perTenant("sprout_tenant_rate_limited_total", "Reads refused by the tenant's rate limiter.", metrics.KindCounter,
+		func(s core.TenantSnapshot) float64 { return float64(s.RateLimited) })
+	perTenant("sprout_tenant_cache_share_chunks", "Tenant's slice of the cache budget (0 without a split).", metrics.KindGauge,
+		func(s core.TenantSnapshot) float64 { return float64(s.CacheShare) })
+	perTenant("sprout_tenant_weight_ratio", "Tenant's weighted-fair share relative to the other tenants.", metrics.KindGauge,
+		func(s core.TenantSnapshot) float64 { return float64(s.Policy.Weight) })
+	r.MustRegister(metrics.Desc{
+		Name: "sprout_tenant_read_latency_seconds", Help: "Served-read latency by tenant.",
+		Kind: metrics.KindHistogram, Labels: []string{"tenant"},
+	}, metrics.CollectorFunc(func() []metrics.Sample {
+		byTenant := c.TenantLatencyBuckets()
+		names := make([]string, 0, len(byTenant))
+		for name := range byTenant {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		out := make([]metrics.Sample, 0, len(names))
+		for _, tn := range names {
+			out = append(out, metrics.Sample{LabelValues: []string{tn}, Hist: histValue(byTenant[tn])})
 		}
 		return out
 	}))

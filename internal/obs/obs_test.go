@@ -44,6 +44,10 @@ func fullRegistry(t *testing.T) *metrics.Registry {
 	ctrl, err := core.NewControllerWith(clu, 4, optimizer.Options{MaxOuterIter: 6}, core.ServeOptions{
 		Analyzer:  &core.AnalyzerConfig{},
 		Autoscale: &core.AutoscaleConfig{},
+		Tenants: []core.TenantPolicy{
+			{Name: "gold", Class: core.ClassGold, Weight: 4, Files: []int{0}},
+			{Name: "bronze", Class: core.ClassBronze, Weight: 1, RateLimit: 100},
+		},
 	}, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -38,6 +38,14 @@ type Config struct {
 	// caller owns the scheduler's lifetime; Close only unregisters the
 	// scan job. Nil means the manager owns a private scheduler.
 	Tick *tick.Scheduler
+	// TenantOf, when set, maps an object name to the tenant it belongs to;
+	// TenantWeights maps tenant names to their QoS weights. Together they
+	// give repairs a tenant-aware tie-break: among chunks with the same
+	// survivor count, higher-weight tenants are rebuilt first. Unknown
+	// tenants (and a nil TenantOf) repair at weight 1. Durability still
+	// dominates — weight never reorders across survivor counts.
+	TenantOf      func(object string) string
+	TenantWeights map[string]int
 	// Breakers, when set, are per-OSD circuit breakers consulted when
 	// picking survivors to read: OSDs whose breaker rejects traffic sit a
 	// repair read out while at least k healthier survivors remain. Every
@@ -296,12 +304,23 @@ func (m *Manager) logf(format string, args ...any) {
 
 func (m *Manager) enqueue(object string, chunk, surviving, attempts int) bool {
 	m.inFlight.Add(1)
-	if !m.queue.push(object, chunk, surviving, attempts) {
+	if !m.queue.push(object, chunk, surviving, attempts, m.tenantWeight(object)) {
 		m.inFlight.Add(-1)
 		return false
 	}
 	m.enqueued.Add(1)
 	return true
+}
+
+// tenantWeight resolves the queue tie-break weight of an object's owner.
+func (m *Manager) tenantWeight(object string) int {
+	if m.cfg.TenantOf == nil {
+		return 1
+	}
+	if w, ok := m.cfg.TenantWeights[m.cfg.TenantOf(object)]; ok && w > 1 {
+		return w
+	}
+	return 1
 }
 
 // scanTick is one degradation scan on the scheduler: enqueue missing

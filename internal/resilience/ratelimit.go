@@ -1,0 +1,73 @@
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a token-bucket admission limiter: tokens accrue at Rate per
+// second up to Burst, and each admitted request spends one. It backs the
+// per-tenant rate limits of the QoS plane — a tenant pushing past its
+// configured rate has requests refused at the controller's front door before
+// they consume any fetch or decode capacity.
+//
+// A nil *RateLimiter admits everything (no limit configured).
+type RateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	denied int64
+}
+
+// NewRateLimiter builds a limiter admitting rate requests per second with
+// the given burst allowance. A rate <= 0 returns nil (unlimited); a burst
+// below 1 is raised to 1 so a conforming steady stream is never refused on
+// quantisation alone.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{rate: rate, burst: burst, tokens: burst}
+}
+
+// Allow reports whether one request may proceed now, spending a token if so.
+func (l *RateLimiter) Allow() bool {
+	return l.allowAt(time.Now())
+}
+
+// allowAt is Allow against an explicit clock, for tests.
+func (l *RateLimiter) allowAt(now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.last.IsZero() {
+		l.tokens += now.Sub(l.last).Seconds() * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+	}
+	l.last = now
+	if l.tokens < 1 {
+		l.denied++
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+// Denied returns how many requests the limiter has refused.
+func (l *RateLimiter) Denied() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.denied
+}

@@ -49,6 +49,11 @@ type ClientConfig struct {
 	// NoRetryBudget disables the retry budget (every retry is granted) —
 	// the "resilience off" arm of A/B experiments.
 	NoRetryBudget bool
+	// Tenant names the workload class this client's requests belong to.
+	// It is stamped into every request frame, so the server's weighted-fair
+	// scheduler queues and serves them under that tenant's share. Empty
+	// means the default tenant.
+	Tenant string
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -187,6 +192,7 @@ func (c *Client) conn(slot int) (*clientConn, error) {
 // can shed the work once it expires; deadline-exceeded responses are never
 // retried (the deadline will not come back).
 func (c *Client) call(ctx context.Context, req Request) (Response, error) {
+	req.Tenant = c.cfg.Tenant
 	if err := validateRequest(&req, c.cfg.MaxFrameSize); err != nil {
 		return Response{}, err
 	}

@@ -19,6 +19,7 @@ import (
 	"sprout/internal/objstore"
 	"sprout/internal/ring"
 	"sprout/internal/tick"
+	"sprout/internal/wfq"
 )
 
 // frameArena recycles the per-batch response-encode buffers: a write loop
@@ -37,12 +38,18 @@ type ServerConfig struct {
 	// of these goroutines, never on an unbounded per-request goroutine.
 	// Default: 4 × GOMAXPROCS, at least 8.
 	Workers int
-	// MaxInFlight bounds the request queue feeding the worker pool. A frame
-	// arriving while the queue is full is answered immediately with an
-	// overload response instead of being buffered. The queue is a lock-free
-	// ring, so the effective bound is MaxInFlight rounded up to the next
-	// power of two (minimum 2). Default: 256.
+	// MaxInFlight bounds each tenant's request queue feeding the shared
+	// worker pool. A frame arriving while its tenant's queue is full is
+	// answered immediately with an overload response instead of being
+	// buffered — so one tenant's burst overflows only its own queue. Each
+	// queue is a lock-free ring, so the effective bound is MaxInFlight
+	// rounded up to the next power of two (minimum 2). Default: 256.
 	MaxInFlight int
+	// TenantWeights maps tenant names (Request.Tenant) to their share of
+	// the worker pool under the deficit-round-robin dispatcher. Tenants not
+	// listed — including the unnamed default tenant — get weight 1. Nil
+	// means every tenant is served equally.
+	TenantWeights map[string]int
 	// MaxFrameSize bounds accepted frame payloads. Default:
 	// DefaultMaxFrameSize.
 	MaxFrameSize int
@@ -104,7 +111,7 @@ type Server struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
-	work   *ring.Buf[task]
+	work   *wfq.Sched[task]
 	nic    *netMeter
 
 	// sched runs the staged-put janitor; nil when StagedPutTTL is unset.
@@ -148,8 +155,11 @@ func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 		cfg:     cfg,
 		ctx:     ctx,
 		cancel:  cancel,
-		work:    ring.New[task](cfg.MaxInFlight),
-		conns:   make(map[*serverConn]struct{}),
+		work: wfq.New[task](wfq.Config{
+			QueueCap: cfg.MaxInFlight,
+			Weights:  cfg.TenantWeights,
+		}),
+		conns: make(map[*serverConn]struct{}),
 	}
 	if cfg.NICBandwidth > 0 {
 		s.nic = &netMeter{bandwidth: cfg.NICBandwidth}
@@ -160,9 +170,13 @@ func NewServerWithConfig(cluster *objstore.Cluster, cfg ServerConfig) *Server {
 // Stats returns a snapshot of the server's transport counters.
 func (s *Server) Stats() TransportStats { return s.counters.snapshot() }
 
-// WorkQueueStats returns the telemetry counters of the lock-free request
-// ring feeding the worker pool.
+// WorkQueueStats returns the telemetry counters of the request queues
+// feeding the worker pool, aggregated across tenants.
 func (s *Server) WorkQueueStats() ring.Stats { return s.work.Stats() }
+
+// TenantQueueStats returns the per-tenant request-queue telemetry of the
+// weighted-fair scheduler, keyed by tenant name ("" is the default tenant).
+func (s *Server) TenantQueueStats() map[string]ring.Stats { return s.work.TenantStats() }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
@@ -247,10 +261,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// worker executes requests from the bounded queue, parking on the ring's
-// eventcount when it is empty. A nil stop channel is deliberate: shutdown
-// is signalled by closing the ring, which lets workers drain every request
-// that was admitted before the close.
+// worker executes requests in weighted-fair order across the per-tenant
+// queues, parking on the scheduler's eventcount when they are empty. A nil
+// stop channel is deliberate: shutdown is signalled by closing the
+// scheduler, which lets workers drain every request that was admitted
+// before the close.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for {
@@ -522,8 +537,8 @@ func (s *Server) Close() error {
 	}
 	s.connWG.Wait()
 	// All readers have exited, so nothing can enqueue work anymore. Closing
-	// the ring wakes parked workers; they drain whatever was admitted and
-	// then exit.
+	// the scheduler wakes parked workers; they drain whatever was admitted
+	// and then exit.
 	if started {
 		s.work.Close()
 	}
@@ -616,11 +631,12 @@ func (sc *serverConn) readLoop() {
 			sc.send(&Response{ID: req.ID, Code: codeDeadlineExceeded, Err: context.DeadlineExceeded.Error()})
 			continue
 		}
-		if sc.srv.work.TryPush(task{sc: sc, req: req}) {
+		if sc.srv.work.Push(req.Tenant, task{sc: sc, req: req}) {
 			sc.srv.counters.requests.Add(1)
 		} else {
-			// Queue full: shed load with an explicit overload response
-			// instead of buffering unboundedly.
+			// The tenant's queue is full: shed load with an explicit overload
+			// response instead of buffering unboundedly. Other tenants'
+			// queues are unaffected.
 			sc.srv.counters.overloadRejections.Add(1)
 			sc.send(&Response{ID: req.ID, Code: codeOverloaded, Err: ErrOverloaded.Error()})
 		}

@@ -16,7 +16,7 @@
 //	kind(1=request) | id uint64 | op byte | chunk uint32 | version uint64 |
 //	deadline uint64 (unix ns, 0 = none) |
 //	pool (uint16 len + bytes) | object (uint16 len + bytes) |
-//	data (uint32 len + bytes)
+//	tenant (uint16 len + bytes) | data (uint32 len + bytes)
 //
 // Response payloads:
 //
@@ -36,6 +36,11 @@
 // nanoseconds) so the server can shed already-expired work — at admission
 // and again at dequeue — instead of burning a worker on a response nobody
 // is waiting for.
+//
+// The tenant field names the workload class the request belongs to (empty =
+// the default tenant); the server's weighted-fair scheduler routes each
+// request to its tenant's queue, so one tenant's burst cannot crowd the
+// others out of the worker pool.
 //
 // Code 0 means success; non-zero codes map back to typed errors on the
 // client (objstore.ErrObjectNotFound, objstore.ErrPoolNotFound,
@@ -168,9 +173,9 @@ const DefaultMaxFrameSize = 64 << 20
 const maxString16 = 1<<16 - 1
 
 // requestOverhead is the fixed encoding cost of a request frame beyond the
-// pool, object, and data bytes (kind, id, op, chunk, version, deadline,
-// three length fields).
-const requestOverhead = 1 + 8 + 1 + 4 + 8 + 8 + 2 + 2 + 4
+// pool, object, tenant, and data bytes (kind, id, op, chunk, version,
+// deadline, four length fields).
+const requestOverhead = 1 + 8 + 1 + 4 + 8 + 8 + 2 + 2 + 2 + 4
 
 // responseOverhead is the fixed encoding cost of a response frame beyond
 // the error message, names, and data bytes (kind, id, code, latency,
@@ -185,10 +190,10 @@ var ErrRequestTooLarge = errors.New("transport: request exceeds frame limits")
 
 // validateRequest rejects requests the wire format cannot carry.
 func validateRequest(req *Request, maxFrame int) error {
-	if len(req.Pool) > maxString16 || len(req.Object) > maxString16 {
+	if len(req.Pool) > maxString16 || len(req.Object) > maxString16 || len(req.Tenant) > maxString16 {
 		return fmt.Errorf("%w: name longer than %d bytes", ErrRequestTooLarge, maxString16)
 	}
-	if size := requestOverhead + len(req.Pool) + len(req.Object) + len(req.Data); size > maxFrame {
+	if size := requestOverhead + len(req.Pool) + len(req.Object) + len(req.Tenant) + len(req.Data); size > maxFrame {
 		return fmt.Errorf("%w: frame would be %d bytes, limit %d", ErrRequestTooLarge, size, maxFrame)
 	}
 	return nil
@@ -238,6 +243,8 @@ var errConnBroken = errors.New("transport: connection broken")
 // Deadline is the client's absolute deadline in unix nanoseconds (zero
 // means none); the server sheds the request with codeDeadlineExceeded if it
 // is already past when the request is admitted or dequeued.
+// Tenant names the workload class the request belongs to (empty = default);
+// the server's weighted-fair scheduler queues it per tenant.
 type Request struct {
 	ID       uint64
 	Op       Op
@@ -246,6 +253,7 @@ type Request struct {
 	Deadline uint64
 	Pool     string
 	Object   string
+	Tenant   string
 	Data     []byte
 }
 
@@ -328,7 +336,7 @@ func errorFromResponse(resp *Response) error {
 
 // appendRequest encodes req as a complete frame (length prefix included).
 func appendRequest(buf []byte, req *Request) []byte {
-	payload := requestOverhead + len(req.Pool) + len(req.Object) + len(req.Data)
+	payload := requestOverhead + len(req.Pool) + len(req.Object) + len(req.Tenant) + len(req.Data)
 	buf = append(buf, 0, 0, 0, 0)
 	binary.BigEndian.PutUint32(buf[len(buf)-4:], uint32(payload))
 	buf = append(buf, frameRequest)
@@ -339,6 +347,7 @@ func appendRequest(buf []byte, req *Request) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, req.Deadline)
 	buf = appendString16(buf, req.Pool)
 	buf = appendString16(buf, req.Object)
+	buf = appendString16(buf, req.Tenant)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(req.Data)))
 	return append(buf, req.Data...)
 }
@@ -502,6 +511,9 @@ func decodeRequest(payload []byte) (Request, error) {
 		return req, err
 	}
 	if req.Object, err = r.string16(); err != nil {
+		return req, err
+	}
+	if req.Tenant, err = r.string16(); err != nil {
 		return req, err
 	}
 	if req.Data, err = r.blob32(); err != nil {

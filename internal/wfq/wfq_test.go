@@ -1,0 +1,192 @@
+package wfq
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWeightedShare pins the DRR property: with every tenant's ring
+// saturated, a drain serves tenants proportionally to their weights.
+func TestWeightedShare(t *testing.T) {
+	s := New[string](Config{
+		QueueCap: 64,
+		Weights:  map[string]int{"gold": 3, "bronze": 1},
+	})
+	for i := 0; i < 64; i++ {
+		if !s.Push("gold", "gold") {
+			t.Fatal("gold push rejected below capacity")
+		}
+		if !s.Push("bronze", "bronze") {
+			t.Fatal("bronze push rejected below capacity")
+		}
+	}
+	// Drain one full backlog's worth while both rings stay non-empty: gold
+	// must get ~3/4 of the service.
+	counts := map[string]int{}
+	for i := 0; i < 64; i++ {
+		v, ok := s.TryPop()
+		if !ok {
+			t.Fatalf("tryPop empty after %d items", i)
+		}
+		counts[v]++
+	}
+	if counts["gold"] != 48 || counts["bronze"] != 16 {
+		t.Fatalf("drain of 64 with weights 3:1 served %v, want gold=48 bronze=16", counts)
+	}
+}
+
+// TestPerTenantOverflowIsolation verifies a flooding tenant fills only its
+// own ring: pushes for other tenants still succeed.
+func TestPerTenantOverflowIsolation(t *testing.T) {
+	s := New[int](Config{QueueCap: 4})
+	for i := 0; i < 4; i++ {
+		if !s.Push("bronze", i) {
+			t.Fatal("push rejected below capacity")
+		}
+	}
+	if s.Push("bronze", 99) {
+		t.Fatal("push beyond bronze's ring capacity accepted")
+	}
+	if !s.Push("gold", 1) {
+		t.Fatal("gold push rejected while only bronze is full")
+	}
+	st := s.TenantStats()
+	if st["bronze"].Rejects != 1 {
+		t.Fatalf("bronze rejects = %d, want 1", st["bronze"].Rejects)
+	}
+	if st["gold"].Rejects != 0 {
+		t.Fatalf("gold rejects = %d, want 0", st["gold"].Rejects)
+	}
+}
+
+// TestEmptyTenantsAreSkipped: an idle tenant must not stall the scan or
+// leak service to nobody.
+func TestEmptyTenantsAreSkipped(t *testing.T) {
+	s := New[int](Config{Weights: map[string]int{"a": 5, "b": 1, "c": 1}})
+	for i := 0; i < 10; i++ {
+		s.Push("b", i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := s.TryPop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v), want FIFO within tenant", i, v, ok)
+		}
+	}
+	if _, ok := s.TryPop(); ok {
+		t.Fatal("pop from drained scheduler succeeded")
+	}
+}
+
+// TestPopWaitParksAndWakes: a parked consumer is woken by a later push, and
+// concurrent producers/consumers under the race detector exercise the
+// eventcount protocol.
+func TestPopWaitParksAndWakes(t *testing.T) {
+	s := New[int](Config{QueueCap: 128})
+	got := make(chan int)
+	go func() {
+		v, ok := s.PopWait(nil)
+		if !ok {
+			t.Error("PopWait returned !ok")
+		}
+		got <- v
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer park
+	s.Push("t", 42)
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("PopWait = %d, want 42", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked consumer never woke")
+	}
+
+	const producers, items, consumers = 4, 200, 3
+	var wg sync.WaitGroup
+	var consumed sync.WaitGroup
+	consumed.Add(producers * items)
+	for c := 0; c < consumers; c++ {
+		go func() {
+			for {
+				if _, ok := s.PopWait(nil); !ok {
+					return
+				}
+				consumed.Done()
+			}
+		}()
+	}
+	tenants := []string{"gold", "silver", "bronze", ""}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < items; i++ {
+				for !s.Push(tenants[p], i) {
+					time.Sleep(time.Microsecond)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	done := make(chan struct{})
+	go func() { consumed.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("consumers did not drain all items (lost wakeup?)")
+	}
+	s.Close()
+}
+
+// TestCloseDrains: items queued before Close are still served; afterwards
+// PopWait reports exhaustion.
+func TestCloseDrains(t *testing.T) {
+	s := New[int](Config{})
+	for i := 0; i < 5; i++ {
+		s.Push("t", i)
+	}
+	s.Close()
+	for i := 0; i < 5; i++ {
+		v, ok := s.PopWait(nil)
+		if !ok || v != i {
+			t.Fatalf("drain pop %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := s.PopWait(nil); ok {
+		t.Fatal("PopWait on closed+drained scheduler returned ok")
+	}
+}
+
+// TestStopChannel: a ready stop channel interrupts a parked PopWait.
+func TestStopChannel(t *testing.T) {
+	s := New[int](Config{})
+	stop := make(chan struct{})
+	done := make(chan bool)
+	go func() {
+		_, ok := s.PopWait(stop)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("PopWait returned ok on stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PopWait ignored stop")
+	}
+}
+
+// TestAggregateStats: Stats sums the tenant rings.
+func TestAggregateStats(t *testing.T) {
+	s := New[int](Config{})
+	s.Push("a", 1)
+	s.Push("b", 2)
+	s.TryPop()
+	st := s.Stats()
+	if st.Pushes != 2 || st.Pops != 1 {
+		t.Fatalf("aggregate stats = %+v, want 2 pushes 1 pop", st)
+	}
+}

@@ -18,6 +18,8 @@
 package sprout
 
 import (
+	"context"
+
 	"sprout/internal/cluster"
 	"sprout/internal/core"
 	"sprout/internal/erasure"
@@ -88,6 +90,9 @@ type (
 	Problem = optimizer.Problem
 	// FileSpec describes a file inside a Problem.
 	FileSpec = optimizer.FileSpec
+	// TenantShare is one tenant's slice of the cache-optimization problem:
+	// the files it owns and its weight in the budget split.
+	TenantShare = optimizer.TenantShare
 
 	// ServiceDist is a service-time distribution (mean, second and third
 	// moments plus a sampler).
@@ -159,6 +164,14 @@ type (
 	// cold files' cache allocation (to zero after a cold dwell) and regrows
 	// hot or viral files from the freed budget.
 	AutoscaleConfig = core.AutoscaleConfig
+	// TenantPolicy is one tenant's QoS contract: SLO class, weighted-fair
+	// share, optional rate limit, and the files whose cache budget it owns.
+	// Wire a set into ServeOptions.Tenants to make tenancy first-class across
+	// the read plane, fill scheduler, optimizer, and autoscaler.
+	TenantPolicy = core.TenantPolicy
+	// TenantSnapshot is one tenant's QoS accounting (reads, sheds, throttles,
+	// latency distribution, cache share), from Controller.TenantStats.
+	TenantSnapshot = core.TenantSnapshot
 
 	// MetricsRegistry holds registered metric families and renders them in
 	// Prometheus text exposition format.
@@ -190,6 +203,16 @@ const (
 	BreakerHalfOpen = resilience.BreakerHalfOpen
 )
 
+// Tenant SLO classes, ordered by how the QoS plane degrades them under
+// pressure: gold keeps hedging and is never shed, silver sheds only its
+// low-value files at the deepest brownout level, bronze sheds first.
+const (
+	ClassGold     = core.ClassGold
+	ClassSilver   = core.ClassSilver
+	ClassBronze   = core.ClassBronze
+	DefaultTenant = core.DefaultTenant
+)
+
 // Resilience sentinels.
 var (
 	// ErrSaturated is returned by Controller.Read when the admission gate
@@ -201,7 +224,20 @@ var (
 	// must count against breakers and retry budgets, never against node
 	// health.
 	ErrOverload = resilience.ErrOverload
+	// ErrTenantThrottled is returned by Controller.Read when the calling
+	// tenant is over its configured rate limit. It unwraps to ErrOverload.
+	ErrTenantThrottled = core.ErrTenantThrottled
 )
+
+// WithTenant returns a context carrying the tenant name; Controller.Read
+// resolves it against ServeOptions.Tenants for rate limiting, SLO-ordered
+// shedding, priority hedging, and per-tenant accounting.
+func WithTenant(ctx context.Context, name string) context.Context {
+	return core.WithTenant(ctx, name)
+}
+
+// TenantFrom extracts the tenant name from a context ("" when absent).
+func TenantFrom(ctx context.Context) string { return core.TenantFrom(ctx) }
 
 // IsOverload reports whether err is load push-back rather than a fault.
 func IsOverload(err error) bool { return resilience.IsOverload(err) }
@@ -246,6 +282,13 @@ func NewCode(n, k int) (*Code, error) { return erasure.New(n, k) }
 // Optimize solves the cache-content optimization (Algorithm 1).
 func Optimize(p *Problem, opts OptimizerOptions) (*Plan, error) {
 	return optimizer.Optimize(p, opts)
+}
+
+// OptimizeSplit solves the cache-content optimization per tenant over a
+// weighted partition of the cache budget and merges the plans; the
+// controller uses it automatically when ServeOptions.Tenants lists files.
+func OptimizeSplit(p *Problem, opts OptimizerOptions, shares []TenantShare) (*Plan, error) {
+	return optimizer.OptimizeSplit(p, opts, shares)
 }
 
 // ProblemFromCluster converts a cluster description into an optimization
